@@ -1,0 +1,60 @@
+#ifndef MBTA_BENCH_BENCH_UTIL_H_
+#define MBTA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+#include "gen/market_generator.h"
+#include "market/metrics.h"
+#include "util/table.h"
+
+namespace mbta::bench {
+
+/// Prints the standard experiment banner. Every bench binary regenerates
+/// one reconstructed table/figure of the paper (see DESIGN.md for the
+/// source-text caveat: only the abstract was available, so these are the
+/// reconstructed experiments, labeled by the ids used in EXPERIMENTS.md).
+inline void PrintBanner(const char* experiment_id, const char* description,
+                        const char* workload) {
+  std::printf("==================================================\n");
+  std::printf("%s (reconstructed)\n", experiment_id);
+  std::printf("%s\n", description);
+  std::printf("workload: %s\n", workload);
+  std::printf("==================================================\n");
+}
+
+/// One solver's evaluated run on a problem.
+struct SolverRun {
+  std::string solver;
+  AssignmentMetrics metrics;
+  SolveInfo info;
+};
+
+inline SolverRun RunSolver(const Solver& solver, const MbtaProblem& problem) {
+  SolverRun run;
+  run.solver = solver.name();
+  const Assignment a = solver.Solve(problem, &run.info);
+  run.metrics = Evaluate(problem.MakeObjective(), a);
+  return run;
+}
+
+/// Solver line-up for size sweeps: the flow-based matching baseline is
+/// excluded (its augmenting-path count scales with the assignment size and
+/// dominates wall-clock at the largest sweep points) and local search is
+/// capped at two passes. See fig9 for the dedicated runtime study.
+std::vector<std::unique_ptr<Solver>> SweepSolvers(std::uint64_t seed);
+
+/// The four evaluation datasets at a common worker scale.
+inline std::vector<GeneratorConfig> StandardDatasets(std::size_t workers,
+                                                     std::uint64_t seed) {
+  return {UniformConfig(workers, workers, seed),
+          ZipfConfig(workers, workers, seed),
+          MTurkLikeConfig(workers, seed), UpworkLikeConfig(workers, seed)};
+}
+
+}  // namespace mbta::bench
+
+#endif  // MBTA_BENCH_BENCH_UTIL_H_

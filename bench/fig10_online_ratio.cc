@@ -1,0 +1,72 @@
+/// Figure 10: online performance under random-order worker arrivals.
+/// Measured shape (consistent across workloads here): plain online greedy
+/// recovers 85-95% of offline greedy — the submodular marginal-gain view
+/// already deprioritizes bad matches, so it is hard to beat in the
+/// random-order model. The two-phase variant (sample assigned greedily,
+/// threshold calibrated from the sample's accepted gains) approaches
+/// online greedy from below as the sample fraction grows (the threshold
+/// gates fewer arrivals); its capacity reservation does not pay on these
+/// markets. Worst-case-wise the picture inverts: thresholding is what
+/// yields constant competitive guarantees, which is why the trade-off is
+/// worth a figure.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/greedy_solver.h"
+#include "core/online_solvers.h"
+
+int main() {
+  using namespace mbta;
+  bench::PrintBanner(
+      "Figure 10: online competitive ratio vs sample fraction",
+      "x = two-phase sample fraction, y = MB(online) / MB(offline "
+      "greedy), mean of 5 arrival orders; online-greedy shown as the "
+      "f=0 reference",
+      "upwork-like 1500 workers (contested: tasks scarce), alpha=0.5, "
+      "submodular, seed 42");
+
+  const LaborMarket market = GenerateMarket(UpworkLikeConfig(1500, 42));
+  const MbtaProblem p{&market,
+                      {.alpha = 0.5, .kind = ObjectiveKind::kSubmodular}};
+  const MutualBenefitObjective obj = p.MakeObjective();
+  const double offline = obj.Value(GreedySolver().Solve(p));
+
+  constexpr int kOrders = 5;
+  Table table({"sample fraction", "algorithm", "MB", "ratio vs offline"});
+
+  double online_sum = 0.0;
+  for (int i = 0; i < kOrders; ++i) {
+    const auto order = RandomArrivalOrder(market.NumWorkers(), 100 + i);
+    online_sum += obj.Value(OnlineGreedySolver().SolveWithOrder(p, order));
+  }
+  table.AddRow({"0.0", "online-greedy", Table::Num(online_sum / kOrders),
+                Table::Num(online_sum / kOrders / offline)});
+
+  // Symmetric arrival model: tasks arrive against a standing worker pool.
+  double task_sum = 0.0;
+  for (int i = 0; i < kOrders; ++i) {
+    const auto order = RandomTaskArrivalOrder(market.NumTasks(), 100 + i);
+    task_sum +=
+        obj.Value(TaskArrivalGreedySolver().SolveWithOrder(p, order));
+  }
+  table.AddRow({"0.0", "online-task-greedy", Table::Num(task_sum / kOrders),
+                Table::Num(task_sum / kOrders / offline)});
+
+  for (double fraction : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    TwoPhaseOnlineSolver::Options opts;
+    opts.sample_fraction = fraction;
+    double sum = 0.0;
+    for (int i = 0; i < kOrders; ++i) {
+      const auto order = RandomArrivalOrder(market.NumWorkers(), 100 + i);
+      sum += obj.Value(
+          TwoPhaseOnlineSolver(1, opts).SolveWithOrder(p, order));
+    }
+    table.AddRow({Table::Num(fraction), "online-two-phase",
+                  Table::Num(sum / kOrders),
+                  Table::Num(sum / kOrders / offline)});
+  }
+  std::printf("offline greedy MB = %.4f\n\n", offline);
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,37 @@
+/// Table 1: dataset statistics for the four evaluation markets.
+/// Regenerates the "datasets used in the evaluation" table: entity counts,
+/// eligibility-graph shape, degree skew and capacity totals.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace mbta;
+  bench::PrintBanner(
+      "Table 1: dataset statistics",
+      "size and shape of each evaluation market (see DESIGN.md for the "
+      "MTurk/Upwork substitution rationale)",
+      "four datasets at 2000 workers, seed 42");
+
+  Table table({"dataset", "|W|", "|T|", "|E|", "avg w-deg", "avg t-deg",
+               "max t-deg", "t-deg gini", "cap(W)", "cap(T)", "avg pay",
+               "avg quality"});
+  for (const GeneratorConfig& config : bench::StandardDatasets(2000, 42)) {
+    const LaborMarket market = GenerateMarket(config);
+    const MarketStats s = ComputeStats(market);
+    table.AddRow({market.name(),
+                  Table::Num(static_cast<std::int64_t>(s.num_workers)),
+                  Table::Num(static_cast<std::int64_t>(s.num_tasks)),
+                  Table::Num(static_cast<std::int64_t>(s.num_edges)),
+                  Table::Num(s.avg_worker_degree),
+                  Table::Num(s.avg_task_degree),
+                  Table::Num(s.max_task_degree),
+                  Table::Num(s.task_degree_gini),
+                  Table::Num(s.total_worker_capacity),
+                  Table::Num(s.total_task_capacity),
+                  Table::Num(s.avg_payment), Table::Num(s.avg_quality)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}

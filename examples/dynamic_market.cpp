@@ -1,0 +1,79 @@
+/// Dynamic market maintenance: workers quit and requesters withdraw jobs
+/// all day; re-solving from scratch after every event would both waste
+/// compute and reshuffle assignments people already agreed to. This
+/// example streams departure events through the incremental repair API
+/// and compares it against full re-solves on value, stability of existing
+/// assignments (Jaccard), and wall-clock.
+///
+///   $ ./build/examples/dynamic_market
+
+#include <cstdio>
+
+#include "core/greedy_solver.h"
+#include "core/repair.h"
+#include "gen/market_generator.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace mbta;
+
+  const LaborMarket market = GenerateMarket(UpworkLikeConfig(1000, 3));
+  const MbtaProblem problem{
+      &market, {.alpha = 0.5, .kind = ObjectiveKind::kSubmodular}};
+  const MutualBenefitObjective objective = problem.MakeObjective();
+
+  Assignment current = GreedySolver().Solve(problem);
+  const double initial_value = objective.Value(current);
+  std::printf("initial assignment: %zu pairs, MB = %.1f\n\n",
+              current.size(), initial_value);
+
+  std::printf("%5s  %-22s  %10s  %9s  %11s  %10s\n", "event", "kind",
+              "MB after", "pairs", "churn (1-J)", "repair ms");
+
+  Rng rng(7);
+  double total_repair_ms = 0.0;
+  constexpr int kEvents = 12;
+  for (int event = 0; event < kEvents; ++event) {
+    WallTimer timer;
+    Assignment next;
+    char description[64];
+    if (rng.NextBool(0.6)) {
+      const WorkerId w =
+          static_cast<WorkerId>(rng.NextBounded(market.NumWorkers()));
+      next = RemoveWorkerAndRepair(objective, current, w);
+      std::snprintf(description, sizeof(description), "worker %u quits", w);
+    } else {
+      const TaskId t =
+          static_cast<TaskId>(rng.NextBounded(market.NumTasks()));
+      next = RemoveTaskAndRepair(objective, current, t);
+      std::snprintf(description, sizeof(description), "job %u withdrawn", t);
+    }
+    const double ms = timer.ElapsedMs();
+    total_repair_ms += ms;
+    const AssignmentDiff diff = DiffAssignments(current, next);
+    std::printf("%5d  %-22s  %10.1f  %9zu  %11.4f  %10.3f\n", event,
+                description, objective.Value(next), next.size(),
+                1.0 - diff.jaccard, ms);
+    current = next;
+  }
+
+  // What would a full re-solve cost, and how much would it reshuffle?
+  WallTimer timer;
+  const Assignment resolved = GreedySolver().Solve(problem);
+  const double resolve_ms = timer.ElapsedMs();
+  const AssignmentDiff reshuffle = DiffAssignments(current, resolved);
+
+  std::printf("\n%d repairs took %.2f ms total; one full greedy re-solve "
+              "takes %.2f ms\n",
+              kEvents, total_repair_ms, resolve_ms);
+  std::printf("a re-solve now would change %.1f%% of the standing "
+              "assignments (Jaccard %.3f) for %.2f%% more value\n",
+              100.0 * (1.0 - reshuffle.jaccard), reshuffle.jaccard,
+              100.0 * (objective.Value(resolved) / objective.Value(current) -
+                       1.0));
+  std::printf("takeaway: local repair keeps commitments stable at a "
+              "small value discount — re-solve on a schedule, repair on "
+              "events.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+/// Microtask labeling platform, end to end: generate an MTurk-like batch,
+/// assign workers (mutual-benefit-aware vs random), let the simulated
+/// crowd answer, run truth inference, and compare the resulting label
+/// quality — the requester-side payoff the paper's introduction motivates.
+///
+///   $ ./build/examples/microtask_labeling
+
+#include <cstdio>
+
+#include "core/baseline_solvers.h"
+#include "core/greedy_solver.h"
+#include "gen/market_generator.h"
+#include "market/metrics.h"
+#include "sim/aggregation.h"
+#include "sim/answers.h"
+
+int main() {
+  using namespace mbta;
+
+  const LaborMarket market = GenerateMarket(MTurkLikeConfig(600, 2026));
+  std::printf("microtask batch: %zu workers, %zu tasks, %zu eligible "
+              "pairs\n\n",
+              market.NumWorkers(), market.NumTasks(), market.NumEdges());
+
+  // Quality-focused platform: alpha = 0.8 still leaves workers a fifth of
+  // the objective, enough to keep participation attractive.
+  const MbtaProblem problem{
+      &market, {.alpha = 0.8, .kind = ObjectiveKind::kSubmodular}};
+
+  struct Candidate {
+    const char* label;
+    Assignment assignment;
+  };
+  Candidate candidates[] = {
+      {"mutual-benefit greedy", GreedySolver().Solve(problem)},
+      {"random dispatch", RandomSolver(1).Solve(problem)},
+  };
+
+  const MajorityVote majority;
+  const DawidSkene dawid_skene;
+
+  for (const Candidate& c : candidates) {
+    const AssignmentMetrics metrics =
+        Evaluate(problem.MakeObjective(), c.assignment);
+    std::printf("--- %s ---\n", c.label);
+    std::printf("assigned pairs: %zu, tasks covered: %zu/%zu\n",
+                metrics.num_assignments, metrics.tasks_covered,
+                market.NumTasks());
+    std::printf("requester benefit %.1f, worker benefit %.1f\n",
+                metrics.requester_benefit, metrics.worker_benefit);
+
+    double mv_acc = 0.0, ds_acc = 0.0;
+    constexpr int kRuns = 5;
+    for (int run = 0; run < kRuns; ++run) {
+      const AnswerSet answers =
+          SimulateAnswers(market, c.assignment, 500 + run);
+      mv_acc += LabelAccuracy(answers, majority.Aggregate(answers));
+      ds_acc += LabelAccuracy(answers, dawid_skene.Aggregate(answers));
+    }
+    std::printf("label accuracy: majority vote %.3f, dawid-skene %.3f "
+                "(mean of %d runs)\n\n",
+                mv_acc / kRuns, ds_acc / kRuns, kRuns);
+  }
+
+  std::printf("takeaway: the mutual-benefit-aware assignment routes "
+              "reliable workers to tasks they fit, so the same crowd and "
+              "the same budget yield strictly better labels.\n");
+  return 0;
+}

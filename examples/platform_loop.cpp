@@ -1,0 +1,65 @@
+/// The full platform loop: a crowdsourcing operator runs day after day —
+/// post tasks, assign under current beliefs, collect answers, infer
+/// truth, update worker reputations — and watches assignment quality
+/// climb as the platform learns who its good workers are.
+///
+///   $ ./build/examples/platform_loop
+
+#include <cstdio>
+
+#include "platform/platform.h"
+
+int main() {
+  using namespace mbta;
+
+  PlatformConfig config;
+  config.market_template = ContendedLabelingConfig(400, 7);
+  config.alpha = 0.9;
+  config.rounds = 10;
+  config.seed = 7;
+
+  std::printf("running %d rounds over a %zu-worker population "
+              "(%zu tasks/round, redundancy 3)\n\n",
+              config.rounds, config.market_template.num_workers,
+              config.market_template.num_tasks);
+
+  const PlatformResult oracle =
+      RunPlatform(config, KnowledgeModel::kOracle);
+  const PlatformResult learned =
+      RunPlatform(config, KnowledgeModel::kLearned);
+  const PlatformResult fixed = RunPlatform(config, KnowledgeModel::kStatic);
+
+  std::printf("%5s  %12s  %12s  %12s  %10s  %9s\n", "round", "oracle MB",
+              "learned MB", "static MB", "rep. RMSE", "label acc");
+  for (int r = 0; r < config.rounds; ++r) {
+    std::printf("%5d  %12.1f  %12.1f  %12.1f  %10.4f  %9.3f\n", r,
+                oracle.rounds[r].true_mutual_benefit,
+                learned.rounds[r].true_mutual_benefit,
+                fixed.rounds[r].true_mutual_benefit,
+                learned.rounds[r].reputation_rmse,
+                learned.rounds[r].label_accuracy);
+  }
+
+  double oracle_total = 0.0, learned_total = 0.0, static_total = 0.0;
+  for (int r = 0; r < config.rounds; ++r) {
+    oracle_total += oracle.rounds[r].true_mutual_benefit;
+    learned_total += learned.rounds[r].true_mutual_benefit;
+    static_total += fixed.rounds[r].true_mutual_benefit;
+  }
+  std::printf("\ncumulative: oracle %.0f, learned %.0f (%.1f%% of "
+              "oracle), static %.0f (%.1f%%)\n",
+              oracle_total, learned_total,
+              100.0 * learned_total / oracle_total, static_total,
+              100.0 * static_total / oracle_total);
+  const double gap = oracle_total - static_total;
+  const double recovered = learned_total - static_total;
+  std::printf("takeaway: reputation learning recovered %.0f%% of the "
+              "oracle-vs-static benefit gap (and cut reputation RMSE "
+              "from %.3f to %.3f); redundancy-3 tasks cap how much the "
+              "benefit itself can move, but the accuracy of knowing WHO "
+              "to hire keeps compounding.\n",
+              gap > 0 ? 100.0 * recovered / gap : 0.0,
+              learned.rounds.front().reputation_rmse,
+              learned.rounds.back().reputation_rmse);
+  return 0;
+}

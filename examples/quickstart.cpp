@@ -1,0 +1,77 @@
+/// Quickstart: build a tiny labor market by hand, solve the mutual-benefit
+/// task assignment problem, and inspect the result.
+///
+///   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/greedy_solver.h"
+#include "market/metrics.h"
+
+int main() {
+  using namespace mbta;
+
+  // 1. Describe the market: two workers, three tasks.
+  LaborMarketBuilder builder;
+  builder.SetName("quickstart");
+
+  Worker alice;
+  alice.capacity = 2;         // will do up to two tasks
+  alice.reliability = 0.95;   // excellent worker
+  alice.unit_cost = 1.0;      // wants at least $1 per task
+  builder.AddWorker(alice);
+
+  Worker bob;
+  bob.capacity = 1;
+  bob.reliability = 0.65;
+  bob.unit_cost = 0.2;
+  builder.AddWorker(bob);
+
+  Task label_images;
+  label_images.capacity = 2;  // wants two redundant answers
+  label_images.payment = 1.5;
+  label_images.value = 5.0;
+  builder.AddTask(label_images);
+
+  Task transcribe_audio;
+  transcribe_audio.capacity = 1;
+  transcribe_audio.payment = 2.0;
+  transcribe_audio.value = 8.0;
+  builder.AddTask(transcribe_audio);
+
+  Task survey;
+  survey.capacity = 1;
+  survey.payment = 0.5;
+  survey.value = 1.0;
+  builder.AddTask(survey);
+
+  // 2. Connect every eligible worker/task pair under the default edge
+  //    model (worker must not lose money; skills are unconstrained here).
+  builder.ConnectEligiblePairs(EdgeModelParams{});
+  const LaborMarket market = builder.Build();
+  std::printf("market: %zu workers, %zu tasks, %zu eligible pairs\n",
+              market.NumWorkers(), market.NumTasks(), market.NumEdges());
+
+  // 3. Solve: maximize 0.5·requester benefit + 0.5·worker benefit.
+  const MbtaProblem problem{
+      &market, {.alpha = 0.5, .kind = ObjectiveKind::kSubmodular}};
+  const Assignment assignment = GreedySolver().Solve(problem);
+
+  // 4. Inspect.
+  const char* worker_names[] = {"alice", "bob"};
+  const char* task_names[] = {"label_images", "transcribe_audio", "survey"};
+  std::printf("\nassignment (%zu pairs):\n", assignment.size());
+  for (EdgeId e : assignment.edges) {
+    std::printf("  %-6s -> %-17s quality=%.2f  worker benefit=%.2f\n",
+                worker_names[market.EdgeWorker(e)],
+                task_names[market.EdgeTask(e)], market.Quality(e),
+                market.WorkerBenefit(e));
+  }
+
+  const AssignmentMetrics metrics =
+      Evaluate(problem.MakeObjective(), assignment);
+  std::printf("\nmutual benefit    = %.3f\n", metrics.mutual_benefit);
+  std::printf("requester benefit = %.3f\n", metrics.requester_benefit);
+  std::printf("worker benefit    = %.3f\n", metrics.worker_benefit);
+  return 0;
+}

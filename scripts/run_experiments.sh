@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of EXPERIMENTS.md into results/.
+# Usage: scripts/run_experiments.sh [build-dir] [results-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+RESULTS_DIR="${2:-results}"
+
+if [ ! -d "${BUILD_DIR}/bench" ]; then
+  echo "error: ${BUILD_DIR}/bench not found — build first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -G Ninja && cmake --build ${BUILD_DIR}" >&2
+  exit 1
+fi
+
+mkdir -p "${RESULTS_DIR}"
+for bench in "${BUILD_DIR}"/bench/*; do
+  [ -f "${bench}" ] && [ -x "${bench}" ] || continue
+  name="$(basename "${bench}")"
+  echo "running ${name} ..."
+  "${bench}" > "${RESULTS_DIR}/${name}.txt"
+done
+echo "done: $(ls "${RESULTS_DIR}" | wc -l) result files in ${RESULTS_DIR}/"

@@ -1,0 +1,123 @@
+#include "core/baseline_solvers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "flow/min_cost_flow.h"
+#include "util/check.h"
+#include "util/distribution.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace mbta {
+
+Assignment RandomSolver::Solve(const MbtaProblem& problem,
+                               SolveInfo* info) const {
+  MBTA_CHECK(problem.market != nullptr);
+  WallTimer timer;
+  const MutualBenefitObjective objective = problem.MakeObjective();
+  const LaborMarket& market = objective.market();
+  ObjectiveState state(&objective);
+
+  Rng rng(seed_);
+  std::vector<EdgeId> order(market.NumEdges());
+  for (EdgeId e = 0; e < market.NumEdges(); ++e) order[e] = e;
+  Shuffle(rng, order);
+  for (EdgeId e : order) {
+    if (state.CanAdd(e)) state.Add(e);
+  }
+
+  if (info != nullptr) info->wall_ms = timer.ElapsedMs();
+  return state.ToAssignment();
+}
+
+Assignment WorkerCentricSolver::Solve(const MbtaProblem& problem,
+                                      SolveInfo* info) const {
+  MBTA_CHECK(problem.market != nullptr);
+  WallTimer timer;
+  const MutualBenefitObjective objective = problem.MakeObjective();
+  const LaborMarket& market = objective.market();
+  ObjectiveState state(&objective);
+
+  for (WorkerId w = 0; w < market.NumWorkers(); ++w) {
+    auto edges = market.WorkerEdges(w);
+    std::vector<EdgeId> sorted;
+    sorted.reserve(edges.size());
+    for (const Incidence& inc : edges) sorted.push_back(inc.edge);
+    std::sort(sorted.begin(), sorted.end(), [&](EdgeId a, EdgeId b) {
+      return market.WorkerBenefit(a) > market.WorkerBenefit(b);
+    });
+    for (EdgeId e : sorted) {
+      if (state.WorkerLoad(w) >= market.worker(w).capacity) break;
+      if (state.CanAdd(e)) state.Add(e);
+    }
+  }
+
+  if (info != nullptr) info->wall_ms = timer.ElapsedMs();
+  return state.ToAssignment();
+}
+
+Assignment RequesterCentricSolver::Solve(const MbtaProblem& problem,
+                                         SolveInfo* info) const {
+  MBTA_CHECK(problem.market != nullptr);
+  WallTimer timer;
+  const MutualBenefitObjective objective = problem.MakeObjective();
+  const LaborMarket& market = objective.market();
+  ObjectiveState state(&objective);
+
+  for (TaskId t = 0; t < market.NumTasks(); ++t) {
+    auto edges = market.TaskEdges(t);
+    std::vector<EdgeId> sorted;
+    sorted.reserve(edges.size());
+    for (const Incidence& inc : edges) sorted.push_back(inc.edge);
+    std::sort(sorted.begin(), sorted.end(), [&](EdgeId a, EdgeId b) {
+      return market.Quality(a) > market.Quality(b);
+    });
+    for (EdgeId e : sorted) {
+      if (state.TaskLoad(t) >= market.task(t).capacity) break;
+      if (state.CanAdd(e)) state.Add(e);
+    }
+  }
+
+  if (info != nullptr) info->wall_ms = timer.ElapsedMs();
+  return state.ToAssignment();
+}
+
+Assignment MatchingSolver::Solve(const MbtaProblem& problem,
+                                 SolveInfo* info) const {
+  MBTA_CHECK(problem.market != nullptr);
+  WallTimer timer;
+  const MutualBenefitObjective objective = problem.MakeObjective();
+  const LaborMarket& market = objective.market();
+
+  constexpr double kScale = 1e6;
+  const std::size_t num_workers = market.NumWorkers();
+  const std::size_t num_tasks = market.NumTasks();
+  MinCostFlow mcf(num_workers + num_tasks + 2);
+  const std::size_t source = 0;
+  const std::size_t sink = num_workers + num_tasks + 1;
+  for (WorkerId w = 0; w < num_workers; ++w) {
+    mcf.AddArc(source, 1 + w, 1, 0);  // unit capacity: it's a matching
+  }
+  for (TaskId t = 0; t < num_tasks; ++t) {
+    mcf.AddArc(1 + num_workers + t, sink, 1, 0);
+  }
+  std::vector<MinCostFlow::ArcId> edge_arcs(market.NumEdges());
+  for (EdgeId e = 0; e < market.NumEdges(); ++e) {
+    const std::int64_t cost = -static_cast<std::int64_t>(
+        std::llround(objective.EdgeWeight(e) * kScale));
+    edge_arcs[e] = mcf.AddArc(1 + market.EdgeWorker(e),
+                              1 + num_workers + market.EdgeTask(e), 1, cost);
+  }
+  mcf.SolveNegativeOnly(source, sink);
+
+  Assignment result;
+  for (EdgeId e = 0; e < market.NumEdges(); ++e) {
+    if (mcf.Flow(edge_arcs[e]) > 0) result.edges.push_back(e);
+  }
+  if (info != nullptr) info->wall_ms = timer.ElapsedMs();
+  return result;
+}
+
+}  // namespace mbta

@@ -1,0 +1,67 @@
+#include "core/brute_force_solver.h"
+
+#include <vector>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace mbta {
+
+namespace {
+
+struct SearchContext {
+  const MutualBenefitObjective& objective;
+  ObjectiveState state;
+  /// suffix_bound[i] = Σ_{e >= i} EdgeWeight(e): an additive upper bound on
+  /// any gain obtainable from edges i.. (valid since per-edge marginal
+  /// gains never exceed the empty-set marginal, i.e. the edge weight).
+  std::vector<double> suffix_bound;
+  double best_value = 0.0;
+  Assignment best;
+
+  explicit SearchContext(const MutualBenefitObjective& obj)
+      : objective(obj), state(&obj) {}
+
+  void Search(EdgeId e) {
+    const std::size_t num_edges = objective.market().NumEdges();
+    if (state.value() > best_value) {
+      best_value = state.value();
+      best = state.ToAssignment();
+    }
+    if (e >= num_edges) return;
+    if (state.value() + suffix_bound[e] <= best_value) return;  // prune
+
+    if (state.CanAdd(e)) {
+      state.Add(e);
+      Search(e + 1);
+      state.Remove(e);
+    }
+    Search(e + 1);
+  }
+};
+
+}  // namespace
+
+Assignment BruteForceSolver::Solve(const MbtaProblem& problem,
+                                   SolveInfo* info) const {
+  MBTA_CHECK(problem.market != nullptr);
+  MBTA_CHECK_MSG(problem.market->NumEdges() <= max_edges_,
+                 "brute force limited to %zu edges, got %zu", max_edges_,
+                 problem.market->NumEdges());
+  WallTimer timer;
+  const MutualBenefitObjective objective = problem.MakeObjective();
+  SearchContext ctx(objective);
+
+  const std::size_t num_edges = problem.market->NumEdges();
+  ctx.suffix_bound.assign(num_edges + 1, 0.0);
+  for (std::size_t i = num_edges; i-- > 0;) {
+    ctx.suffix_bound[i] =
+        ctx.suffix_bound[i + 1] + objective.EdgeWeight(static_cast<EdgeId>(i));
+  }
+
+  ctx.Search(0);
+  if (info != nullptr) info->wall_ms = timer.ElapsedMs();
+  return ctx.best;
+}
+
+}  // namespace mbta

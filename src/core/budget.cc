@@ -1,0 +1,54 @@
+#include "core/budget.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mbta {
+
+std::size_t NumRequesters(const LaborMarket& market) {
+  std::size_t max_requester = 0;
+  bool any = false;
+  for (const Task& t : market.tasks()) {
+    max_requester = std::max(max_requester,
+                             static_cast<std::size_t>(t.requester));
+    any = true;
+  }
+  return any ? max_requester + 1 : 0;
+}
+
+std::vector<double> RequesterSpend(const LaborMarket& market,
+                                   const Assignment& a) {
+  std::vector<double> spend(NumRequesters(market), 0.0);
+  for (EdgeId e : a.edges) {
+    const Task& t = market.task(market.EdgeTask(e));
+    spend[t.requester] += t.payment;
+  }
+  return spend;
+}
+
+bool IsBudgetFeasible(const LaborMarket& market, const Assignment& a,
+                      const BudgetConstraint& budget) {
+  if (!IsFeasible(market, a)) return false;
+  MBTA_CHECK(budget.budgets.size() >= NumRequesters(market));
+  const std::vector<double> spend = RequesterSpend(market, a);
+  for (std::size_t r = 0; r < spend.size(); ++r) {
+    // Small epsilon absorbs accumulated floating-point rounding.
+    if (spend[r] > budget.budgets[r] + 1e-9) return false;
+  }
+  return true;
+}
+
+BudgetConstraint ProportionalBudgets(const LaborMarket& market,
+                                     double fraction) {
+  MBTA_CHECK(fraction >= 0.0);
+  BudgetConstraint budget;
+  budget.budgets.assign(NumRequesters(market), 0.0);
+  for (const Task& t : market.tasks()) {
+    budget.budgets[t.requester] +=
+        fraction * t.payment * static_cast<double>(t.capacity);
+  }
+  return budget;
+}
+
+}  // namespace mbta

@@ -1,0 +1,42 @@
+#ifndef MBTA_CORE_BUDGET_H_
+#define MBTA_CORE_BUDGET_H_
+
+#include <vector>
+
+#include "market/assignment.h"
+#include "market/labor_market.h"
+
+namespace mbta {
+
+/// Per-requester spending caps: assigning worker w to task t costs the
+/// task's owner `payment(t)`, and a requester's total spend across all of
+/// its tasks must stay within its budget. The budget-constrained MBTA
+/// variant layers these knapsack constraints on top of the capacity
+/// matroids.
+struct BudgetConstraint {
+  /// budgets[r] = spending cap of requester r. Must cover every requester
+  /// id appearing in the market.
+  std::vector<double> budgets;
+};
+
+/// Number of requesters in a market (max task requester id + 1; 0 for a
+/// task-less market).
+std::size_t NumRequesters(const LaborMarket& market);
+
+/// Total payment spent by each requester under an assignment.
+std::vector<double> RequesterSpend(const LaborMarket& market,
+                                   const Assignment& a);
+
+/// True iff `a` is capacity-feasible AND within every requester budget.
+bool IsBudgetFeasible(const LaborMarket& market, const Assignment& a,
+                      const BudgetConstraint& budget);
+
+/// Budgets proportional to demand: each requester gets `fraction` of the
+/// spend needed to fill all its task slots (fraction 1 makes budgets
+/// non-binding; 0 forbids any assignment).
+BudgetConstraint ProportionalBudgets(const LaborMarket& market,
+                                     double fraction);
+
+}  // namespace mbta
+
+#endif  // MBTA_CORE_BUDGET_H_

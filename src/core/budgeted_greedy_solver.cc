@@ -1,0 +1,96 @@
+#include "core/budgeted_greedy_solver.h"
+
+#include <queue>
+#include <vector>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace mbta {
+
+namespace {
+
+constexpr double kGainEpsilon = 1e-12;
+
+/// Lazy greedy over `key(gain, payment)` with budget tracking. The key
+/// must be monotone in gain for fixed payment so that submodularity keeps
+/// stale heap keys valid upper bounds.
+Assignment GreedyPass(const MutualBenefitObjective& objective,
+                      const BudgetConstraint& budget, bool by_density,
+                      std::size_t* evals) {
+  const LaborMarket& market = objective.market();
+  ObjectiveState state(&objective);
+  std::vector<double> remaining = budget.budgets;
+
+  auto payment_of = [&](EdgeId e) {
+    return market.task(market.EdgeTask(e)).payment;
+  };
+  auto requester_of = [&](EdgeId e) {
+    return market.task(market.EdgeTask(e)).requester;
+  };
+  auto key = [&](double gain, EdgeId e) {
+    if (!by_density) return gain;
+    return gain / (payment_of(e) + 1e-9);
+  };
+
+  struct Entry {
+    double key;
+    double gain;
+    EdgeId edge;
+    bool operator<(const Entry& other) const { return key < other.key; }
+  };
+  std::priority_queue<Entry> heap;
+  for (EdgeId e = 0; e < market.NumEdges(); ++e) {
+    const double gain = objective.EdgeWeight(e);
+    heap.push({key(gain, e), gain, e});
+  }
+
+  while (!heap.empty()) {
+    const Entry top = heap.top();
+    heap.pop();
+    if (top.gain <= kGainEpsilon) break;
+    if (!state.CanAdd(top.edge)) continue;
+    if (payment_of(top.edge) > remaining[requester_of(top.edge)] + 1e-9) {
+      continue;  // would blow the requester's budget: drop for good
+    }
+    const double fresh_gain = state.MarginalGain(top.edge);
+    ++*evals;
+    const double fresh_key = key(fresh_gain, top.edge);
+    if (heap.empty() || fresh_key >= heap.top().key - kGainEpsilon) {
+      if (fresh_gain > kGainEpsilon) {
+        state.Add(top.edge);
+        remaining[requester_of(top.edge)] -= payment_of(top.edge);
+      }
+    } else {
+      heap.push({fresh_key, fresh_gain, top.edge});
+    }
+  }
+  return state.ToAssignment();
+}
+
+}  // namespace
+
+Assignment BudgetedGreedySolver::Solve(const MbtaProblem& problem,
+                                       SolveInfo* info) const {
+  MBTA_CHECK(problem.market != nullptr);
+  MBTA_CHECK(budget_.budgets.size() >= NumRequesters(*problem.market));
+  WallTimer timer;
+  const MutualBenefitObjective objective = problem.MakeObjective();
+  std::size_t evals = 0;
+
+  const Assignment by_gain =
+      GreedyPass(objective, budget_, /*by_density=*/false, &evals);
+  const Assignment by_density =
+      GreedyPass(objective, budget_, /*by_density=*/true, &evals);
+
+  const Assignment& better =
+      objective.Value(by_gain) >= objective.Value(by_density) ? by_gain
+                                                              : by_density;
+  if (info != nullptr) {
+    info->gain_evaluations = evals;
+    info->wall_ms = timer.ElapsedMs();
+  }
+  return better;
+}
+
+}  // namespace mbta

@@ -1,0 +1,54 @@
+#include "core/exact_flow_solver.h"
+
+#include <cmath>
+#include <vector>
+
+#include "flow/min_cost_flow.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace mbta {
+
+Assignment ExactFlowSolver::Solve(const MbtaProblem& problem,
+                                  SolveInfo* info) const {
+  MBTA_CHECK(problem.market != nullptr);
+  MBTA_CHECK_MSG(problem.objective.kind == ObjectiveKind::kModular,
+                 "ExactFlowSolver requires the modular objective");
+  WallTimer timer;
+  const MutualBenefitObjective objective = problem.MakeObjective();
+  const LaborMarket& market = objective.market();
+
+  // Node layout: 0 = source, 1..W = workers, W+1..W+T = tasks, last = sink.
+  const std::size_t num_workers = market.NumWorkers();
+  const std::size_t num_tasks = market.NumTasks();
+  MinCostFlow mcf(num_workers + num_tasks + 2);
+  const std::size_t source = 0;
+  const std::size_t sink = num_workers + num_tasks + 1;
+  auto worker_node = [&](WorkerId w) { return 1 + w; };
+  auto task_node = [&](TaskId t) { return 1 + num_workers + t; };
+
+  for (WorkerId w = 0; w < num_workers; ++w) {
+    mcf.AddArc(source, worker_node(w), market.worker(w).capacity, 0);
+  }
+  for (TaskId t = 0; t < num_tasks; ++t) {
+    mcf.AddArc(task_node(t), sink, market.task(t).capacity, 0);
+  }
+  std::vector<MinCostFlow::ArcId> edge_arcs(market.NumEdges());
+  for (EdgeId e = 0; e < market.NumEdges(); ++e) {
+    const std::int64_t cost = -static_cast<std::int64_t>(
+        std::llround(objective.EdgeWeight(e) * kScale));
+    edge_arcs[e] = mcf.AddArc(worker_node(market.EdgeWorker(e)),
+                              task_node(market.EdgeTask(e)), 1, cost);
+  }
+
+  mcf.SolveNegativeOnly(source, sink);
+
+  Assignment result;
+  for (EdgeId e = 0; e < market.NumEdges(); ++e) {
+    if (mcf.Flow(edge_arcs[e]) > 0) result.edges.push_back(e);
+  }
+  if (info != nullptr) info->wall_ms = timer.ElapsedMs();
+  return result;
+}
+
+}  // namespace mbta

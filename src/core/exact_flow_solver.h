@@ -1,0 +1,32 @@
+#ifndef MBTA_CORE_EXACT_FLOW_SOLVER_H_
+#define MBTA_CORE_EXACT_FLOW_SOLVER_H_
+
+#include "core/solver.h"
+
+namespace mbta {
+
+/// Exact solver for the *modular* MBTA objective via min-cost flow: the
+/// capacitated assignment is a transportation problem, so routing flow on
+/// the network  source →(cap(w))→ workers →(1, cost = −edge weight)→ tasks
+/// →(cap(t))→ sink  and augmenting only along negative-cost paths yields
+/// the benefit-maximizing feasible assignment.
+///
+/// Edge weights are scaled to a 1e-6 fixed-point grid (documented bound on
+/// the optimality gap: ≤ |E| · 1e-6). Rejects submodular instances — use
+/// greedy/local search there, with this solver as the modular reference.
+class ExactFlowSolver : public Solver {
+ public:
+  ExactFlowSolver() = default;
+
+  std::string name() const override { return "exact-flow"; }
+
+  Assignment Solve(const MbtaProblem& problem,
+                   SolveInfo* info = nullptr) const override;
+
+  /// Fixed-point scale for benefit-to-cost conversion.
+  static constexpr double kScale = 1e6;
+};
+
+}  // namespace mbta
+
+#endif  // MBTA_CORE_EXACT_FLOW_SOLVER_H_

@@ -1,0 +1,97 @@
+#include "core/greedy_solver.h"
+
+#include <queue>
+#include <vector>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace mbta {
+
+namespace {
+
+constexpr double kGainEpsilon = 1e-12;
+
+Assignment SolveLazy(const MutualBenefitObjective& objective,
+                     SolveInfo* info) {
+  const LaborMarket& market = objective.market();
+  ObjectiveState state(&objective);
+  std::size_t evals = 0;
+
+  struct Entry {
+    double gain;
+    EdgeId edge;
+    bool operator<(const Entry& other) const { return gain < other.gain; }
+  };
+  std::priority_queue<Entry> heap;
+  for (EdgeId e = 0; e < market.NumEdges(); ++e) {
+    // On the empty assignment the marginal equals the edge weight for both
+    // objective kinds, so no state evaluation is needed to seed the heap.
+    heap.push({objective.EdgeWeight(e), e});
+  }
+
+  while (!heap.empty()) {
+    const Entry top = heap.top();
+    heap.pop();
+    if (top.gain <= kGainEpsilon) break;  // all remaining gains are ~zero
+    if (!state.CanAdd(top.edge)) continue;  // endpoint saturated: drop
+    const double fresh = state.MarginalGain(top.edge);
+    ++evals;
+    // Submodularity: `fresh` <= the stale key. If it still beats the next
+    // best stale key it is the true argmax and we can commit.
+    if (heap.empty() || fresh >= heap.top().gain - kGainEpsilon) {
+      if (fresh > kGainEpsilon) state.Add(top.edge);
+    } else {
+      heap.push({fresh, top.edge});
+    }
+  }
+
+  if (info != nullptr) info->gain_evaluations = evals;
+  return state.ToAssignment();
+}
+
+Assignment SolvePlain(const MutualBenefitObjective& objective,
+                      SolveInfo* info) {
+  const LaborMarket& market = objective.market();
+  ObjectiveState state(&objective);
+  std::size_t evals = 0;
+  std::vector<bool> dead(market.NumEdges(), false);
+
+  for (;;) {
+    double best_gain = kGainEpsilon;
+    EdgeId best_edge = kInvalidEdge;
+    for (EdgeId e = 0; e < market.NumEdges(); ++e) {
+      if (dead[e]) continue;
+      if (!state.CanAdd(e)) {
+        if (state.Contains(e)) dead[e] = true;
+        continue;
+      }
+      const double gain = state.MarginalGain(e);
+      ++evals;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_edge = e;
+      }
+    }
+    if (best_edge == kInvalidEdge) break;
+    state.Add(best_edge);
+  }
+
+  if (info != nullptr) info->gain_evaluations = evals;
+  return state.ToAssignment();
+}
+
+}  // namespace
+
+Assignment GreedySolver::Solve(const MbtaProblem& problem,
+                               SolveInfo* info) const {
+  MBTA_CHECK(problem.market != nullptr);
+  WallTimer timer;
+  const MutualBenefitObjective objective = problem.MakeObjective();
+  Assignment result = mode_ == Mode::kLazy ? SolveLazy(objective, info)
+                                           : SolvePlain(objective, info);
+  if (info != nullptr) info->wall_ms = timer.ElapsedMs();
+  return result;
+}
+
+}  // namespace mbta

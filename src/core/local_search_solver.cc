@@ -1,0 +1,187 @@
+#include "core/local_search_solver.h"
+
+#include <vector>
+
+#include "core/greedy_solver.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace mbta {
+
+namespace {
+
+/// One tentative move: evict `victims`, admit `e`, then greedily refill
+/// the slack the eviction opened (candidate edges incident to any touched
+/// worker/task). Keeps the move iff the state value improves by more than
+/// `min_gain`; otherwise replays the undo journal. The refill step is what
+/// lets a swap pay off even when the admitted edge alone is lighter than
+/// its victim (the classic greedy trap: drop the 10-edge, gain two 9s).
+bool AttemptSwap(ObjectiveState& state, EdgeId e,
+                 const std::vector<EdgeId>& victims, double min_gain,
+                 std::size_t* evals) {
+  const LaborMarket& market = state.objective().market();
+  const double before = state.value();
+
+  struct Op {
+    bool added;
+    EdgeId edge;
+  };
+  std::vector<Op> journal;
+  auto revert = [&]() {
+    for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
+      if (it->added) {
+        state.Remove(it->edge);
+      } else {
+        state.Add(it->edge);
+      }
+    }
+  };
+
+  for (EdgeId v : victims) {
+    state.Remove(v);
+    journal.push_back({false, v});
+  }
+  if (!state.CanAdd(e)) {
+    revert();
+    return false;
+  }
+  {
+    const double gain = state.MarginalGain(e);
+    ++*evals;
+    if (gain <= 0.0) {
+      revert();
+      return false;
+    }
+  }
+  state.Add(e);
+  journal.push_back({true, e});
+
+  // Refill candidates: edges incident to every endpoint the move touched.
+  std::vector<EdgeId> candidates;
+  auto collect = [&](WorkerId w, TaskId t) {
+    for (const Incidence& inc : market.WorkerEdges(w)) {
+      candidates.push_back(inc.edge);
+    }
+    for (const Incidence& inc : market.TaskEdges(t)) {
+      candidates.push_back(inc.edge);
+    }
+  };
+  for (EdgeId v : victims) collect(market.EdgeWorker(v), market.EdgeTask(v));
+  for (;;) {
+    double best_gain = 1e-12;
+    EdgeId best_edge = kInvalidEdge;
+    for (EdgeId c : candidates) {
+      if (!state.CanAdd(c)) continue;
+      const double gain = state.MarginalGain(c);
+      ++*evals;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_edge = c;
+      }
+    }
+    if (best_edge == kInvalidEdge) break;
+    state.Add(best_edge);
+    journal.push_back({true, best_edge});
+  }
+
+  if (state.value() > before + min_gain) return true;
+  revert();
+  return false;
+}
+
+/// Tries to improve the assignment by admitting edge `e`: directly when
+/// both endpoints have slack, otherwise by evicting one chosen edge at
+/// each saturated endpoint (with refill — see AttemptSwap). Returns true
+/// if the state value strictly improved by more than `min_gain`.
+bool TryAdmit(ObjectiveState& state, EdgeId e, double min_gain,
+              std::size_t* evals) {
+  const LaborMarket& market = state.objective().market();
+  if (state.Contains(e)) return false;
+
+  const WorkerId w = market.EdgeWorker(e);
+  const TaskId t = market.EdgeTask(e);
+  const bool worker_full =
+      state.WorkerLoad(w) >= market.worker(w).capacity;
+  const bool task_full = state.TaskLoad(t) >= market.task(t).capacity;
+
+  if (!worker_full && !task_full) {
+    const double gain = state.MarginalGain(e);
+    ++*evals;
+    if (gain > min_gain) {
+      state.Add(e);
+      return true;
+    }
+    return false;
+  }
+
+  std::vector<EdgeId> worker_victims;
+  if (worker_full) {
+    for (const Incidence& inc : market.WorkerEdges(w)) {
+      if (state.Contains(inc.edge)) worker_victims.push_back(inc.edge);
+    }
+  }
+  std::vector<EdgeId> task_victims;
+  if (task_full) {
+    for (const Incidence& inc : market.TaskEdges(t)) {
+      if (state.Contains(inc.edge) && market.EdgeWorker(inc.edge) != w) {
+        task_victims.push_back(inc.edge);
+      }
+    }
+  }
+
+  if (worker_full && task_full) {
+    for (EdgeId vw : worker_victims) {
+      for (EdgeId vt : task_victims) {
+        if (AttemptSwap(state, e, {vw, vt}, min_gain, evals)) return true;
+      }
+    }
+  } else if (worker_full) {
+    for (EdgeId vw : worker_victims) {
+      if (AttemptSwap(state, e, {vw}, min_gain, evals)) return true;
+    }
+  } else {
+    for (EdgeId vt : task_victims) {
+      if (AttemptSwap(state, e, {vt}, min_gain, evals)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Assignment LocalSearchSolver::Solve(const MbtaProblem& problem,
+                                    SolveInfo* info) const {
+  MBTA_CHECK(problem.market != nullptr);
+  WallTimer timer;
+  const MutualBenefitObjective objective = problem.MakeObjective();
+  const LaborMarket& market = objective.market();
+
+  ObjectiveState state(&objective);
+  std::size_t evals = 0;
+
+  if (options_.greedy_init) {
+    SolveInfo greedy_info;
+    const Assignment start =
+        GreedySolver(GreedySolver::Mode::kLazy).Solve(problem, &greedy_info);
+    evals += greedy_info.gain_evaluations;
+    for (EdgeId e : start.edges) state.Add(e);
+  }
+
+  for (int pass = 0; pass < options_.max_passes; ++pass) {
+    bool improved = false;
+    const double scale = std::max(state.value(), 1.0);
+    const double min_gain = options_.min_relative_gain * scale;
+    for (EdgeId e = 0; e < market.NumEdges(); ++e) {
+      if (TryAdmit(state, e, min_gain, &evals)) improved = true;
+    }
+    if (!improved) break;
+  }
+
+  if (info != nullptr) {
+    info->gain_evaluations = evals;
+    info->wall_ms = timer.ElapsedMs();
+  }
+  return state.ToAssignment();
+}
+
+}  // namespace mbta

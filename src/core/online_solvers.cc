@@ -1,0 +1,195 @@
+#include "core/online_solvers.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+#include "util/distribution.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace mbta {
+
+namespace {
+
+/// Greedily fills one arrived worker: repeatedly adds its best feasible
+/// edge with marginal gain above `min_gain` until capacity runs out.
+/// Accepted gains are appended to `accepted_gains` when non-null.
+void FillWorker(ObjectiveState& state, WorkerId w, double min_gain,
+                std::size_t* evals,
+                std::vector<double>* accepted_gains = nullptr) {
+  const LaborMarket& market = state.objective().market();
+  while (state.WorkerLoad(w) < market.worker(w).capacity) {
+    double best_gain = min_gain;
+    EdgeId best_edge = kInvalidEdge;
+    for (const Incidence& inc : market.WorkerEdges(w)) {
+      if (!state.CanAdd(inc.edge)) continue;
+      const double gain = state.MarginalGain(inc.edge);
+      ++*evals;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_edge = inc.edge;
+      }
+    }
+    if (best_edge == kInvalidEdge) break;
+    if (accepted_gains != nullptr) accepted_gains->push_back(best_gain);
+    state.Add(best_edge);
+  }
+}
+
+}  // namespace
+
+std::vector<WorkerId> RandomArrivalOrder(std::size_t num_workers,
+                                         std::uint64_t seed) {
+  std::vector<WorkerId> order(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    order[i] = static_cast<WorkerId>(i);
+  }
+  Rng rng(seed);
+  Shuffle(rng, order);
+  return order;
+}
+
+Assignment OnlineGreedySolver::Solve(const MbtaProblem& problem,
+                                     SolveInfo* info) const {
+  MBTA_CHECK(problem.market != nullptr);
+  return SolveWithOrder(
+      problem, RandomArrivalOrder(problem.market->NumWorkers(), seed_),
+      info);
+}
+
+Assignment OnlineGreedySolver::SolveWithOrder(
+    const MbtaProblem& problem, const std::vector<WorkerId>& order,
+    SolveInfo* info) const {
+  MBTA_CHECK(problem.market != nullptr);
+  MBTA_CHECK(order.size() == problem.market->NumWorkers());
+  WallTimer timer;
+  const MutualBenefitObjective objective = problem.MakeObjective();
+  ObjectiveState state(&objective);
+  std::size_t evals = 0;
+
+  for (WorkerId w : order) FillWorker(state, w, 0.0, &evals);
+
+  if (info != nullptr) {
+    info->gain_evaluations = evals;
+    info->wall_ms = timer.ElapsedMs();
+  }
+  return state.ToAssignment();
+}
+
+std::vector<TaskId> RandomTaskArrivalOrder(std::size_t num_tasks,
+                                           std::uint64_t seed) {
+  std::vector<TaskId> order(num_tasks);
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    order[i] = static_cast<TaskId>(i);
+  }
+  // Domain-separated from the worker arrival stream so the same seed
+  // yields independent worker and task orders.
+  Rng rng(seed ^ 0x7a5aa3c9d2e1f0bULL);
+  Shuffle(rng, order);
+  return order;
+}
+
+Assignment TaskArrivalGreedySolver::Solve(const MbtaProblem& problem,
+                                          SolveInfo* info) const {
+  MBTA_CHECK(problem.market != nullptr);
+  return SolveWithOrder(
+      problem, RandomTaskArrivalOrder(problem.market->NumTasks(), seed_),
+      info);
+}
+
+Assignment TaskArrivalGreedySolver::SolveWithOrder(
+    const MbtaProblem& problem, const std::vector<TaskId>& order,
+    SolveInfo* info) const {
+  MBTA_CHECK(problem.market != nullptr);
+  MBTA_CHECK(order.size() == problem.market->NumTasks());
+  WallTimer timer;
+  const MutualBenefitObjective objective = problem.MakeObjective();
+  const LaborMarket& market = objective.market();
+  ObjectiveState state(&objective);
+  std::size_t evals = 0;
+
+  for (TaskId t : order) {
+    while (state.TaskLoad(t) < market.task(t).capacity) {
+      double best_gain = 0.0;
+      EdgeId best_edge = kInvalidEdge;
+      for (const Incidence& inc : market.TaskEdges(t)) {
+        if (!state.CanAdd(inc.edge)) continue;
+        const double gain = state.MarginalGain(inc.edge);
+        ++evals;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_edge = inc.edge;
+        }
+      }
+      if (best_edge == kInvalidEdge) break;
+      state.Add(best_edge);
+    }
+  }
+
+  if (info != nullptr) {
+    info->gain_evaluations = evals;
+    info->wall_ms = timer.ElapsedMs();
+  }
+  return state.ToAssignment();
+}
+
+Assignment TwoPhaseOnlineSolver::Solve(const MbtaProblem& problem,
+                                       SolveInfo* info) const {
+  MBTA_CHECK(problem.market != nullptr);
+  return SolveWithOrder(
+      problem, RandomArrivalOrder(problem.market->NumWorkers(), seed_),
+      info);
+}
+
+Assignment TwoPhaseOnlineSolver::SolveWithOrder(
+    const MbtaProblem& problem, const std::vector<WorkerId>& order,
+    SolveInfo* info) const {
+  MBTA_CHECK(problem.market != nullptr);
+  MBTA_CHECK(order.size() == problem.market->NumWorkers());
+  MBTA_CHECK(options_.sample_fraction >= 0.0 &&
+             options_.sample_fraction < 1.0);
+  MBTA_CHECK(options_.endgame_fraction >= options_.sample_fraction &&
+             options_.endgame_fraction <= 1.0);
+  WallTimer timer;
+  const MutualBenefitObjective objective = problem.MakeObjective();
+  const LaborMarket& market = objective.market();
+  ObjectiveState state(&objective);
+  std::size_t evals = 0;
+
+  const std::size_t n = order.size();
+  const std::size_t sample_end = static_cast<std::size_t>(
+      options_.sample_fraction * static_cast<double>(n));
+  const std::size_t endgame_start = static_cast<std::size_t>(
+      options_.endgame_fraction * static_cast<double>(n));
+
+  // Phase 1: assign the sampled prefix greedily (no worker is wasted) and
+  // record the accepted marginal gains — they calibrate what a "normal"
+  // match is worth in this market.
+  std::vector<double> sampled_gains;
+  for (std::size_t i = 0; i < sample_end; ++i) {
+    FillWorker(state, order[i], 0.0, &evals, &sampled_gains);
+  }
+  const double threshold =
+      sampled_gains.empty()
+          ? 0.0
+          : Percentile(sampled_gains, options_.threshold_percentile);
+
+  // Phase 2: be picky — only take matches clearing the calibrated
+  // threshold, reserving contested task capacity for later high-value
+  // arrivals. Endgame: accept any positive gain so capacity is not
+  // stranded.
+  for (std::size_t i = sample_end; i < n; ++i) {
+    const double min_gain = i >= endgame_start ? 0.0 : threshold;
+    FillWorker(state, order[i], min_gain, &evals);
+  }
+
+  if (info != nullptr) {
+    info->gain_evaluations = evals;
+    info->wall_ms = timer.ElapsedMs();
+  }
+  return state.ToAssignment();
+}
+
+}  // namespace mbta

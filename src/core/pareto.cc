@@ -1,0 +1,72 @@
+#include "core/pareto.h"
+
+#include <algorithm>
+
+#include "market/metrics.h"
+#include "util/check.h"
+
+namespace mbta {
+
+std::vector<TradeoffPoint> SweepAlpha(const LaborMarket& market,
+                                      ObjectiveKind kind,
+                                      const std::vector<double>& alphas,
+                                      const Solver& solver) {
+  std::vector<TradeoffPoint> points;
+  points.reserve(alphas.size());
+  for (double alpha : alphas) {
+    MBTA_CHECK(alpha >= 0.0 && alpha <= 1.0);
+    const MbtaProblem problem{&market, {.alpha = alpha, .kind = kind}};
+    const Assignment a = solver.Solve(problem);
+    const AssignmentMetrics metrics =
+        Evaluate(problem.MakeObjective(), a);
+    points.push_back(
+        {alpha, metrics.requester_benefit, metrics.worker_benefit});
+  }
+  return points;
+}
+
+std::vector<TradeoffPoint> ParetoFilter(std::vector<TradeoffPoint> points) {
+  std::vector<TradeoffPoint> efficient;
+  for (const TradeoffPoint& p : points) {
+    bool dominated = false;
+    for (const TradeoffPoint& q : points) {
+      const bool geq = q.requester_benefit >= p.requester_benefit &&
+                       q.worker_benefit >= p.worker_benefit;
+      const bool strict = q.requester_benefit > p.requester_benefit ||
+                          q.worker_benefit > p.worker_benefit;
+      if (geq && strict) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) efficient.push_back(p);
+  }
+  std::sort(efficient.begin(), efficient.end(),
+            [](const TradeoffPoint& a, const TradeoffPoint& b) {
+              return a.requester_benefit < b.requester_benefit;
+            });
+  // Drop duplicates (identical RB/WB reached by several alphas).
+  efficient.erase(
+      std::unique(efficient.begin(), efficient.end(),
+                  [](const TradeoffPoint& a, const TradeoffPoint& b) {
+                    return a.requester_benefit == b.requester_benefit &&
+                           a.worker_benefit == b.worker_benefit;
+                  }),
+      efficient.end());
+  return efficient;
+}
+
+double FrontierHypervolume(const std::vector<TradeoffPoint>& frontier) {
+  double volume = 0.0;
+  double prev_rb = 0.0;
+  // Frontier is RB-ascending, hence WB-descending (Pareto): each step
+  // contributes a rectangle down to the WB of the point closing it.
+  for (const TradeoffPoint& p : frontier) {
+    MBTA_CHECK(p.requester_benefit >= prev_rb);
+    volume += (p.requester_benefit - prev_rb) * p.worker_benefit;
+    prev_rb = p.requester_benefit;
+  }
+  return volume;
+}
+
+}  // namespace mbta

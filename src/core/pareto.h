@@ -1,0 +1,37 @@
+#ifndef MBTA_CORE_PARETO_H_
+#define MBTA_CORE_PARETO_H_
+
+#include <vector>
+
+#include "core/solver.h"
+
+namespace mbta {
+
+/// One point of the requester/worker trade-off frontier.
+struct TradeoffPoint {
+  double alpha = 0.5;
+  double requester_benefit = 0.0;
+  double worker_benefit = 0.0;
+};
+
+/// Runs `solver` across the alpha grid and returns one point per alpha
+/// (unweighted RB and WB of the resulting assignment), in grid order.
+std::vector<TradeoffPoint> SweepAlpha(const LaborMarket& market,
+                                      ObjectiveKind kind,
+                                      const std::vector<double>& alphas,
+                                      const Solver& solver);
+
+/// Filters to the Pareto-efficient subset: points not dominated by any
+/// other (another point with RB >= and WB >= with at least one strict).
+/// Result is sorted by requester benefit ascending.
+std::vector<TradeoffPoint> ParetoFilter(std::vector<TradeoffPoint> points);
+
+/// Area dominated by the frontier relative to the origin (the
+/// "hypervolume" quality indicator in 2D): sum over the RB-sorted
+/// efficient points of (RB_i − RB_{i−1}) · WB_i. Larger = better frontier.
+/// Useful to compare how well two algorithms span the trade-off space.
+double FrontierHypervolume(const std::vector<TradeoffPoint>& frontier);
+
+}  // namespace mbta
+
+#endif  // MBTA_CORE_PARETO_H_

@@ -1,0 +1,31 @@
+#ifndef MBTA_CORE_PROBLEM_H_
+#define MBTA_CORE_PROBLEM_H_
+
+#include "market/objective.h"
+
+namespace mbta {
+
+/// An MBTA problem instance: a labor market plus the mutual-benefit
+/// objective to maximize over it (trade-off α and modular/submodular
+/// benefit structure), subject to worker and task capacities.
+struct MbtaProblem {
+  const LaborMarket* market = nullptr;
+  ObjectiveParams objective;
+
+  MutualBenefitObjective MakeObjective() const {
+    return MutualBenefitObjective(market, objective);
+  }
+};
+
+/// Solver-side accounting, filled in by Solve() when requested.
+struct SolveInfo {
+  /// Wall-clock time of the solve, milliseconds.
+  double wall_ms = 0.0;
+  /// Number of marginal-gain evaluations performed (the dominant cost of
+  /// greedy-family solvers; reported by the lazy-greedy ablation).
+  std::size_t gain_evaluations = 0;
+};
+
+}  // namespace mbta
+
+#endif  // MBTA_CORE_PROBLEM_H_

@@ -1,0 +1,50 @@
+#include "core/recommend.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mbta {
+
+namespace {
+
+std::vector<Recommendation> TopK(std::vector<Recommendation> candidates,
+                                 std::size_t k) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Recommendation& a, const Recommendation& b) {
+              if (a.gain != b.gain) return a.gain > b.gain;
+              return a.edge < b.edge;  // deterministic tie-break
+            });
+  if (candidates.size() > k) candidates.resize(k);
+  return candidates;
+}
+
+}  // namespace
+
+std::vector<Recommendation> RecommendTasksForWorker(
+    const ObjectiveState& state, WorkerId w, std::size_t k) {
+  const LaborMarket& market = state.objective().market();
+  MBTA_CHECK(w < market.NumWorkers());
+  std::vector<Recommendation> candidates;
+  for (const Incidence& inc : market.WorkerEdges(w)) {
+    if (!state.CanAdd(inc.edge)) continue;
+    const double gain = state.MarginalGain(inc.edge);
+    if (gain > 0.0) candidates.push_back({inc.edge, gain});
+  }
+  return TopK(std::move(candidates), k);
+}
+
+std::vector<Recommendation> RecommendWorkersForTask(
+    const ObjectiveState& state, TaskId t, std::size_t k) {
+  const LaborMarket& market = state.objective().market();
+  MBTA_CHECK(t < market.NumTasks());
+  std::vector<Recommendation> candidates;
+  for (const Incidence& inc : market.TaskEdges(t)) {
+    if (!state.CanAdd(inc.edge)) continue;
+    const double gain = state.MarginalGain(inc.edge);
+    if (gain > 0.0) candidates.push_back({inc.edge, gain});
+  }
+  return TopK(std::move(candidates), k);
+}
+
+}  // namespace mbta

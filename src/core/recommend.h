@@ -1,0 +1,30 @@
+#ifndef MBTA_CORE_RECOMMEND_H_
+#define MBTA_CORE_RECOMMEND_H_
+
+#include <vector>
+
+#include "market/objective.h"
+
+namespace mbta {
+
+/// One recommended edge with its current marginal mutual-benefit gain.
+struct Recommendation {
+  EdgeId edge = kInvalidEdge;
+  double gain = 0.0;
+};
+
+/// Top-k tasks a worker should take next, given the current assignment
+/// state: feasible edges of `w`, ranked by marginal gain (descending),
+/// zero-or-negative-gain and capacity-infeasible edges excluded. This is
+/// the "task recommendation" surface the paper's motivation describes —
+/// suggestions that benefit both the worker and the requesters.
+std::vector<Recommendation> RecommendTasksForWorker(
+    const ObjectiveState& state, WorkerId w, std::size_t k);
+
+/// Top-k workers a task should recruit next, symmetric to the above.
+std::vector<Recommendation> RecommendWorkersForTask(
+    const ObjectiveState& state, TaskId t, std::size_t k);
+
+}  // namespace mbta
+
+#endif  // MBTA_CORE_RECOMMEND_H_

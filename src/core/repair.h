@@ -1,0 +1,26 @@
+#ifndef MBTA_CORE_REPAIR_H_
+#define MBTA_CORE_REPAIR_H_
+
+#include "market/objective.h"
+
+namespace mbta {
+
+/// Incremental repair for dynamic markets: instead of re-solving from
+/// scratch when the market changes slightly, patch the existing
+/// assignment locally. Both functions return the repaired assignment and
+/// never touch pairs unaffected by the change.
+
+/// Worker `w` leaves the platform: drop all of its assignments, then
+/// greedily refill the capacity slack this opened on the affected tasks
+/// (best positive-marginal feasible edges, other workers only).
+Assignment RemoveWorkerAndRepair(const MutualBenefitObjective& objective,
+                                 const Assignment& current, WorkerId w);
+
+/// Task `t` is withdrawn by its requester: drop its assignments, then let
+/// each freed worker greedily pick replacement tasks.
+Assignment RemoveTaskAndRepair(const MutualBenefitObjective& objective,
+                               const Assignment& current, TaskId t);
+
+}  // namespace mbta
+
+#endif  // MBTA_CORE_REPAIR_H_

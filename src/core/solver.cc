@@ -1,0 +1,29 @@
+#include "core/solver.h"
+
+#include "core/baseline_solvers.h"
+#include "core/exact_flow_solver.h"
+#include "core/greedy_solver.h"
+#include "core/local_search_solver.h"
+#include "core/stable_matching_solver.h"
+#include "core/threshold_solver.h"
+
+namespace mbta {
+
+std::vector<std::unique_ptr<Solver>> MakeStandardSolvers(
+    std::uint64_t seed, bool include_exact_flow) {
+  std::vector<std::unique_ptr<Solver>> solvers;
+  if (include_exact_flow) {
+    solvers.push_back(std::make_unique<ExactFlowSolver>());
+  }
+  solvers.push_back(std::make_unique<GreedySolver>());
+  solvers.push_back(std::make_unique<ThresholdSolver>());
+  solvers.push_back(std::make_unique<LocalSearchSolver>());
+  solvers.push_back(std::make_unique<MatchingSolver>());
+  solvers.push_back(std::make_unique<StableMatchingSolver>());
+  solvers.push_back(std::make_unique<WorkerCentricSolver>());
+  solvers.push_back(std::make_unique<RequesterCentricSolver>());
+  solvers.push_back(std::make_unique<RandomSolver>(seed));
+  return solvers;
+}
+
+}  // namespace mbta

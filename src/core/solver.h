@@ -1,0 +1,37 @@
+#ifndef MBTA_CORE_SOLVER_H_
+#define MBTA_CORE_SOLVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/problem.h"
+#include "market/assignment.h"
+
+namespace mbta {
+
+/// Common interface of all task-assignment algorithms. Implementations are
+/// stateless with respect to the problem (configuration lives in the
+/// constructor), so one solver object can be reused across instances.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Short stable identifier used in experiment tables, e.g. "greedy".
+  virtual std::string name() const = 0;
+
+  /// Computes a feasible assignment for the problem. `info`, when
+  /// non-null, receives timing and work counters.
+  virtual Assignment Solve(const MbtaProblem& problem,
+                           SolveInfo* info = nullptr) const = 0;
+};
+
+/// The standard solver line-up used by the experiment harness, in display
+/// order: exact flow (modular only), greedy, threshold, local search, then
+/// the one-sided and matching baselines. `seed` feeds the randomized ones.
+std::vector<std::unique_ptr<Solver>> MakeStandardSolvers(
+    std::uint64_t seed, bool include_exact_flow);
+
+}  // namespace mbta
+
+#endif  // MBTA_CORE_SOLVER_H_

@@ -1,0 +1,61 @@
+#include "core/threshold_solver.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace mbta {
+
+Assignment ThresholdSolver::Solve(const MbtaProblem& problem,
+                                  SolveInfo* info) const {
+  MBTA_CHECK(problem.market != nullptr);
+  MBTA_CHECK(epsilon_ > 0.0 && epsilon_ < 1.0);
+  WallTimer timer;
+  const MutualBenefitObjective objective = problem.MakeObjective();
+  const LaborMarket& market = objective.market();
+  ObjectiveState state(&objective);
+  std::size_t evals = 0;
+
+  double max_weight = 0.0;
+  for (EdgeId e = 0; e < market.NumEdges(); ++e) {
+    max_weight = std::max(max_weight, objective.EdgeWeight(e));
+  }
+  if (max_weight <= 0.0) {
+    if (info != nullptr) info->wall_ms = timer.ElapsedMs();
+    return Assignment{};
+  }
+
+  // `alive` edges: not yet chosen and not known to be saturated/worthless.
+  std::vector<EdgeId> alive(market.NumEdges());
+  for (EdgeId e = 0; e < market.NumEdges(); ++e) alive[e] = e;
+
+  const double floor =
+      epsilon_ * max_weight / static_cast<double>(market.NumEdges() + 1);
+  for (double tau = max_weight; tau > floor && !alive.empty();
+       tau *= 1.0 - epsilon_) {
+    std::vector<EdgeId> next_alive;
+    next_alive.reserve(alive.size());
+    for (EdgeId e : alive) {
+      if (!state.CanAdd(e)) continue;  // saturated endpoint: edge is dead
+      const double gain = state.MarginalGain(e);
+      ++evals;
+      if (gain >= tau) {
+        state.Add(e);
+      } else if (gain > 0.0) {
+        next_alive.push_back(e);
+      }
+      // gain <= 0: drop for good (submodularity: it will never recover).
+    }
+    alive.swap(next_alive);
+  }
+
+  if (info != nullptr) {
+    info->gain_evaluations = evals;
+    info->wall_ms = timer.ElapsedMs();
+  }
+  return state.ToAssignment();
+}
+
+}  // namespace mbta

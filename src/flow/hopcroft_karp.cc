@@ -1,0 +1,76 @@
+#include "flow/hopcroft_karp.h"
+
+#include <limits>
+#include <queue>
+
+namespace mbta {
+
+namespace {
+constexpr int kInf = std::numeric_limits<int>::max();
+}  // namespace
+
+namespace {
+
+struct HkState {
+  const BipartiteGraph& g;
+  std::vector<int>& left_match;
+  std::vector<int>& right_match;
+  std::vector<int> dist;
+
+  bool Bfs() {
+    std::queue<VertexId> q;
+    dist.assign(g.NumLeft(), kInf);
+    for (VertexId l = 0; l < g.NumLeft(); ++l) {
+      if (left_match[l] < 0) {
+        dist[l] = 0;
+        q.push(l);
+      }
+    }
+    bool found_augmenting = false;
+    while (!q.empty()) {
+      const VertexId l = q.front();
+      q.pop();
+      for (const Incidence& inc : g.LeftNeighbors(l)) {
+        const int lr = right_match[inc.vertex];
+        if (lr < 0) {
+          found_augmenting = true;
+        } else if (dist[lr] == kInf) {
+          dist[lr] = dist[l] + 1;
+          q.push(static_cast<VertexId>(lr));
+        }
+      }
+    }
+    return found_augmenting;
+  }
+
+  bool Dfs(VertexId l) {
+    for (const Incidence& inc : g.LeftNeighbors(l)) {
+      const int lr = right_match[inc.vertex];
+      if (lr < 0 ||
+          (dist[lr] == dist[l] + 1 && Dfs(static_cast<VertexId>(lr)))) {
+        left_match[l] = static_cast<int>(inc.vertex);
+        right_match[inc.vertex] = static_cast<int>(l);
+        return true;
+      }
+    }
+    dist[l] = kInf;
+    return false;
+  }
+};
+
+}  // namespace
+
+MatchingResult MaximumBipartiteMatching(const BipartiteGraph& g) {
+  MatchingResult result;
+  result.left_match.assign(g.NumLeft(), -1);
+  result.right_match.assign(g.NumRight(), -1);
+  HkState state{g, result.left_match, result.right_match, {}};
+  while (state.Bfs()) {
+    for (VertexId l = 0; l < g.NumLeft(); ++l) {
+      if (result.left_match[l] < 0 && state.Dfs(l)) ++result.size;
+    }
+  }
+  return result;
+}
+
+}  // namespace mbta

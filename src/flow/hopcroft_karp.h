@@ -1,0 +1,24 @@
+#ifndef MBTA_FLOW_HOPCROFT_KARP_H_
+#define MBTA_FLOW_HOPCROFT_KARP_H_
+
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace mbta {
+
+/// Result of a maximum-cardinality bipartite matching.
+struct MatchingResult {
+  /// left_match[l] = matched right vertex or -1.
+  std::vector<int> left_match;
+  /// right_match[r] = matched left vertex or -1.
+  std::vector<int> right_match;
+  std::size_t size = 0;
+};
+
+/// Hopcroft–Karp maximum-cardinality matching, O(E sqrt(V)).
+MatchingResult MaximumBipartiteMatching(const BipartiteGraph& g);
+
+}  // namespace mbta
+
+#endif  // MBTA_FLOW_HOPCROFT_KARP_H_

@@ -1,0 +1,32 @@
+#ifndef MBTA_FLOW_HUNGARIAN_H_
+#define MBTA_FLOW_HUNGARIAN_H_
+
+#include <vector>
+
+namespace mbta {
+
+/// Result of an assignment-problem solve: row_to_col[i] is the column
+/// assigned to row i, or -1 if the row is unassigned.
+struct AssignmentResult {
+  std::vector<int> row_to_col;
+  double total = 0.0;  // total cost (min) or weight (max) of the matching
+};
+
+/// Kuhn–Munkres / Jonker–Volgenant style O(n^3) solver for the minimum-
+/// cost assignment problem on an n x m cost matrix with n <= m: every row
+/// is matched to a distinct column so total cost is minimized.
+///
+/// `cost` is row-major, cost[i*m + j].
+AssignmentResult MinCostAssignment(const std::vector<double>& cost,
+                                   std::size_t n, std::size_t m);
+
+/// Maximum-weight bipartite matching with free disposal: any subset of
+/// rows/columns may stay unmatched, and pairs with weight <= 0 are never
+/// used. Works for any n, m. Weight matrix is row-major weight[i*m + j];
+/// use 0 (or negative) for non-edges.
+AssignmentResult MaxWeightMatching(const std::vector<double>& weight,
+                                   std::size_t n, std::size_t m);
+
+}  // namespace mbta
+
+#endif  // MBTA_FLOW_HUNGARIAN_H_

@@ -1,0 +1,94 @@
+#include "flow/max_flow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/check.h"
+
+namespace mbta {
+
+MaxFlow::MaxFlow(std::size_t num_nodes) : head_(num_nodes) {}
+
+std::size_t MaxFlow::AddNode() {
+  head_.emplace_back();
+  return head_.size() - 1;
+}
+
+MaxFlow::ArcId MaxFlow::AddArc(std::size_t from, std::size_t to,
+                               std::int64_t capacity) {
+  MBTA_CHECK(from < head_.size() && to < head_.size());
+  MBTA_CHECK(capacity >= 0);
+  MBTA_CHECK(!solved_);
+  const std::size_t fwd = arcs_.size();
+  arcs_.push_back({to, fwd + 1, capacity});
+  arcs_.push_back({from, fwd, 0});
+  head_[from].push_back(fwd);
+  head_[to].push_back(fwd + 1);
+  forward_index_.push_back(fwd);
+  initial_capacity_.push_back(capacity);
+  return forward_index_.size() - 1;
+}
+
+bool MaxFlow::Bfs(std::size_t source, std::size_t sink) {
+  level_.assign(head_.size(), -1);
+  std::queue<std::size_t> q;
+  level_[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const std::size_t v = q.front();
+    q.pop();
+    for (std::size_t idx : head_[v]) {
+      const Arc& a = arcs_[idx];
+      if (a.capacity > 0 && level_[a.to] < 0) {
+        level_[a.to] = level_[v] + 1;
+        q.push(a.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+std::int64_t MaxFlow::Dfs(std::size_t v, std::size_t sink,
+                          std::int64_t pushed) {
+  if (v == sink) return pushed;
+  for (std::size_t& i = iter_[v]; i < head_[v].size(); ++i) {
+    const std::size_t idx = head_[v][i];
+    Arc& a = arcs_[idx];
+    if (a.capacity > 0 && level_[a.to] == level_[v] + 1) {
+      const std::int64_t d =
+          Dfs(a.to, sink, std::min(pushed, a.capacity));
+      if (d > 0) {
+        a.capacity -= d;
+        arcs_[a.rev].capacity += d;
+        return d;
+      }
+    }
+  }
+  return 0;
+}
+
+std::int64_t MaxFlow::Solve(std::size_t source, std::size_t sink) {
+  MBTA_CHECK(source < head_.size() && sink < head_.size());
+  MBTA_CHECK(source != sink);
+  MBTA_CHECK(!solved_);
+  solved_ = true;
+  std::int64_t total = 0;
+  while (Bfs(source, sink)) {
+    iter_.assign(head_.size(), 0);
+    while (true) {
+      const std::int64_t f =
+          Dfs(source, sink, std::numeric_limits<std::int64_t>::max());
+      if (f == 0) break;
+      total += f;
+    }
+  }
+  return total;
+}
+
+std::int64_t MaxFlow::Flow(ArcId arc) const {
+  MBTA_CHECK(arc < forward_index_.size());
+  return initial_capacity_[arc] - arcs_[forward_index_[arc]].capacity;
+}
+
+}  // namespace mbta

@@ -1,0 +1,63 @@
+#ifndef MBTA_FLOW_MAX_FLOW_H_
+#define MBTA_FLOW_MAX_FLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mbta {
+
+/// Dinic's maximum-flow algorithm on a directed graph with integer
+/// capacities. O(V^2 E) in general, O(E sqrt(V)) on unit-capacity bipartite
+/// networks — the case that arises from assignment instances.
+///
+/// Usage:
+///   MaxFlow mf(n);
+///   auto a = mf.AddArc(u, v, cap);
+///   int64_t f = mf.Solve(s, t);
+///   int64_t on_arc = mf.Flow(a);
+class MaxFlow {
+ public:
+  using ArcId = std::size_t;
+
+  explicit MaxFlow(std::size_t num_nodes);
+
+  /// Adds a node and returns its index.
+  std::size_t AddNode();
+
+  /// Adds a directed arc with the given capacity (>= 0); returns an id for
+  /// later flow queries. A reverse residual arc is managed internally.
+  ArcId AddArc(std::size_t from, std::size_t to, std::int64_t capacity);
+
+  /// Computes the maximum s-t flow. May be called once per instance.
+  std::int64_t Solve(std::size_t source, std::size_t sink);
+
+  /// Flow routed on an arc after Solve().
+  std::int64_t Flow(ArcId arc) const;
+
+  std::size_t num_nodes() const { return head_.size(); }
+
+ private:
+  struct Arc {
+    std::size_t to;
+    std::size_t rev;        // index of the reverse arc in arcs_[to]... flat
+    std::int64_t capacity;  // residual capacity
+  };
+
+  bool Bfs(std::size_t source, std::size_t sink);
+  std::int64_t Dfs(std::size_t v, std::size_t sink, std::int64_t pushed);
+
+  // Flat adjacency: arcs_ holds interleaved forward/backward arcs;
+  // head_[v] lists indices into arcs_.
+  std::vector<std::vector<std::size_t>> head_;
+  std::vector<Arc> arcs_;
+  std::vector<std::int64_t> initial_capacity_;  // per forward arc id
+  std::vector<std::size_t> forward_index_;      // ArcId -> index in arcs_
+
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+  bool solved_ = false;
+};
+
+}  // namespace mbta
+
+#endif  // MBTA_FLOW_MAX_FLOW_H_

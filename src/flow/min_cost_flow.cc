@@ -1,0 +1,153 @@
+#include "flow/min_cost_flow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/check.h"
+
+namespace mbta {
+
+namespace {
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+}  // namespace
+
+MinCostFlow::MinCostFlow(std::size_t num_nodes) : head_(num_nodes) {}
+
+std::size_t MinCostFlow::AddNode() {
+  head_.emplace_back();
+  return head_.size() - 1;
+}
+
+MinCostFlow::ArcId MinCostFlow::AddArc(std::size_t from, std::size_t to,
+                                       std::int64_t capacity,
+                                       std::int64_t cost) {
+  MBTA_CHECK(from < head_.size() && to < head_.size());
+  MBTA_CHECK(capacity >= 0);
+  MBTA_CHECK(!solved_);
+  if (cost < 0) has_negative_costs_ = true;
+  const std::size_t fwd = arcs_.size();
+  arcs_.push_back({to, fwd + 1, capacity, cost});
+  arcs_.push_back({from, fwd, 0, -cost});
+  head_[from].push_back(fwd);
+  head_[to].push_back(fwd + 1);
+  forward_index_.push_back(fwd);
+  initial_capacity_.push_back(capacity);
+  return forward_index_.size() - 1;
+}
+
+void MinCostFlow::InitPotentials(std::size_t source) {
+  potential_.assign(head_.size(), 0);
+  if (!has_negative_costs_) return;
+  // Bellman–Ford (queue-based) from the source over residual arcs.
+  potential_.assign(head_.size(), kInf);
+  potential_[source] = 0;
+  std::vector<bool> in_queue(head_.size(), false);
+  std::queue<std::size_t> q;
+  q.push(source);
+  in_queue[source] = true;
+  while (!q.empty()) {
+    const std::size_t v = q.front();
+    q.pop();
+    in_queue[v] = false;
+    for (std::size_t idx : head_[v]) {
+      const Arc& a = arcs_[idx];
+      if (a.capacity > 0 && potential_[v] < kInf &&
+          potential_[v] + a.cost < potential_[a.to]) {
+        potential_[a.to] = potential_[v] + a.cost;
+        if (!in_queue[a.to]) {
+          q.push(a.to);
+          in_queue[a.to] = true;
+        }
+      }
+    }
+  }
+  // Unreachable nodes keep kInf; clamp so reduced costs stay finite (they
+  // can never lie on an augmenting path anyway).
+  for (auto& p : potential_) {
+    if (p >= kInf) p = 0;
+  }
+}
+
+bool MinCostFlow::ShortestPath(std::size_t source, std::size_t sink) {
+  dist_.assign(head_.size(), kInf);
+  prev_arc_.assign(head_.size(), static_cast<std::size_t>(-1));
+  using Item = std::pair<std::int64_t, std::size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist_[source] = 0;
+  pq.emplace(0, source);
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist_[v]) continue;
+    for (std::size_t idx : head_[v]) {
+      const Arc& a = arcs_[idx];
+      if (a.capacity <= 0) continue;
+      const std::int64_t reduced =
+          a.cost + potential_[v] - potential_[a.to];
+      MBTA_CHECK_MSG(reduced >= 0, "negative reduced cost %lld",
+                     static_cast<long long>(reduced));
+      if (dist_[v] + reduced < dist_[a.to]) {
+        dist_[a.to] = dist_[v] + reduced;
+        prev_arc_[a.to] = idx;
+        pq.emplace(dist_[a.to], a.to);
+      }
+    }
+  }
+  return dist_[sink] < kInf;
+}
+
+MinCostFlow::Result MinCostFlow::Run(std::size_t source, std::size_t sink,
+                                     std::int64_t flow_limit,
+                                     bool stop_at_nonnegative) {
+  MBTA_CHECK(source < head_.size() && sink < head_.size());
+  MBTA_CHECK(source != sink);
+  MBTA_CHECK(!solved_);
+  solved_ = true;
+  InitPotentials(source);
+  Result result;
+  while (result.flow < flow_limit && ShortestPath(source, sink)) {
+    // True path cost = reduced-path length adjusted by potentials.
+    const std::int64_t path_cost =
+        dist_[sink] - potential_[source] + potential_[sink];
+    if (stop_at_nonnegative && path_cost >= 0) break;
+    // Update potentials with shortest-path distances (Johnson).
+    for (std::size_t v = 0; v < head_.size(); ++v) {
+      if (dist_[v] < kInf) potential_[v] += dist_[v];
+    }
+    // Find bottleneck on the augmenting path.
+    std::int64_t push = flow_limit - result.flow;
+    for (std::size_t v = sink; v != source;) {
+      const Arc& a = arcs_[prev_arc_[v]];
+      push = std::min(push, a.capacity);
+      v = arcs_[a.rev].to;
+    }
+    MBTA_CHECK(push > 0);
+    for (std::size_t v = sink; v != source;) {
+      Arc& a = arcs_[prev_arc_[v]];
+      a.capacity -= push;
+      arcs_[a.rev].capacity += push;
+      v = arcs_[a.rev].to;
+    }
+    result.flow += push;
+    result.cost += push * path_cost;
+  }
+  return result;
+}
+
+MinCostFlow::Result MinCostFlow::Solve(std::size_t source, std::size_t sink,
+                                       std::int64_t flow_limit) {
+  return Run(source, sink, flow_limit, /*stop_at_nonnegative=*/false);
+}
+
+MinCostFlow::Result MinCostFlow::SolveNegativeOnly(std::size_t source,
+                                                   std::size_t sink) {
+  return Run(source, sink, kInf, /*stop_at_nonnegative=*/true);
+}
+
+std::int64_t MinCostFlow::Flow(ArcId arc) const {
+  MBTA_CHECK(arc < forward_index_.size());
+  return initial_capacity_[arc] - arcs_[forward_index_[arc]].capacity;
+}
+
+}  // namespace mbta

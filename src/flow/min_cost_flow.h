@@ -1,0 +1,79 @@
+#ifndef MBTA_FLOW_MIN_COST_FLOW_H_
+#define MBTA_FLOW_MIN_COST_FLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mbta {
+
+/// Min-cost max-flow via successive shortest augmenting paths with Johnson
+/// potentials (Dijkstra after a one-time Bellman–Ford to absorb negative
+/// arc costs). Capacities and costs are 64-bit integers; callers with
+/// real-valued benefits scale them to a fixed-point grid first.
+///
+/// Two solve modes:
+///  * Solve(s, t, limit): classic min-cost flow of value min(maxflow, limit).
+///  * SolveNegativeOnly(s, t): keeps augmenting only while the shortest
+///    path has strictly negative cost — exactly "maximize total profit with
+///    free disposal", which is how optimal modular task assignment is
+///    solved (profit arcs carry cost = -benefit).
+class MinCostFlow {
+ public:
+  using ArcId = std::size_t;
+
+  struct Result {
+    std::int64_t flow = 0;
+    std::int64_t cost = 0;
+  };
+
+  explicit MinCostFlow(std::size_t num_nodes);
+
+  std::size_t AddNode();
+
+  /// Adds an arc; capacity >= 0, any cost. Returns an id for Flow().
+  ArcId AddArc(std::size_t from, std::size_t to, std::int64_t capacity,
+               std::int64_t cost);
+
+  /// Min-cost flow of value min(max flow, flow_limit).
+  Result Solve(std::size_t source, std::size_t sink,
+               std::int64_t flow_limit);
+
+  /// Augments while the cheapest augmenting path has negative total cost.
+  /// Returns the flow shipped and its (negative or zero) total cost.
+  Result SolveNegativeOnly(std::size_t source, std::size_t sink);
+
+  /// Flow routed on an arc after a solve call.
+  std::int64_t Flow(ArcId arc) const;
+
+  std::size_t num_nodes() const { return head_.size(); }
+
+ private:
+  struct Arc {
+    std::size_t to;
+    std::size_t rev;
+    std::int64_t capacity;  // residual
+    std::int64_t cost;
+  };
+
+  Result Run(std::size_t source, std::size_t sink, std::int64_t flow_limit,
+             bool stop_at_nonnegative);
+  void InitPotentials(std::size_t source);
+  /// One Dijkstra over reduced costs; fills dist_/prev_arc_. Returns true
+  /// if the sink is reachable.
+  bool ShortestPath(std::size_t source, std::size_t sink);
+
+  std::vector<std::vector<std::size_t>> head_;
+  std::vector<Arc> arcs_;
+  std::vector<std::int64_t> initial_capacity_;
+  std::vector<std::size_t> forward_index_;
+
+  std::vector<std::int64_t> potential_;
+  std::vector<std::int64_t> dist_;
+  std::vector<std::size_t> prev_arc_;
+  bool has_negative_costs_ = false;
+  bool solved_ = false;
+};
+
+}  // namespace mbta
+
+#endif  // MBTA_FLOW_MIN_COST_FLOW_H_

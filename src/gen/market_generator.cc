@@ -1,0 +1,257 @@
+#include "gen/market_generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/distribution.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mbta {
+
+namespace {
+
+/// Draws a sparse skill vector around one of `centroids`; empty if the
+/// market has no skill dimensions.
+SkillVector DrawSkills(Rng& rng, const std::vector<SkillVector>& centroids,
+                       double noise) {
+  if (centroids.empty()) return {};
+  const SkillVector& c = centroids[rng.NextBounded(centroids.size())];
+  SkillVector v(c.size());
+  for (std::size_t d = 0; d < c.size(); ++d) {
+    v[d] = std::max(0.0, c[d] + noise * rng.NextGaussian());
+  }
+  return v;
+}
+
+std::vector<SkillVector> DrawCentroids(Rng& rng, std::size_t clusters,
+                                       std::size_t dims) {
+  std::vector<SkillVector> centroids;
+  if (dims == 0) return centroids;
+  centroids.reserve(clusters);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    SkillVector v(dims, 0.0);
+    // Each cluster is strong on a random half of the dimensions.
+    for (std::size_t d = 0; d < dims; ++d) {
+      v[d] = rng.NextBool(0.5) ? rng.NextDouble(0.6, 1.0)
+                               : rng.NextDouble(0.0, 0.2);
+    }
+    centroids.push_back(std::move(v));
+  }
+  return centroids;
+}
+
+}  // namespace
+
+WorkerPopulation DrawWorkerPopulation(const GeneratorConfig& config,
+                                      Rng& rng) {
+  MBTA_CHECK(config.num_workers > 0);
+  MBTA_CHECK(config.worker_capacity_min >= 1 &&
+             config.worker_capacity_min <= config.worker_capacity_max);
+  WorkerPopulation population;
+  population.skill_centroids =
+      DrawCentroids(rng, config.skill_clusters, config.skill_dims);
+
+  std::vector<Worker>& workers = population.workers;
+  workers.reserve(config.num_workers);
+  for (std::size_t i = 0; i < config.num_workers; ++i) {
+    Worker w;
+    w.id = static_cast<WorkerId>(i);
+    w.capacity = static_cast<int>(rng.NextInt(config.worker_capacity_min,
+                                              config.worker_capacity_max));
+    w.reliability =
+        0.5 + 0.5 * rng.NextBeta(config.reliability_beta_a,
+                                 config.reliability_beta_b);
+    const double premium =
+        1.0 + config.skill_premium * (w.reliability - 0.5) / 0.5;
+    w.unit_cost = LogNormal(rng, config.cost_mu, config.cost_sigma) * premium;
+    w.fatigue = config.fatigue;
+    w.skills =
+        DrawSkills(rng, population.skill_centroids, config.skill_noise);
+    workers.push_back(std::move(w));
+  }
+  return population;
+}
+
+LaborMarket DrawMarketForPopulation(const GeneratorConfig& config,
+                                    const WorkerPopulation& population,
+                                    Rng& rng) {
+  MBTA_CHECK(config.num_tasks > 0);
+  MBTA_CHECK(config.task_capacity_min >= 1 &&
+             config.task_capacity_min <= config.task_capacity_max);
+  const std::vector<Worker>& workers = population.workers;
+  const std::vector<SkillVector>& centroids = population.skill_centroids;
+
+  std::vector<Task> tasks;
+  tasks.reserve(config.num_tasks);
+  for (std::size_t i = 0; i < config.num_tasks; ++i) {
+    Task t;
+    t.id = static_cast<TaskId>(i);
+    t.capacity = static_cast<int>(
+        rng.NextInt(config.task_capacity_min, config.task_capacity_max));
+    t.payment = LogNormal(rng, config.payment_mu, config.payment_sigma);
+    t.value = t.payment * rng.NextDouble(config.value_multiplier_min,
+                                         config.value_multiplier_max);
+    t.difficulty = rng.NextDouble(0.0, config.difficulty_max);
+    t.requester = config.num_requesters == 0
+                      ? static_cast<std::uint32_t>(i)
+                      : static_cast<std::uint32_t>(
+                            rng.NextBounded(config.num_requesters));
+    t.required_skills = DrawSkills(rng, centroids, config.skill_noise);
+    tasks.push_back(std::move(t));
+  }
+
+  LaborMarketBuilder builder;
+  builder.SetName(config.name);
+  for (const Worker& w : workers) builder.AddWorker(w);
+  for (const Task& t : tasks) builder.AddTask(t);
+
+  // Candidate sampling: each worker sees ~candidates_per_worker tasks,
+  // Zipf-weighted toward low task indices when skewed (task index = rank
+  // of popularity). This keeps generation O(W · k) instead of O(W · T).
+  const std::size_t k =
+      std::min(config.candidates_per_worker, config.num_tasks);
+  ZipfSampler popularity(config.num_tasks, config.task_popularity_skew);
+
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    std::unordered_set<std::size_t> chosen;
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = 20 * k + 50;
+    while (chosen.size() < k && attempts < max_attempts) {
+      ++attempts;
+      const std::size_t t = config.task_popularity_skew > 0.0
+                                ? popularity.Sample(rng)
+                                : rng.NextBounded(config.num_tasks);
+      if (!chosen.insert(t).second) continue;
+      if (IsEligible(workers[w], tasks[t], config.edge_model)) {
+        builder.AddEdge(
+            static_cast<WorkerId>(w), static_cast<TaskId>(t),
+            ComputeEdgeAttributes(workers[w], tasks[t], config.edge_model));
+      }
+    }
+  }
+
+  return builder.Build();
+}
+
+LaborMarket GenerateMarket(const GeneratorConfig& config) {
+  Rng rng(config.seed);
+  const WorkerPopulation population = DrawWorkerPopulation(config, rng);
+  return DrawMarketForPopulation(config, population, rng);
+}
+
+GeneratorConfig UniformConfig(std::size_t workers, std::size_t tasks,
+                              std::uint64_t seed) {
+  GeneratorConfig c;
+  c.name = "synth-uniform";
+  c.seed = seed;
+  c.num_workers = workers;
+  c.num_tasks = tasks;
+  return c;
+}
+
+GeneratorConfig ZipfConfig(std::size_t workers, std::size_t tasks,
+                           std::uint64_t seed) {
+  GeneratorConfig c;
+  c.name = "synth-zipf";
+  c.seed = seed;
+  c.num_workers = workers;
+  c.num_tasks = tasks;
+  c.task_popularity_skew = 1.2;
+  return c;
+}
+
+GeneratorConfig MTurkLikeConfig(std::size_t workers, std::uint64_t seed) {
+  GeneratorConfig c;
+  c.name = "mturk-like";
+  c.seed = seed;
+  c.num_workers = workers;
+  c.num_tasks = workers * 2;  // task-rich microtask batches
+  c.worker_capacity_min = 2;
+  c.worker_capacity_max = 8;
+  c.task_capacity_min = 3;  // redundant labeling
+  c.task_capacity_max = 5;
+  c.candidates_per_worker = 40;
+  c.task_popularity_skew = 0.8;  // HIT groups have skewed popularity
+  c.skill_dims = 4;              // low skill barriers
+  c.skill_clusters = 2;
+  c.edge_model.skill_threshold = 0.1;
+  c.cost_mu = -3.0;  // cheap microtask labor
+  c.cost_sigma = 0.4;
+  c.payment_mu = -2.0;  // cents-scale payments
+  c.payment_sigma = 0.4;
+  c.difficulty_max = 0.8;
+  c.fatigue = 0.95;
+  return c;
+}
+
+GeneratorConfig UpworkLikeConfig(std::size_t workers, std::uint64_t seed) {
+  GeneratorConfig c;
+  c.name = "upwork-like";
+  c.seed = seed;
+  c.num_workers = workers;
+  c.num_tasks = std::max<std::size_t>(workers / 4, 1);  // worker-rich
+  c.worker_capacity_min = 1;
+  c.worker_capacity_max = 3;
+  c.task_capacity_min = 1;  // one or two hires per job
+  c.task_capacity_max = 2;
+  c.candidates_per_worker = 25;
+  c.task_popularity_skew = 0.5;
+  c.skill_dims = 16;  // specialized skills
+  c.skill_clusters = 8;
+  c.skill_noise = 0.15;
+  c.edge_model.skill_threshold = 0.35;
+  c.edge_model.interest_weight = 1.0;
+  c.cost_mu = 1.0;  // real wages
+  c.cost_sigma = 0.75;
+  c.skill_premium = 2.0;
+  c.payment_mu = 1.6;
+  c.payment_sigma = 0.75;
+  c.value_multiplier_min = 2.0;
+  c.value_multiplier_max = 6.0;
+  c.difficulty_max = 0.5;
+  c.fatigue = 0.8;
+  return c;
+}
+
+MarketStats ComputeStats(const LaborMarket& market) {
+  MarketStats s;
+  s.num_workers = market.NumWorkers();
+  s.num_tasks = market.NumTasks();
+  s.num_edges = market.NumEdges();
+
+  std::vector<double> task_degrees;
+  task_degrees.reserve(market.NumTasks());
+  for (TaskId t = 0; t < market.NumTasks(); ++t) {
+    const double d = static_cast<double>(market.graph().RightDegree(t));
+    task_degrees.push_back(d);
+    s.max_task_degree = std::max(s.max_task_degree, d);
+    s.total_task_capacity += market.task(t).capacity;
+    s.avg_payment += market.task(t).payment;
+  }
+  for (WorkerId w = 0; w < market.NumWorkers(); ++w) {
+    const double d = static_cast<double>(market.graph().LeftDegree(w));
+    s.max_worker_degree = std::max(s.max_worker_degree, d);
+    s.total_worker_capacity += market.worker(w).capacity;
+  }
+  for (EdgeId e = 0; e < market.NumEdges(); ++e) {
+    s.avg_quality += market.Quality(e);
+  }
+  if (s.num_workers > 0) {
+    s.avg_worker_degree =
+        static_cast<double>(s.num_edges) / static_cast<double>(s.num_workers);
+  }
+  if (s.num_tasks > 0) {
+    s.avg_task_degree =
+        static_cast<double>(s.num_edges) / static_cast<double>(s.num_tasks);
+    s.avg_payment /= static_cast<double>(s.num_tasks);
+  }
+  if (s.num_edges > 0) {
+    s.avg_quality /= static_cast<double>(s.num_edges);
+  }
+  s.task_degree_gini = GiniCoefficient(task_degrees);
+  return s;
+}
+
+}  // namespace mbta

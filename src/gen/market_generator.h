@@ -1,0 +1,130 @@
+#ifndef MBTA_GEN_MARKET_GENERATOR_H_
+#define MBTA_GEN_MARKET_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "market/labor_market.h"
+#include "util/rng.h"
+
+namespace mbta {
+
+/// Knobs of the synthetic bipartite labor-market generator. All sampling
+/// is driven by `seed`, so a config is a complete, reproducible dataset
+/// description. Four presets (below) instantiate the evaluation datasets.
+struct GeneratorConfig {
+  std::string name = "synthetic";
+  std::uint64_t seed = 1;
+
+  std::size_t num_workers = 1000;
+  std::size_t num_tasks = 1000;
+
+  // Capacities: uniform integer in [min, max].
+  int worker_capacity_min = 1;
+  int worker_capacity_max = 4;
+  int task_capacity_min = 1;
+  int task_capacity_max = 3;
+
+  // Eligibility graph: each worker is offered ~candidates_per_worker
+  // distinct candidate tasks (Zipf-weighted by task rank when
+  // task_popularity_skew > 0 — popular tasks are seen by more workers);
+  // candidates that fail the skill/pay eligibility test are dropped.
+  std::size_t candidates_per_worker = 30;
+  double task_popularity_skew = 0.0;
+
+  // Skills: `skill_dims`-dimensional non-negative vectors; entities draw a
+  // cluster (specialization) and perturb its centroid. skill_dims == 0
+  // disables skills entirely (every pair matches with strength 1).
+  std::size_t skill_dims = 8;
+  std::size_t skill_clusters = 4;
+  double skill_noise = 0.25;
+
+  // Worker economics.
+  double reliability_beta_a = 4.0;  // reliability = 0.5 + 0.5·Beta(a, b)
+  double reliability_beta_b = 2.0;
+  double cost_mu = -1.5;            // unit cost ~ LogNormal(mu, sigma)
+  double cost_sigma = 0.5;
+  /// Correlation knob: worker cost is multiplied by
+  /// (1 + skill_premium · (reliability − 0.5)/0.5), so reliable workers
+  /// demand higher pay — the tension the mutual-benefit objective trades.
+  double skill_premium = 1.0;
+  double fatigue = 0.9;
+
+  /// Number of distinct requesters tasks are spread over (uniformly).
+  /// 0 means every task is posted by its own requester.
+  std::size_t num_requesters = 0;
+
+  // Task economics.
+  double payment_mu = -0.5;         // payment ~ LogNormal(mu, sigma)
+  double payment_sigma = 0.5;
+  double value_multiplier_min = 1.5;  // value = payment · U[min, max]
+  double value_multiplier_max = 4.0;
+  double difficulty_max = 0.8;
+
+  // Edge model.
+  EdgeModelParams edge_model;
+};
+
+/// Materializes the market described by the config.
+LaborMarket GenerateMarket(const GeneratorConfig& config);
+
+/// The persistent side of a market: a worker population plus the skill
+/// centroids task batches must be drawn against. Lets callers (e.g. the
+/// multi-round platform simulator) keep workers fixed while posting fresh
+/// task batches each round.
+struct WorkerPopulation {
+  std::vector<Worker> workers;
+  std::vector<SkillVector> skill_centroids;
+};
+
+/// Draws the worker population (and skill centroids) of a config.
+WorkerPopulation DrawWorkerPopulation(const GeneratorConfig& config,
+                                      Rng& rng);
+
+/// Draws a fresh task batch per the config and connects it to an existing
+/// population. GenerateMarket(config) == DrawWorkerPopulation followed by
+/// DrawMarketForPopulation on the same RNG stream.
+LaborMarket DrawMarketForPopulation(const GeneratorConfig& config,
+                                    const WorkerPopulation& population,
+                                    Rng& rng);
+
+/// Synthetic-uniform: no skew, mild skills. The neutral dataset.
+GeneratorConfig UniformConfig(std::size_t workers, std::size_t tasks,
+                              std::uint64_t seed);
+
+/// Synthetic-zipf: heavy task-popularity skew (s = 1.2) — a few hot tasks
+/// attract most of the labor supply.
+GeneratorConfig ZipfConfig(std::size_t workers, std::size_t tasks,
+                           std::uint64_t seed);
+
+/// MTurk-like microtask substitute: many cheap redundant-labeling tasks,
+/// high task capacities, low skill barriers. See DESIGN.md (dataset
+/// substitution) for what this stands in for and why.
+GeneratorConfig MTurkLikeConfig(std::size_t workers, std::uint64_t seed);
+
+/// Upwork-like freelance substitute: fewer high-value tasks, tight
+/// capacities, strong skill clustering and wage dispersion.
+GeneratorConfig UpworkLikeConfig(std::size_t workers, std::uint64_t seed);
+
+/// Descriptive statistics of a market (Table 1).
+struct MarketStats {
+  std::size_t num_workers = 0;
+  std::size_t num_tasks = 0;
+  std::size_t num_edges = 0;
+  double avg_worker_degree = 0.0;
+  double max_worker_degree = 0.0;
+  double avg_task_degree = 0.0;
+  double max_task_degree = 0.0;
+  double task_degree_gini = 0.0;  // skew of labor supply across tasks
+  std::int64_t total_worker_capacity = 0;
+  std::int64_t total_task_capacity = 0;
+  double avg_payment = 0.0;
+  double avg_quality = 0.0;
+};
+
+MarketStats ComputeStats(const LaborMarket& market);
+
+}  // namespace mbta
+
+#endif  // MBTA_GEN_MARKET_GENERATOR_H_

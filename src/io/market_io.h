@@ -1,0 +1,68 @@
+#ifndef MBTA_IO_MARKET_IO_H_
+#define MBTA_IO_MARKET_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "market/assignment.h"
+#include "market/labor_market.h"
+
+namespace mbta {
+
+/// Plain-text persistence for markets and assignments.
+///
+/// Market format (line-oriented, sections in fixed order):
+///
+///   mbta-market v1
+///   name <name>
+///   workers <count>
+///   w <capacity> <unit_cost> <fatigue> <reliability> <skill...>
+///   ...
+///   tasks <count>
+///   t <capacity> <payment> <value> <difficulty> <requester> <skill...>
+///   ...
+///   edges <count>
+///   e <worker> <task> <quality> <worker_benefit>
+///   ...
+///
+/// Entity ids are implicit (line order). Skill vectors may be empty.
+/// Assignment format:
+///
+///   mbta-assignment v1
+///   pairs <count>
+///   a <worker> <task>
+///   ...
+///
+/// Readers validate structure and ranges and report the first problem via
+/// the error string instead of aborting — files are external input.
+
+/// Serializes a market.
+void WriteMarket(const LaborMarket& market, std::ostream& out);
+bool WriteMarketToFile(const LaborMarket& market, const std::string& path,
+                       std::string* error = nullptr);
+
+/// Parses a market; returns std::nullopt and fills `error` on failure.
+std::optional<LaborMarket> ReadMarket(std::istream& in, std::string* error);
+std::optional<LaborMarket> ReadMarketFromFile(const std::string& path,
+                                              std::string* error);
+
+/// Serializes an assignment as (worker, task) pairs of `market`.
+void WriteAssignment(const LaborMarket& market, const Assignment& a,
+                     std::ostream& out);
+bool WriteAssignmentToFile(const LaborMarket& market, const Assignment& a,
+                           const std::string& path,
+                           std::string* error = nullptr);
+
+/// Parses an assignment against `market`, resolving (worker, task) pairs
+/// to edge ids. Fails on unknown pairs or infeasible results.
+std::optional<Assignment> ReadAssignment(const LaborMarket& market,
+                                         std::istream& in,
+                                         std::string* error);
+std::optional<Assignment> ReadAssignmentFromFile(const LaborMarket& market,
+                                                 const std::string& path,
+                                                 std::string* error);
+
+}  // namespace mbta
+
+#endif  // MBTA_IO_MARKET_IO_H_

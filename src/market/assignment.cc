@@ -1,0 +1,74 @@
+#include "market/assignment.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace mbta {
+
+bool IsFeasible(const LaborMarket& market, const Assignment& a) {
+  std::vector<int> worker_load(market.NumWorkers(), 0);
+  std::vector<int> task_load(market.NumTasks(), 0);
+  std::unordered_set<EdgeId> seen;
+  seen.reserve(a.edges.size() * 2);
+  for (EdgeId e : a.edges) {
+    if (e >= market.NumEdges()) return false;
+    if (!seen.insert(e).second) return false;  // duplicate edge
+    const WorkerId w = market.EdgeWorker(e);
+    const TaskId t = market.EdgeTask(e);
+    if (++worker_load[w] > market.worker(w).capacity) return false;
+    if (++task_load[t] > market.task(t).capacity) return false;
+  }
+  return true;
+}
+
+std::vector<int> WorkerLoads(const LaborMarket& market, const Assignment& a) {
+  std::vector<int> load(market.NumWorkers(), 0);
+  for (EdgeId e : a.edges) ++load[market.EdgeWorker(e)];
+  return load;
+}
+
+std::vector<int> TaskLoads(const LaborMarket& market, const Assignment& a) {
+  std::vector<int> load(market.NumTasks(), 0);
+  for (EdgeId e : a.edges) ++load[market.EdgeTask(e)];
+  return load;
+}
+
+std::vector<std::vector<EdgeId>> EdgesByTask(const LaborMarket& market,
+                                             const Assignment& a) {
+  std::vector<std::vector<EdgeId>> by_task(market.NumTasks());
+  for (EdgeId e : a.edges) by_task[market.EdgeTask(e)].push_back(e);
+  return by_task;
+}
+
+std::vector<std::vector<EdgeId>> EdgesByWorker(const LaborMarket& market,
+                                               const Assignment& a) {
+  std::vector<std::vector<EdgeId>> by_worker(market.NumWorkers());
+  for (EdgeId e : a.edges) by_worker[market.EdgeWorker(e)].push_back(e);
+  return by_worker;
+}
+
+AssignmentDiff DiffAssignments(const Assignment& a, const Assignment& b) {
+  const std::unordered_set<EdgeId> in_a(a.edges.begin(), a.edges.end());
+  const std::unordered_set<EdgeId> in_b(b.edges.begin(), b.edges.end());
+  AssignmentDiff diff;
+  for (EdgeId e : in_a) {
+    if (in_b.count(e)) {
+      ++diff.common;
+    } else {
+      ++diff.only_in_a;
+    }
+  }
+  for (EdgeId e : in_b) {
+    if (!in_a.count(e)) ++diff.only_in_b;
+  }
+  const std::size_t unioned =
+      diff.common + diff.only_in_a + diff.only_in_b;
+  diff.jaccard = unioned == 0
+                     ? 1.0
+                     : static_cast<double>(diff.common) /
+                           static_cast<double>(unioned);
+  return diff;
+}
+
+}  // namespace mbta

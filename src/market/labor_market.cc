@@ -1,0 +1,62 @@
+#include "market/labor_market.h"
+
+#include "util/check.h"
+
+namespace mbta {
+
+WorkerId LaborMarketBuilder::AddWorker(Worker w) {
+  const WorkerId id = static_cast<WorkerId>(workers_.size());
+  w.id = id;
+  MBTA_CHECK(w.capacity >= 0);
+  MBTA_CHECK(w.fatigue > 0.0 && w.fatigue <= 1.0);
+  MBTA_CHECK(w.reliability >= 0.0 && w.reliability <= 1.0);
+  workers_.push_back(std::move(w));
+  return id;
+}
+
+TaskId LaborMarketBuilder::AddTask(Task t) {
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  t.id = id;
+  MBTA_CHECK(t.capacity >= 0);
+  MBTA_CHECK(t.value >= 0.0);
+  MBTA_CHECK(t.difficulty >= 0.0 && t.difficulty <= 1.0);
+  tasks_.push_back(std::move(t));
+  return id;
+}
+
+void LaborMarketBuilder::AddEdge(WorkerId w, TaskId t, EdgeAttributes attr) {
+  MBTA_CHECK(w < workers_.size());
+  MBTA_CHECK(t < tasks_.size());
+  MBTA_CHECK(attr.quality >= 0.0 && attr.quality <= 1.0);
+  MBTA_CHECK(attr.worker_benefit >= 0.0);
+  edges_.push_back({w, t, attr});
+}
+
+void LaborMarketBuilder::ConnectEligiblePairs(const EdgeModelParams& params) {
+  for (const Worker& w : workers_) {
+    for (const Task& t : tasks_) {
+      if (IsEligible(w, t, params)) {
+        AddEdge(w.id, t.id, ComputeEdgeAttributes(w, t, params));
+      }
+    }
+  }
+}
+
+LaborMarket LaborMarketBuilder::Build() {
+  LaborMarket market;
+  market.workers_ = std::move(workers_);
+  market.tasks_ = std::move(tasks_);
+  market.name_ = std::move(name_);
+
+  BipartiteGraphBuilder gb(market.workers_.size(), market.tasks_.size());
+  market.attributes_.reserve(edges_.size());
+  for (const PendingEdge& e : edges_) {
+    gb.AddEdge(e.worker, e.task);
+    market.attributes_.push_back(e.attr);
+  }
+  market.graph_ = gb.Build();
+  edges_.clear();
+  return market;
+}
+
+}  // namespace mbta

@@ -1,0 +1,38 @@
+#include "market/metrics.h"
+
+#include "util/check.h"
+
+namespace mbta {
+
+AssignmentMetrics Evaluate(const MutualBenefitObjective& objective,
+                           const Assignment& a) {
+  const LaborMarket& market = objective.market();
+  MBTA_CHECK(IsFeasible(market, a));
+
+  AssignmentMetrics m;
+  m.num_assignments = a.edges.size();
+
+  const auto by_task = EdgesByTask(market, a);
+  for (TaskId t = 0; t < market.NumTasks(); ++t) {
+    if (by_task[t].empty()) continue;
+    ++m.tasks_covered;
+    m.requester_benefit += objective.TaskBenefit(t, by_task[t]);
+  }
+
+  const auto by_worker = EdgesByWorker(market, a);
+  for (WorkerId w = 0; w < market.NumWorkers(); ++w) {
+    const bool employable = !market.WorkerEdges(w).empty();
+    const double utility =
+        by_worker[w].empty() ? 0.0
+                             : objective.WorkerUtility(w, by_worker[w]);
+    if (!by_worker[w].empty()) ++m.workers_active;
+    m.worker_benefit += utility;
+    if (employable) m.per_worker_benefit.push_back(utility);
+  }
+
+  m.mutual_benefit = objective.alpha() * m.requester_benefit +
+                     (1.0 - objective.alpha()) * m.worker_benefit;
+  return m;
+}
+
+}  // namespace mbta

@@ -1,0 +1,31 @@
+#ifndef MBTA_MARKET_METRICS_H_
+#define MBTA_MARKET_METRICS_H_
+
+#include <vector>
+
+#include "market/objective.h"
+
+namespace mbta {
+
+/// Evaluation of a solved assignment against a mutual-benefit objective,
+/// with both the α-weighted headline number and the unweighted per-side
+/// totals the trade-off experiments report.
+struct AssignmentMetrics {
+  double mutual_benefit = 0.0;     // MB(A) = α·RB + (1−α)·WB
+  double requester_benefit = 0.0;  // RB(A), unweighted
+  double worker_benefit = 0.0;     // WB(A), unweighted
+  std::size_t num_assignments = 0;
+  std::size_t tasks_covered = 0;   // tasks with at least one worker
+  std::size_t workers_active = 0;  // workers with at least one task
+  /// Utility of every worker that has at least one eligible edge (idle but
+  /// employable workers contribute 0) — input to fairness statistics.
+  std::vector<double> per_worker_benefit;
+};
+
+/// Computes all metrics for a feasible assignment.
+AssignmentMetrics Evaluate(const MutualBenefitObjective& objective,
+                           const Assignment& a);
+
+}  // namespace mbta
+
+#endif  // MBTA_MARKET_METRICS_H_

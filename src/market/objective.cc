@@ -1,0 +1,172 @@
+#include "market/objective.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mbta {
+
+const char* ToString(ObjectiveKind kind) {
+  switch (kind) {
+    case ObjectiveKind::kModular:
+      return "modular";
+    case ObjectiveKind::kSubmodular:
+      return "submodular";
+  }
+  return "unknown";
+}
+
+MutualBenefitObjective::MutualBenefitObjective(const LaborMarket* market,
+                                               ObjectiveParams params)
+    : market_(market), params_(params) {
+  MBTA_CHECK(market != nullptr);
+  MBTA_CHECK(params.alpha >= 0.0 && params.alpha <= 1.0);
+}
+
+double MutualBenefitObjective::TaskBenefit(
+    TaskId t, const std::vector<EdgeId>& edges) const {
+  const Task& task = market_->task(t);
+  if (params_.kind == ObjectiveKind::kModular) {
+    double sum = 0.0;
+    for (EdgeId e : edges) sum += task.value * market_->Quality(e);
+    return sum;
+  }
+  double miss = 1.0;
+  for (EdgeId e : edges) miss *= 1.0 - market_->Quality(e);
+  return task.value * (1.0 - miss);
+}
+
+double MutualBenefitObjective::WorkerUtility(
+    WorkerId w, const std::vector<EdgeId>& edges) const {
+  if (params_.kind == ObjectiveKind::kModular) {
+    double sum = 0.0;
+    for (EdgeId e : edges) sum += market_->WorkerBenefit(e);
+    return sum;
+  }
+  const double fatigue = market_->worker(w).fatigue;
+  std::vector<double> values;
+  values.reserve(edges.size());
+  for (EdgeId e : edges) values.push_back(market_->WorkerBenefit(e));
+  std::sort(values.begin(), values.end(), std::greater<>());
+  double utility = 0.0;
+  double weight = 1.0;
+  for (double v : values) {
+    utility += weight * v;
+    weight *= fatigue;
+  }
+  return utility;
+}
+
+double MutualBenefitObjective::RequesterBenefit(const Assignment& a) const {
+  const auto by_task = EdgesByTask(*market_, a);
+  double total = 0.0;
+  for (TaskId t = 0; t < market_->NumTasks(); ++t) {
+    if (!by_task[t].empty()) total += TaskBenefit(t, by_task[t]);
+  }
+  return total;
+}
+
+double MutualBenefitObjective::WorkerBenefit(const Assignment& a) const {
+  const auto by_worker = EdgesByWorker(*market_, a);
+  double total = 0.0;
+  for (WorkerId w = 0; w < market_->NumWorkers(); ++w) {
+    if (!by_worker[w].empty()) total += WorkerUtility(w, by_worker[w]);
+  }
+  return total;
+}
+
+double MutualBenefitObjective::Value(const Assignment& a) const {
+  return params_.alpha * RequesterBenefit(a) +
+         (1.0 - params_.alpha) * WorkerBenefit(a);
+}
+
+double MutualBenefitObjective::EdgeWeight(EdgeId e) const {
+  const Task& task = market_->task(market_->EdgeTask(e));
+  return params_.alpha * task.value * market_->Quality(e) +
+         (1.0 - params_.alpha) * market_->WorkerBenefit(e);
+}
+
+ObjectiveState::ObjectiveState(const MutualBenefitObjective* objective)
+    : objective_(objective), market_(&objective->market()) {
+  MBTA_CHECK(objective != nullptr);
+  chosen_.assign(market_->NumEdges(), false);
+  worker_edges_.resize(market_->NumWorkers());
+  task_edges_.resize(market_->NumTasks());
+}
+
+double ObjectiveState::TaskContribution(TaskId t) const {
+  return objective_->alpha() * objective_->TaskBenefit(t, task_edges_[t]);
+}
+
+double ObjectiveState::WorkerContribution(WorkerId w) const {
+  return (1.0 - objective_->alpha()) *
+         objective_->WorkerUtility(w, worker_edges_[w]);
+}
+
+bool ObjectiveState::CanAdd(EdgeId e) const {
+  MBTA_CHECK(e < market_->NumEdges());
+  if (chosen_[e]) return false;
+  const WorkerId w = market_->EdgeWorker(e);
+  const TaskId t = market_->EdgeTask(e);
+  return WorkerLoad(w) < market_->worker(w).capacity &&
+         TaskLoad(t) < market_->task(t).capacity;
+}
+
+double ObjectiveState::MarginalGain(EdgeId e) const {
+  MBTA_CHECK(e < market_->NumEdges());
+  MBTA_CHECK(!chosen_[e]);
+  const WorkerId w = market_->EdgeWorker(e);
+  const TaskId t = market_->EdgeTask(e);
+
+  const double old_task = objective_->TaskBenefit(t, task_edges_[t]);
+  const double old_worker = objective_->WorkerUtility(w, worker_edges_[w]);
+
+  std::vector<EdgeId> task_plus = task_edges_[t];
+  task_plus.push_back(e);
+  std::vector<EdgeId> worker_plus = worker_edges_[w];
+  worker_plus.push_back(e);
+
+  const double gain =
+      objective_->alpha() *
+          (objective_->TaskBenefit(t, task_plus) - old_task) +
+      (1.0 - objective_->alpha()) *
+          (objective_->WorkerUtility(w, worker_plus) - old_worker);
+  return gain;
+}
+
+void ObjectiveState::Add(EdgeId e) {
+  MBTA_CHECK(CanAdd(e));
+  const WorkerId w = market_->EdgeWorker(e);
+  const TaskId t = market_->EdgeTask(e);
+  const double before = TaskContribution(t) + WorkerContribution(w);
+  chosen_[e] = true;
+  task_edges_[t].push_back(e);
+  worker_edges_[w].push_back(e);
+  ++num_chosen_;
+  value_ += TaskContribution(t) + WorkerContribution(w) - before;
+}
+
+void ObjectiveState::Remove(EdgeId e) {
+  MBTA_CHECK(e < market_->NumEdges());
+  MBTA_CHECK(chosen_[e]);
+  const WorkerId w = market_->EdgeWorker(e);
+  const TaskId t = market_->EdgeTask(e);
+  const double before = TaskContribution(t) + WorkerContribution(w);
+  chosen_[e] = false;
+  std::erase(task_edges_[t], e);
+  std::erase(worker_edges_[w], e);
+  --num_chosen_;
+  value_ += TaskContribution(t) + WorkerContribution(w) - before;
+}
+
+Assignment ObjectiveState::ToAssignment() const {
+  Assignment a;
+  a.edges.reserve(num_chosen_);
+  for (EdgeId e = 0; e < chosen_.size(); ++e) {
+    if (chosen_[e]) a.edges.push_back(e);
+  }
+  return a;
+}
+
+}  // namespace mbta

@@ -1,0 +1,122 @@
+#ifndef MBTA_MARKET_OBJECTIVE_H_
+#define MBTA_MARKET_OBJECTIVE_H_
+
+#include <vector>
+
+#include "market/assignment.h"
+#include "market/labor_market.h"
+
+namespace mbta {
+
+/// Which benefit structure the objective uses.
+///
+/// kModular: requester benefit is additive, Σ_t Σ_{w∈A(t)} V(t)·q(w,t), and
+///   worker fatigue is ignored. The resulting objective is an edge-weight
+///   sum and the MBTA problem is solvable exactly by min-cost flow.
+///
+/// kSubmodular: requester benefit per task is the coverage form
+///   V(t)·(1 − Π_{w∈A(t)} (1 − q(w,t))) — redundant workers hit diminishing
+///   returns — and each worker's k-th best task is discounted by fatigue^k.
+///   Monotone submodular over the intersection of the two capacity
+///   (partition) matroids; NP-hard in general.
+enum class ObjectiveKind { kModular, kSubmodular };
+
+const char* ToString(ObjectiveKind kind);
+
+struct ObjectiveParams {
+  /// Trade-off between requester (α) and worker (1−α) sides, in [0, 1].
+  double alpha = 0.5;
+  ObjectiveKind kind = ObjectiveKind::kSubmodular;
+};
+
+/// The mutual-benefit objective MB(A) = α·RB(A) + (1−α)·WB(A) over a fixed
+/// market. Cheap to copy (borrows the market).
+class MutualBenefitObjective {
+ public:
+  MutualBenefitObjective(const LaborMarket* market, ObjectiveParams params);
+
+  const LaborMarket& market() const { return *market_; }
+  const ObjectiveParams& params() const { return params_; }
+  double alpha() const { return params_.alpha; }
+  ObjectiveKind kind() const { return params_.kind; }
+
+  /// Objective value of a (feasible) assignment, computed from scratch.
+  double Value(const Assignment& a) const;
+
+  /// Unweighted requester-side benefit RB(A).
+  double RequesterBenefit(const Assignment& a) const;
+
+  /// Unweighted worker-side benefit WB(A).
+  double WorkerBenefit(const Assignment& a) const;
+
+  /// The α-weighted value an edge contributes when added to an empty
+  /// assignment (its largest possible marginal). Used by matching-style
+  /// baselines and as the greedy priority seed.
+  double EdgeWeight(EdgeId e) const;
+
+  /// Requester-side benefit of a single task given its assigned edges.
+  double TaskBenefit(TaskId t, const std::vector<EdgeId>& edges) const;
+
+  /// Worker-side benefit of a single worker given its assigned edges.
+  double WorkerUtility(WorkerId w, const std::vector<EdgeId>& edges) const;
+
+ private:
+  const LaborMarket* market_;
+  ObjectiveParams params_;
+};
+
+/// Incremental evaluation of the objective while an assignment is being
+/// grown and locally edited. All mutators keep the running value exact
+/// (removals recompute only the touched worker/task, so there is no
+/// floating-point drift from divisions).
+class ObjectiveState {
+ public:
+  explicit ObjectiveState(const MutualBenefitObjective* objective);
+
+  const MutualBenefitObjective& objective() const { return *objective_; }
+
+  /// True iff `e` is not chosen yet and both endpoints have spare capacity.
+  bool CanAdd(EdgeId e) const;
+
+  /// Marginal gain of adding `e` to the current assignment. Defined for
+  /// any unchosen edge (capacity is CanAdd's business). Non-negative.
+  double MarginalGain(EdgeId e) const;
+
+  /// Adds edge `e`. Requires CanAdd(e).
+  void Add(EdgeId e);
+
+  /// Removes edge `e`. Requires the edge to be chosen.
+  void Remove(EdgeId e);
+
+  bool Contains(EdgeId e) const { return chosen_[e]; }
+
+  double value() const { return value_; }
+  int WorkerLoad(WorkerId w) const {
+    return static_cast<int>(worker_edges_[w].size());
+  }
+  int TaskLoad(TaskId t) const {
+    return static_cast<int>(task_edges_[t].size());
+  }
+
+  /// Snapshot of the current assignment.
+  Assignment ToAssignment() const;
+
+  std::size_t NumChosen() const { return num_chosen_; }
+
+ private:
+  double TaskContribution(TaskId t) const;
+  double WorkerContribution(WorkerId w) const;
+
+  const MutualBenefitObjective* objective_;
+  const LaborMarket* market_;
+
+  std::vector<bool> chosen_;
+  std::vector<std::vector<EdgeId>> worker_edges_;  // per worker, chosen
+  std::vector<std::vector<EdgeId>> task_edges_;    // per task, chosen
+  double value_ = 0.0;
+  std::size_t num_chosen_ = 0;
+};
+
+}  // namespace mbta
+
+#endif  // MBTA_MARKET_OBJECTIVE_H_

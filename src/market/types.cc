@@ -1,0 +1,47 @@
+#include "market/types.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mbta {
+
+double SkillMatch(const SkillVector& a, const SkillVector& b) {
+  if (a.empty() || b.empty()) return 1.0;
+  MBTA_CHECK_MSG(a.size() == b.size(), "skill dims %zu vs %zu", a.size(),
+                 b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  const double sim = dot / (std::sqrt(na) * std::sqrt(nb));
+  return std::clamp(sim, 0.0, 1.0);
+}
+
+bool IsEligible(const Worker& w, const Task& t, const EdgeModelParams& p) {
+  if (t.payment < w.unit_cost) return false;  // irrational for the worker
+  return SkillMatch(w.skills, t.required_skills) >= p.skill_threshold;
+}
+
+EdgeAttributes ComputeEdgeAttributes(const Worker& w, const Task& t,
+                                     const EdgeModelParams& p) {
+  const double match = SkillMatch(w.skills, t.required_skills);
+  EdgeAttributes attr;
+  // Quality: base reliability attenuated by skill mismatch and task
+  // difficulty, floored at coin-flip level for binary tasks.
+  const double edge = (w.reliability - 0.5) * (0.3 + 0.7 * match) *
+                      (1.0 - 0.5 * t.difficulty);
+  attr.quality = std::clamp(0.5 + edge, 0.5, 0.995);
+  // Worker benefit: monetary surplus plus interest bonus; non-negative
+  // because eligibility requires payment >= cost.
+  attr.worker_benefit =
+      (t.payment - w.unit_cost) + p.interest_weight * match;
+  MBTA_CHECK(attr.worker_benefit >= 0.0);
+  return attr;
+}
+
+}  // namespace mbta

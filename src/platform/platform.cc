@@ -1,0 +1,262 @@
+#include "platform/platform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/greedy_solver.h"
+#include "market/metrics.h"
+#include "platform/reputation.h"
+#include "sim/answers.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace mbta {
+
+namespace {
+
+/// Rebuilds `truth` with each worker's reliability replaced by the
+/// platform's belief, recomputing every edge's quality under the belief.
+/// Worker-side benefits and the edge set itself are unchanged (eligibility
+/// does not depend on reliability).
+LaborMarket WithBelievedReliability(const LaborMarket& truth,
+                                    const std::vector<double>& belief,
+                                    const EdgeModelParams& params) {
+  LaborMarketBuilder builder;
+  builder.SetName(truth.name() + "+beliefs");
+  for (Worker w : truth.workers()) {
+    w.reliability = std::clamp(belief[w.id], 0.5, 0.995);
+    builder.AddWorker(std::move(w));
+  }
+  for (const Task& t : truth.tasks()) builder.AddTask(t);
+  for (EdgeId e = 0; e < truth.NumEdges(); ++e) {
+    const WorkerId w = truth.EdgeWorker(e);
+    const TaskId t = truth.EdgeTask(e);
+    Worker believed = truth.worker(w);
+    believed.reliability = std::clamp(belief[w], 0.5, 0.995);
+    builder.AddEdge(w, t,
+                    ComputeEdgeAttributes(believed, truth.task(t), params));
+  }
+  return builder.Build();
+}
+
+/// Attenuation factor f in q = 0.5 + (r − 0.5)·f for one edge; the
+/// platform knows skills and difficulty, so it can de-bias observed
+/// correctness into a reliability estimate.
+double Attenuation(const Worker& w, const Task& t) {
+  const double match = SkillMatch(w.skills, t.required_skills);
+  return (0.3 + 0.7 * match) * (1.0 - 0.5 * t.difficulty);
+}
+
+/// Slope relating leave-one-out agreement to answer correctness:
+/// p = 0.5 + (q − 0.5)·(2m − 1), where m ≈ 0.9 is the accuracy of a
+/// unanimous referee pair of typical workers. Gold observations have
+/// slope 1 (they measure correctness directly).
+constexpr double kRefereeSlope = 0.8;
+
+}  // namespace
+
+GeneratorConfig ContendedLabelingConfig(std::size_t workers,
+                                        std::uint64_t seed) {
+  GeneratorConfig c = UniformConfig(workers, std::max<std::size_t>(workers / 4, 1), seed);
+  c.name = "contended-labeling";
+  c.task_capacity_min = 3;  // redundancy keeps truth inference alive
+  c.task_capacity_max = 3;
+  c.worker_capacity_min = 1;
+  c.worker_capacity_max = 3;  // ~2·W supply chasing 0.75·W slots
+  c.candidates_per_worker = 25;
+  c.difficulty_max = 0.0;          // quality differences come from workers
+  c.reliability_beta_a = 1.2;      // wide reliability spread: knowing who
+  c.reliability_beta_b = 1.2;      // is good is worth a lot
+  c.skill_dims = 0;                // no skill confound in this experiment
+  return c;
+}
+
+const char* ToString(KnowledgeModel model) {
+  switch (model) {
+    case KnowledgeModel::kOracle:
+      return "oracle";
+    case KnowledgeModel::kLearned:
+      return "learned";
+    case KnowledgeModel::kStatic:
+      return "static";
+  }
+  return "unknown";
+}
+
+PlatformResult RunPlatform(const PlatformConfig& config,
+                           KnowledgeModel model) {
+  MBTA_CHECK(config.rounds > 0);
+  PlatformResult result;
+  result.model = model;
+
+  MBTA_CHECK(config.gold_fraction >= 0.0 && config.gold_fraction <= 1.0);
+  MBTA_CHECK(config.churn_rate >= 0.0 && config.churn_rate <= 1.0);
+
+  Rng rng(config.seed);
+  WorkerPopulation population =
+      DrawWorkerPopulation(config.market_template, rng);
+  const std::size_t num_workers = population.workers.size();
+
+  std::vector<double> true_reliability(num_workers);
+  for (WorkerId w = 0; w < num_workers; ++w) {
+    true_reliability[w] = population.workers[w].reliability;
+  }
+
+  ReputationTracker tracker(num_workers);
+  // De-biasing accumulators: observed correctness is attenuated by skill
+  // match and difficulty, so the platform also tracks the mean
+  // attenuation of each worker's answered edges.
+  std::vector<double> attenuation_sum(num_workers, 0.0);
+  std::vector<double> attenuation_count(num_workers, 0.0);
+
+  auto current_belief = [&]() {
+    std::vector<double> belief(num_workers);
+    for (WorkerId w = 0; w < num_workers; ++w) {
+      switch (model) {
+        case KnowledgeModel::kOracle:
+          belief[w] = true_reliability[w];
+          break;
+        case KnowledgeModel::kStatic:
+        case KnowledgeModel::kLearned: {
+          // De-bias the observed agreement rate p into a reliability
+          // estimate: every observation satisfies
+          // E[observation] = 0.5 + (r − 0.5)·slope, where the slope is
+          // the edge-model attenuation f (gold) or kRefereeSlope·f
+          // (leave-one-out); attenuation_sum accumulates the per-
+          // observation slopes, so dividing by their mean inverts the
+          // mixture.
+          const double p = tracker.EstimatedReliability(w);
+          const double slope =
+              attenuation_count[w] > 0.0
+                  ? attenuation_sum[w] / attenuation_count[w]
+                  : kRefereeSlope * 0.65;  // typical LOO slope
+          belief[w] = std::clamp(0.5 + (p - 0.5) / slope, 0.5, 0.995);
+          break;
+        }
+      }
+    }
+    return belief;
+  };
+
+  for (int round = 0; round < config.rounds; ++round) {
+    Rng round_rng(config.seed * 7919 + static_cast<std::uint64_t>(round));
+
+    // Churn: some workers are replaced by fresh people with redrawn
+    // reliability. All knowledge models face the same new truth; only the
+    // learned model's accumulated evidence becomes stale (and is reset —
+    // the platform sees a brand-new account).
+    if (config.churn_rate > 0.0 && round > 0) {
+      for (WorkerId w = 0; w < num_workers; ++w) {
+        if (!round_rng.NextBool(config.churn_rate)) continue;
+        const double fresh =
+            0.5 + 0.5 * round_rng.NextBeta(
+                            config.market_template.reliability_beta_a,
+                            config.market_template.reliability_beta_b);
+        population.workers[w].reliability = fresh;
+        true_reliability[w] = fresh;
+        tracker.Reset(w);
+        attenuation_sum[w] = 0.0;
+        attenuation_count[w] = 0.0;
+      }
+    }
+
+    // Fresh task batch against the (possibly churned) worker population.
+    const LaborMarket truth = DrawMarketForPopulation(
+        config.market_template, population, round_rng);
+
+    // Gold set: tasks whose true label the platform knows.
+    std::vector<bool> is_gold(truth.NumTasks(), false);
+    if (config.gold_fraction > 0.0) {
+      for (TaskId t = 0; t < truth.NumTasks(); ++t) {
+        is_gold[t] = round_rng.NextBool(config.gold_fraction);
+      }
+    }
+
+    // Assign under the platform's current beliefs.
+    const std::vector<double> belief = current_belief();
+    const LaborMarket believed = WithBelievedReliability(
+        truth, belief, config.market_template.edge_model);
+    const MbtaProblem decision{
+        &believed, {.alpha = config.alpha,
+                    .kind = ObjectiveKind::kSubmodular}};
+    const Assignment assignment = GreedySolver().Solve(decision);
+
+    // The crowd answers according to the TRUE qualities.
+    const AnswerSet answers = SimulateAnswers(
+        truth, assignment,
+        config.seed * 104729 + static_cast<std::uint64_t>(round));
+    const Predictions predicted = DawidSkene().Aggregate(answers);
+
+    if (model == KnowledgeModel::kLearned) {
+      // Leave-one-out scoring: a worker's answer is judged against the
+      // majority of the *other* answers on the task. Scoring against a
+      // label the worker itself voted on would make everyone look
+      // reliable (with redundancy 3, a split pair means the worker's own
+      // vote decides the label).
+      for (std::size_t t = 0; t < answers.NumTasks(); ++t) {
+        const auto& task_answers = answers.answers[t];
+        if (is_gold[t]) {
+          // Gold task: score directly against the known truth — an
+          // unbiased observation per answer.
+          for (const Answer& answer : task_answers) {
+            tracker.Observe(answer.worker,
+                            answer.label == answers.truth[t] ? 1.0 : 0.0,
+                            1.0);
+            // Gold observations measure correctness directly: slope = f.
+            attenuation_sum[answer.worker] +=
+                Attenuation(truth.worker(answer.worker),
+                            truth.task(static_cast<TaskId>(t)));
+            attenuation_count[answer.worker] += 1.0;
+          }
+          continue;
+        }
+        if (task_answers.size() < 2) continue;
+        int ones = 0;
+        for (const Answer& answer : task_answers) {
+          ones += answer.label == 1 ? 1 : 0;
+        }
+        for (const Answer& answer : task_answers) {
+          const int other_ones = ones - (answer.label == 1 ? 1 : 0);
+          const int other_count = static_cast<int>(task_answers.size()) - 1;
+          if (2 * other_ones == other_count) continue;  // others tied
+          const Label others_say = 2 * other_ones > other_count ? 1 : 0;
+          tracker.Observe(answer.worker,
+                          answer.label == others_say ? 1.0 : 0.0, 1.0);
+          // Leave-one-out observations carry the referee slope.
+          attenuation_sum[answer.worker] +=
+              kRefereeSlope *
+              Attenuation(truth.worker(answer.worker),
+                          truth.task(static_cast<TaskId>(t)));
+          attenuation_count[answer.worker] += 1.0;
+        }
+      }
+    }
+
+    RoundStats stats;
+    stats.round = round;
+    stats.label_accuracy = LabelAccuracy(answers, predicted);
+    stats.coverage = TaskCoverage(answers);
+    const MutualBenefitObjective true_objective(
+        &truth, {.alpha = config.alpha,
+                 .kind = ObjectiveKind::kSubmodular});
+    stats.true_mutual_benefit = true_objective.Value(assignment);
+    stats.num_assignments = assignment.size();
+    if (model != KnowledgeModel::kOracle) {
+      // RMSE of the (de-biased) beliefs the platform will carry into the
+      // next round.
+      double sum_sq = 0.0;
+      const std::vector<double> updated = current_belief();
+      for (WorkerId w = 0; w < num_workers; ++w) {
+        const double d = updated[w] - true_reliability[w];
+        sum_sq += d * d;
+      }
+      stats.reputation_rmse =
+          std::sqrt(sum_sq / static_cast<double>(num_workers));
+    }
+    result.rounds.push_back(stats);
+  }
+  return result;
+}
+
+}  // namespace mbta

@@ -1,0 +1,82 @@
+#ifndef MBTA_PLATFORM_PLATFORM_H_
+#define MBTA_PLATFORM_PLATFORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/market_generator.h"
+#include "market/labor_market.h"
+
+namespace mbta {
+
+/// What the platform knows about worker reliability when it assigns:
+///  kOracle  — true reliabilities (upper reference; unobtainable live).
+///  kLearned — reputation estimates updated from inferred answer
+///             correctness each round (the realistic closed loop).
+///  kStatic  — the prior only, never updated (lower reference).
+enum class KnowledgeModel { kOracle, kLearned, kStatic };
+
+const char* ToString(KnowledgeModel model);
+
+/// Configuration of a multi-round platform simulation. A fixed worker
+/// population persists across rounds; each round posts a fresh batch of
+/// tasks, assigns, collects simulated answers, infers truth, and (under
+/// kLearned) updates worker reputations.
+struct PlatformConfig {
+  /// Template describing the per-round market (worker population and task
+  /// batches are drawn from it; the template's seed anchors everything).
+  GeneratorConfig market_template;
+  int rounds = 10;
+  /// Trade-off weight used by the per-round assignment.
+  double alpha = 0.7;
+  /// Fraction of each round's tasks injected as *gold* tasks: the
+  /// platform knows their true label, so answers to them give unbiased
+  /// reputation observations (workers cannot tell them apart). 0 disables
+  /// gold; only affects kLearned.
+  double gold_fraction = 0.0;
+  /// Per-round probability that an existing worker is replaced by a fresh
+  /// one (reputation resets to the prior). Models population churn; only
+  /// affects kLearned beliefs — the true reliability changes for all
+  /// models identically.
+  double churn_rate = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Per-round outcome of a platform run.
+struct RoundStats {
+  int round = 0;
+  /// Label accuracy of Dawid–Skene inference vs ground truth this round.
+  double label_accuracy = 0.0;
+  /// Fraction of this round's tasks that received at least one answer.
+  double coverage = 0.0;
+  /// Mutual benefit of the round's assignment measured under the TRUE
+  /// edge qualities (what the platform actually delivered, not what its
+  /// possibly-wrong beliefs predicted).
+  double true_mutual_benefit = 0.0;
+  /// RMSE of the platform's reliability estimates vs the true worker
+  /// reliabilities (0 for kOracle by construction).
+  double reputation_rmse = 0.0;
+  std::size_t num_assignments = 0;
+};
+
+struct PlatformResult {
+  KnowledgeModel model;
+  std::vector<RoundStats> rounds;
+};
+
+/// Runs the closed-loop simulation. Deterministic given the config.
+PlatformResult RunPlatform(const PlatformConfig& config,
+                           KnowledgeModel model);
+
+/// Market template tuned so that reliability knowledge matters: task
+/// slots are scarce relative to worker supply (beliefs decide *which*
+/// workers get the work), every task still collects 3 answers (so truth
+/// inference has signal), worker reliabilities are widely spread, and the
+/// objective leans requester-side. Used by the reputation-learning
+/// experiment and tests.
+GeneratorConfig ContendedLabelingConfig(std::size_t workers,
+                                        std::uint64_t seed);
+
+}  // namespace mbta
+
+#endif  // MBTA_PLATFORM_PLATFORM_H_

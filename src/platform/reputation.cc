@@ -1,0 +1,67 @@
+#include "platform/reputation.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mbta {
+
+ReputationTracker::ReputationTracker(std::size_t num_workers, double prior_a,
+                                     double prior_b)
+    : a_(num_workers, prior_a),
+      b_(num_workers, prior_b),
+      prior_a_(prior_a),
+      prior_b_(prior_b) {
+  MBTA_CHECK(prior_a > 0.0 && prior_b > 0.0);
+}
+
+double ReputationTracker::EstimatedReliability(WorkerId w) const {
+  MBTA_CHECK(w < a_.size());
+  return a_[w] / (a_[w] + b_[w]);
+}
+
+double ReputationTracker::ObservationWeight(WorkerId w) const {
+  MBTA_CHECK(w < a_.size());
+  return a_[w] + b_[w] - prior_a_ - prior_b_;
+}
+
+void ReputationTracker::Observe(WorkerId w, double correct_weight,
+                                double total_weight) {
+  MBTA_CHECK(w < a_.size());
+  MBTA_CHECK(total_weight >= 0.0);
+  MBTA_CHECK(correct_weight >= 0.0 && correct_weight <= total_weight);
+  a_[w] += correct_weight;
+  b_[w] += total_weight - correct_weight;
+}
+
+void ReputationTracker::Reset(WorkerId w) {
+  MBTA_CHECK(w < a_.size());
+  a_[w] = prior_a_;
+  b_[w] = prior_b_;
+}
+
+void ReputationTracker::UpdateFromPredictions(const AnswerSet& answers,
+                                              const Predictions& predicted) {
+  MBTA_CHECK(predicted.size() == answers.NumTasks());
+  for (std::size_t t = 0; t < answers.NumTasks(); ++t) {
+    if (predicted[t] == kNoLabel) continue;
+    for (const Answer& answer : answers.answers[t]) {
+      const double correct = answer.label == predicted[t] ? 1.0 : 0.0;
+      Observe(answer.worker, correct, 1.0);
+    }
+  }
+}
+
+double ReputationTracker::Rmse(
+    const std::vector<double>& true_reliability) const {
+  MBTA_CHECK(true_reliability.size() == a_.size());
+  if (a_.empty()) return 0.0;
+  double sum_sq = 0.0;
+  for (WorkerId w = 0; w < a_.size(); ++w) {
+    const double d = EstimatedReliability(w) - true_reliability[w];
+    sum_sq += d * d;
+  }
+  return std::sqrt(sum_sq / static_cast<double>(a_.size()));
+}
+
+}  // namespace mbta

@@ -1,0 +1,61 @@
+#ifndef MBTA_PLATFORM_REPUTATION_H_
+#define MBTA_PLATFORM_REPUTATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "market/types.h"
+#include "sim/aggregation.h"
+
+namespace mbta {
+
+/// Bayesian reputation tracker: per worker, a Beta(a, b) posterior over
+/// the probability that the worker's answers agree with the (inferred)
+/// truth. The platform never sees true reliabilities — it learns them
+/// from inferred answer correctness, and feeds the posterior mean back
+/// into the next round's assignment decisions.
+class ReputationTracker {
+ public:
+  /// `prior_a / (prior_a + prior_b)` is the reliability assumed for a
+  /// brand-new worker. The default prior mean of 0.7 reflects that crowd
+  /// workers are better than coin flips but not experts.
+  ReputationTracker(std::size_t num_workers, double prior_a = 3.5,
+                    double prior_b = 1.5);
+
+  std::size_t num_workers() const { return a_.size(); }
+
+  /// Posterior mean estimate of P(worker answers correctly), in (0, 1).
+  double EstimatedReliability(WorkerId w) const;
+
+  /// Total observation weight accumulated for a worker (0 for unseen).
+  double ObservationWeight(WorkerId w) const;
+
+  /// Records an observation: out of `total_weight` (fractional) answers,
+  /// `correct_weight` agreed with the inferred truth.
+  void Observe(WorkerId w, double correct_weight, double total_weight);
+
+  /// Resets a worker to the prior (the worker churned: a fresh person now
+  /// holds the id).
+  void Reset(WorkerId w);
+
+  /// Batch update from one round: each answer counts as correct iff it
+  /// matches the aggregator's inferred label for its task. Tasks without
+  /// an inferred label are skipped.
+  void UpdateFromPredictions(const AnswerSet& answers,
+                             const Predictions& predicted);
+
+  /// Root-mean-square error of the estimates against a ground-truth
+  /// reliability vector (diagnostic for experiments; the platform itself
+  /// never calls this).
+  double Rmse(const std::vector<double>& true_reliability) const;
+
+ private:
+  std::vector<double> a_;
+  std::vector<double> b_;
+  double prior_a_;
+  double prior_b_;
+};
+
+}  // namespace mbta
+
+#endif  // MBTA_PLATFORM_REPUTATION_H_

@@ -1,0 +1,271 @@
+#include "sim/aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mbta {
+
+namespace {
+
+/// Argmax over per-class scores; ties break toward the largest label (for
+/// the binary case this matches the traditional "tie goes to 1").
+Label ArgmaxLabel(const std::vector<double>& scores) {
+  Label best = 0;
+  for (std::size_t c = 1; c < scores.size(); ++c) {
+    if (scores[c] >= scores[best]) best = static_cast<Label>(c);
+  }
+  return best;
+}
+
+}  // namespace
+
+Predictions MajorityVote::Aggregate(const AnswerSet& answers) const {
+  const int k = answers.num_labels;
+  Predictions out(answers.NumTasks(), kNoLabel);
+  std::vector<double> counts(static_cast<std::size_t>(k));
+  for (std::size_t t = 0; t < answers.NumTasks(); ++t) {
+    const auto& as = answers.answers[t];
+    if (as.empty()) continue;
+    std::fill(counts.begin(), counts.end(), 0.0);
+    for (const Answer& a : as) counts[a.label] += 1.0;
+    out[t] = ArgmaxLabel(counts);
+  }
+  return out;
+}
+
+Predictions WeightedVote::Aggregate(const AnswerSet& answers) const {
+  const int k = answers.num_labels;
+  Predictions out(answers.NumTasks(), kNoLabel);
+  std::vector<double> scores(static_cast<std::size_t>(k));
+  for (std::size_t t = 0; t < answers.NumTasks(); ++t) {
+    const auto& as = answers.answers[t];
+    if (as.empty()) continue;
+    // Log-likelihood of each class under the uniform-error model:
+    // P(answer | truth = c) = q if answer == c, else (1 − q)/(k − 1).
+    std::fill(scores.begin(), scores.end(), 0.0);
+    for (const Answer& a : as) {
+      const double q = std::clamp(a.quality, 0.01, 0.99);
+      const double log_hit = std::log(q);
+      const double log_miss =
+          std::log((1.0 - q) / static_cast<double>(k - 1));
+      for (int c = 0; c < k; ++c) {
+        scores[static_cast<std::size_t>(c)] +=
+            a.label == c ? log_hit : log_miss;
+      }
+    }
+    out[t] = ArgmaxLabel(scores);
+  }
+  return out;
+}
+
+Predictions DawidSkene::Aggregate(const AnswerSet& answers) const {
+  // Worker ids are dense but the aggregator does not know the market size;
+  // size the accuracy table to the largest id seen.
+  std::size_t num_workers = 0;
+  for (const auto& as : answers.answers) {
+    for (const Answer& a : as) {
+      num_workers = std::max(num_workers, static_cast<std::size_t>(a.worker) + 1);
+    }
+  }
+  return AggregateWithAccuracies(answers, num_workers, nullptr);
+}
+
+Predictions DawidSkene::AggregateWithAccuracies(
+    const AnswerSet& answers, std::size_t num_workers,
+    std::vector<double>* worker_accuracy) const {
+  const std::size_t num_tasks = answers.NumTasks();
+  const int k = answers.num_labels;
+  const std::size_t kk = static_cast<std::size_t>(k);
+
+  // posterior[t][c] = P(truth of t == c); initialized from vote fractions.
+  std::vector<std::vector<double>> posterior(
+      num_tasks, std::vector<double>(kk, 1.0 / static_cast<double>(k)));
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    const auto& as = answers.answers[t];
+    if (as.empty()) continue;
+    std::fill(posterior[t].begin(), posterior[t].end(), 0.0);
+    for (const Answer& a : as) {
+      posterior[t][a.label] += 1.0 / static_cast<double>(as.size());
+    }
+  }
+
+  std::vector<double> accuracy(num_workers, 0.6);
+  for (int iter = 0; iter < max_iterations_; ++iter) {
+    // M step: per-worker accuracy = MAP expected fraction of answers
+    // matching the soft truth, under the Beta prior (see the class
+    // comment for why the prior is strong). Tasks with a single answer
+    // are excluded: their posterior is determined by that answer alone,
+    // so counting them would only teach the model that every worker
+    // agrees with itself.
+    std::vector<double> agree(num_workers, prior_mean_ * prior_weight_);
+    std::vector<double> count(num_workers, prior_weight_);
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      if (answers.answers[t].size() < 2) continue;
+      for (const Answer& a : answers.answers[t]) {
+        agree[a.worker] += posterior[t][a.label];
+        count[a.worker] += 1.0;
+      }
+    }
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      accuracy[w] = agree[w] / count[w];
+    }
+
+    // E step: posterior of each task truth given accuracies (uniform
+    // class prior, uniform errors over the k−1 wrong classes), log space.
+    double max_delta = 0.0;
+    std::vector<double> log_lik(kk);
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      const auto& as = answers.answers[t];
+      if (as.empty()) continue;
+      std::fill(log_lik.begin(), log_lik.end(), 0.0);
+      for (const Answer& a : as) {
+        const double acc = std::clamp(accuracy[a.worker], 0.01, 0.99);
+        const double log_hit = std::log(acc);
+        const double log_miss =
+            std::log((1.0 - acc) / static_cast<double>(k - 1));
+        for (std::size_t c = 0; c < kk; ++c) {
+          log_lik[c] +=
+              a.label == static_cast<Label>(c) ? log_hit : log_miss;
+        }
+      }
+      const double m = *std::max_element(log_lik.begin(), log_lik.end());
+      double z = 0.0;
+      for (std::size_t c = 0; c < kk; ++c) z += std::exp(log_lik[c] - m);
+      for (std::size_t c = 0; c < kk; ++c) {
+        const double p = std::exp(log_lik[c] - m) / z;
+        max_delta = std::max(max_delta, std::abs(p - posterior[t][c]));
+        posterior[t][c] = p;
+      }
+    }
+    if (max_delta < tolerance_) break;
+  }
+
+  if (worker_accuracy != nullptr) *worker_accuracy = accuracy;
+
+  Predictions out(num_tasks, kNoLabel);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    if (!answers.answers[t].empty()) out[t] = ArgmaxLabel(posterior[t]);
+  }
+  return out;
+}
+
+Predictions DawidSkeneTwoCoin::Aggregate(const AnswerSet& answers) const {
+  std::size_t num_workers = 0;
+  for (const auto& as : answers.answers) {
+    for (const Answer& a : as) {
+      num_workers = std::max(num_workers,
+                             static_cast<std::size_t>(a.worker) + 1);
+    }
+  }
+  return AggregateWithConfusion(answers, num_workers, nullptr, nullptr);
+}
+
+Predictions DawidSkeneTwoCoin::AggregateWithConfusion(
+    const AnswerSet& answers, std::size_t num_workers,
+    std::vector<double>* sensitivity, std::vector<double>* specificity) const {
+  // Sensitivity/specificity are a binary-confusion concept; use the
+  // one-coin DawidSkene for k-ary label sets.
+  MBTA_CHECK(answers.num_labels == 2);
+  const std::size_t num_tasks = answers.NumTasks();
+  std::vector<double> posterior(num_tasks, 0.5);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    const auto& as = answers.answers[t];
+    if (as.empty()) continue;
+    int ones = 0;
+    for (const Answer& a : as) ones += a.label == 1 ? 1 : 0;
+    posterior[t] =
+        static_cast<double>(ones) / static_cast<double>(as.size());
+  }
+
+  std::vector<double> sens(num_workers, 0.7);
+  std::vector<double> spec(num_workers, 0.7);
+  for (int iter = 0; iter < max_iterations_; ++iter) {
+    // M step: confusion parameters from soft label counts (Laplace
+    // smoothed toward 0.5 so parameters stay interior).
+    // Single-answer tasks are excluded for the same self-agreement reason
+    // as in the one-coin model; the Beta prior plays the same
+    // low-redundancy stabilizer role.
+    std::vector<double> ones_given_1(num_workers,
+                                     prior_mean_ * prior_weight_);
+    std::vector<double> count_1(num_workers, prior_weight_);
+    std::vector<double> zeros_given_0(num_workers,
+                                      prior_mean_ * prior_weight_);
+    std::vector<double> count_0(num_workers, prior_weight_);
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      if (answers.answers[t].size() < 2) continue;
+      for (const Answer& a : answers.answers[t]) {
+        const double p1 = posterior[t];
+        count_1[a.worker] += p1;
+        count_0[a.worker] += 1.0 - p1;
+        if (a.label == 1) {
+          ones_given_1[a.worker] += p1;
+        } else {
+          zeros_given_0[a.worker] += 1.0 - p1;
+        }
+      }
+    }
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      sens[w] = ones_given_1[w] / count_1[w];
+      spec[w] = zeros_given_0[w] / count_0[w];
+    }
+
+    // E step.
+    double max_delta = 0.0;
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      const auto& as = answers.answers[t];
+      if (as.empty()) continue;
+      double log1 = 0.0, log0 = 0.0;
+      for (const Answer& a : as) {
+        const double se = std::clamp(sens[a.worker], 0.01, 0.99);
+        const double sp = std::clamp(spec[a.worker], 0.01, 0.99);
+        if (a.label == 1) {
+          log1 += std::log(se);
+          log0 += std::log(1.0 - sp);
+        } else {
+          log1 += std::log(1.0 - se);
+          log0 += std::log(sp);
+        }
+      }
+      const double m = std::max(log1, log0);
+      const double p1 =
+          std::exp(log1 - m) / (std::exp(log1 - m) + std::exp(log0 - m));
+      max_delta = std::max(max_delta, std::abs(p1 - posterior[t]));
+      posterior[t] = p1;
+    }
+    if (max_delta < tolerance_) break;
+  }
+
+  if (sensitivity != nullptr) *sensitivity = sens;
+  if (specificity != nullptr) *specificity = spec;
+
+  Predictions out(num_tasks, kNoLabel);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    if (!answers.answers[t].empty()) out[t] = posterior[t] >= 0.5 ? 1 : 0;
+  }
+  return out;
+}
+
+double LabelAccuracy(const AnswerSet& answers, const Predictions& predicted) {
+  MBTA_CHECK(predicted.size() == answers.NumTasks());
+  std::size_t answered = 0;
+  std::size_t correct = 0;
+  for (std::size_t t = 0; t < predicted.size(); ++t) {
+    if (predicted[t] == kNoLabel) continue;
+    ++answered;
+    if (predicted[t] == answers.truth[t]) ++correct;
+  }
+  if (answered == 0) return 0.0;
+  return static_cast<double>(correct) / static_cast<double>(answered);
+}
+
+double TaskCoverage(const AnswerSet& answers) {
+  if (answers.NumTasks() == 0) return 0.0;
+  std::size_t covered = 0;
+  for (const auto& as : answers.answers) covered += as.empty() ? 0 : 1;
+  return static_cast<double>(covered) /
+         static_cast<double>(answers.NumTasks());
+}
+
+}  // namespace mbta

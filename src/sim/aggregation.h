@@ -1,0 +1,120 @@
+#ifndef MBTA_SIM_AGGREGATION_H_
+#define MBTA_SIM_AGGREGATION_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/answers.h"
+
+namespace mbta {
+
+/// Per-task inferred labels; kNoLabel where a task received no answers.
+using Predictions = std::vector<Label>;
+
+/// Truth-inference strategy over a set of collected answers.
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+  virtual std::string name() const = 0;
+  virtual Predictions Aggregate(const AnswerSet& answers) const = 0;
+};
+
+/// Unweighted majority vote; ties broken toward label 1 (truths are
+/// symmetric by construction, so the tie-break introduces no bias).
+class MajorityVote : public Aggregator {
+ public:
+  std::string name() const override { return "majority"; }
+  Predictions Aggregate(const AnswerSet& answers) const override;
+};
+
+/// Log-odds-weighted vote: each answer votes with weight
+/// log(q / (1 − q)) — the Bayes-optimal combination when the per-edge
+/// quality model is exact.
+class WeightedVote : public Aggregator {
+ public:
+  std::string name() const override { return "weighted"; }
+  Predictions Aggregate(const AnswerSet& answers) const override;
+};
+
+/// One-coin Dawid–Skene: jointly estimates per-worker accuracy and task
+/// truths by EM, using only the observed answers (no quality model).
+///
+/// Accuracy estimates are MAP under a Beta prior (`prior_mean`,
+/// `prior_weight` pseudo-observations). The prior matters at low
+/// redundancy: with only a handful of answers per worker, maximum-
+/// likelihood EM confidently misclassifies ordinary workers as
+/// adversaries and flips their votes; the prior makes deviation from
+/// majority voting require `prior_weight`-scale evidence, while workers
+/// with long consistent records (including true adversaries) still escape
+/// it.
+class DawidSkene : public Aggregator {
+ public:
+  explicit DawidSkene(int max_iterations = 50, double tolerance = 1e-6,
+                      double prior_mean = 0.7, double prior_weight = 10.0)
+      : max_iterations_(max_iterations),
+        tolerance_(tolerance),
+        prior_mean_(prior_mean),
+        prior_weight_(prior_weight) {}
+
+  std::string name() const override { return "dawid-skene"; }
+  Predictions Aggregate(const AnswerSet& answers) const override;
+
+  /// Also exposes the learned per-worker accuracies (for tests and the
+  /// worker-reputation example). Indexed by WorkerId; workers that gave no
+  /// answers get 0.5.
+  Predictions AggregateWithAccuracies(
+      const AnswerSet& answers, std::size_t num_workers,
+      std::vector<double>* worker_accuracy) const;
+
+ private:
+  int max_iterations_;
+  double tolerance_;
+  double prior_mean_;
+  double prior_weight_;
+};
+
+/// Two-coin Dawid–Skene: estimates per-worker *sensitivity*
+/// (P(answer 1 | truth 1)) and *specificity* (P(answer 0 | truth 0))
+/// separately, so systematically biased workers (e.g. spammers who always
+/// answer 1 — invisible to the one-coin model, which just sees 50%
+/// accuracy) are identified and discounted.
+class DawidSkeneTwoCoin : public Aggregator {
+ public:
+  /// Confusion parameters are MAP under the same kind of Beta prior as
+  /// the one-coin model (see DawidSkene).
+  explicit DawidSkeneTwoCoin(int max_iterations = 50,
+                             double tolerance = 1e-6,
+                             double prior_mean = 0.7,
+                             double prior_weight = 10.0)
+      : max_iterations_(max_iterations),
+        tolerance_(tolerance),
+        prior_mean_(prior_mean),
+        prior_weight_(prior_weight) {}
+
+  std::string name() const override { return "dawid-skene-2c"; }
+  Predictions Aggregate(const AnswerSet& answers) const override;
+
+  /// Exposes the learned confusion parameters; indexed by WorkerId.
+  Predictions AggregateWithConfusion(
+      const AnswerSet& answers, std::size_t num_workers,
+      std::vector<double>* sensitivity,
+      std::vector<double>* specificity) const;
+
+ private:
+  int max_iterations_;
+  double tolerance_;
+  double prior_mean_;
+  double prior_weight_;
+};
+
+/// Share of answered tasks whose inferred label matches the truth
+/// (tasks with kNoLabel predictions are excluded). Returns 0 when nothing
+/// was answered.
+double LabelAccuracy(const AnswerSet& answers, const Predictions& predicted);
+
+/// Fraction of tasks that received at least one answer.
+double TaskCoverage(const AnswerSet& answers);
+
+}  // namespace mbta
+
+#endif  // MBTA_SIM_AGGREGATION_H_

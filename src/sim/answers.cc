@@ -1,0 +1,40 @@
+#include "sim/answers.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace mbta {
+
+AnswerSet SimulateAnswers(const LaborMarket& market, const Assignment& a,
+                          std::uint64_t seed, int num_labels) {
+  MBTA_CHECK(num_labels >= 2 && num_labels <= 100);
+  Rng rng(seed);
+  AnswerSet set;
+  set.num_labels = num_labels;
+  set.truth.resize(market.NumTasks());
+  set.answers.resize(market.NumTasks());
+  for (TaskId t = 0; t < market.NumTasks(); ++t) {
+    set.truth[t] = static_cast<Label>(
+        rng.NextBounded(static_cast<std::uint64_t>(num_labels)));
+  }
+  for (EdgeId e : a.edges) {
+    const TaskId t = market.EdgeTask(e);
+    const WorkerId w = market.EdgeWorker(e);
+    const double q = market.Quality(e);
+    const bool correct = rng.NextBool(q);
+    const Label truth = set.truth[t];
+    Label label = truth;
+    if (!correct) {
+      // Uniform over the other num_labels - 1 classes.
+      const std::uint64_t offset =
+          1 + rng.NextBounded(static_cast<std::uint64_t>(num_labels - 1));
+      label = static_cast<Label>(
+          (static_cast<std::uint64_t>(truth) + offset) %
+          static_cast<std::uint64_t>(num_labels));
+    }
+    set.answers[t].push_back({w, label, q});
+  }
+  return set;
+}
+
+}  // namespace mbta

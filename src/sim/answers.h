@@ -1,0 +1,53 @@
+#ifndef MBTA_SIM_ANSWERS_H_
+#define MBTA_SIM_ANSWERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "market/assignment.h"
+
+namespace mbta {
+
+/// Label alphabet for the simulated microtasks: categorical labels
+/// 0..num_labels-1 (binary by default — the canonical crowdsourcing
+/// benchmark task), plus kNoLabel for "no answer".
+using Label = std::int8_t;
+inline constexpr Label kNoLabel = -1;
+
+/// One worker's answer to one task.
+struct Answer {
+  WorkerId worker;
+  Label label;
+  /// q(w, t) of the edge that produced the answer — available to
+  /// quality-aware aggregators (the platform knows its own quality model).
+  double quality;
+};
+
+/// Ground truth plus all collected answers of one simulation run.
+struct AnswerSet {
+  /// Size of the label alphabet; labels are 0..num_labels-1.
+  int num_labels = 2;
+  /// truth[t]: ground-truth label of task t (every simulated task has a
+  /// truth even if nobody answered it).
+  std::vector<Label> truth;
+  /// answers[t]: answers collected for task t (one per assigned worker).
+  std::vector<std::vector<Answer>> answers;
+
+  std::size_t NumTasks() const { return truth.size(); }
+  std::size_t NumAnswers() const {
+    std::size_t n = 0;
+    for (const auto& a : answers) n += a.size();
+    return n;
+  }
+};
+
+/// Simulates the crowd answering the assigned tasks: each task draws a
+/// uniform truth over `num_labels` classes, and each assigned worker
+/// answers correctly with probability q(w, t) (errors are uniform over
+/// the other classes). Deterministic given the seed.
+AnswerSet SimulateAnswers(const LaborMarket& market, const Assignment& a,
+                          std::uint64_t seed, int num_labels = 2);
+
+}  // namespace mbta
+
+#endif  // MBTA_SIM_ANSWERS_H_

@@ -1,0 +1,66 @@
+#include "util/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace mbta {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : skew_(s) {
+  MBTA_CHECK(n > 0);
+  MBTA_CHECK(s >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_[r] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(std::size_t r) const {
+  MBTA_CHECK(r < cdf_.size());
+  return r == 0 ? cdf_[0] : cdf_[r] - cdf_[r - 1];
+}
+
+std::vector<std::size_t> SampleDistinct(Rng& rng, std::size_t n,
+                                        std::size_t k) {
+  MBTA_CHECK(k <= n);
+  // Floyd's sampling: for j in [n-k, n), pick t in [0, j]; insert t or j.
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(k * 2);
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const std::size_t t = rng.NextBounded(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+double ClippedGaussian(Rng& rng, double mean, double stddev, double lo,
+                       double hi) {
+  MBTA_CHECK(lo <= hi);
+  const double x = mean + stddev * rng.NextGaussian();
+  return std::clamp(x, lo, hi);
+}
+
+double LogNormal(Rng& rng, double mu, double sigma) {
+  return std::exp(mu + sigma * rng.NextGaussian());
+}
+
+}  // namespace mbta

@@ -1,0 +1,60 @@
+#ifndef MBTA_UTIL_DISTRIBUTION_H_
+#define MBTA_UTIL_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mbta {
+
+/// Zipf-distributed integer sampler over {0, 1, ..., n-1} with skew
+/// parameter `s >= 0`. Rank r is drawn with probability proportional to
+/// 1 / (r+1)^s. s == 0 degenerates to the uniform distribution.
+///
+/// Implemented by precomputing the CDF (the generators in this repository
+/// use n up to a few hundred thousand, where an O(n) table is the fastest
+/// and simplest unbiased option). Sampling is O(log n) by binary search.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draws one rank in [0, n).
+  std::size_t Sample(Rng& rng) const;
+
+  std::size_t n() const { return cdf_.size(); }
+  double skew() const { return skew_; }
+
+  /// Probability mass of rank r.
+  double Pmf(std::size_t r) const;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r)
+  double skew_;
+};
+
+/// Samples `k` distinct indices from [0, n) uniformly at random
+/// (Floyd's algorithm; O(k) expected). Requires k <= n.
+std::vector<std::size_t> SampleDistinct(Rng& rng, std::size_t n,
+                                        std::size_t k);
+
+/// In-place Fisher–Yates shuffle.
+template <typename T>
+void Shuffle(Rng& rng, std::vector<T>& v) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const std::size_t j = rng.NextBounded(i);
+    using std::swap;
+    swap(v[i - 1], v[j]);
+  }
+}
+
+/// Normal variate clipped to [lo, hi].
+double ClippedGaussian(Rng& rng, double mean, double stddev, double lo,
+                       double hi);
+
+/// Log-normal variate: exp(N(mu, sigma^2)).
+double LogNormal(Rng& rng, double mu, double sigma);
+
+}  // namespace mbta
+
+#endif  // MBTA_UTIL_DISTRIBUTION_H_

@@ -1,0 +1,36 @@
+#ifndef MBTA_UTIL_STATS_H_
+#define MBTA_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace mbta {
+
+/// Descriptive statistics over a sample of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+/// Computes count/mean/stddev/min/max/sum. Empty input yields all zeros.
+Summary Summarize(const std::vector<double>& xs);
+
+/// p-th percentile (p in [0,100]) by linear interpolation between closest
+/// ranks. Empty input returns 0.
+double Percentile(std::vector<double> xs, double p);
+
+/// Jain's fairness index: (Σx)² / (n · Σx²). 1.0 = perfectly even,
+/// 1/n = maximally unfair. Empty or all-zero input returns 0.
+double JainFairnessIndex(const std::vector<double>& xs);
+
+/// Gini coefficient in [0, 1] for non-negative values; 0 = perfect
+/// equality. Empty or zero-sum input returns 0.
+double GiniCoefficient(std::vector<double> xs);
+
+}  // namespace mbta
+
+#endif  // MBTA_UTIL_STATS_H_

@@ -1,0 +1,104 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mbta {
+
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i >= s.size()) return false;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != 'e' && c != 'E' && c != '-' && c != '+' && c != '%') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  MBTA_CHECK(!header_.empty());
+}
+
+std::string Table::Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  std::string s(buf);
+  // Trim trailing zeros but keep at least one digit after the point.
+  const std::size_t dot = s.find('.');
+  if (dot != std::string::npos) {
+    std::size_t last = s.find_last_not_of('0');
+    if (last == dot) last = dot + 1;
+    s.erase(last + 1);
+  }
+  return s;
+}
+
+std::string Table::Num(std::int64_t v) { return std::to_string(v); }
+
+void Table::AddRow(std::vector<std::string> cells) {
+  MBTA_CHECK_MSG(cells.size() == header_.size(),
+                 "row has %zu cells, header has %zu", cells.size(),
+                 header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << "  ";
+      const std::size_t pad = widths[c] - row[c].size();
+      if (LooksNumeric(row[c])) {
+        os << std::string(pad, ' ') << row[c];
+      } else {
+        os << row[c] << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c > 0 ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::ToCsv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace mbta

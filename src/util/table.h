@@ -1,0 +1,43 @@
+#ifndef MBTA_UTIL_TABLE_H_
+#define MBTA_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace mbta {
+
+/// Plain-text table printer used by the benchmark harness to reproduce the
+/// paper's tables and figure series as aligned rows on stdout.
+///
+///   Table t({"solver", "MB", "time(ms)"});
+///   t.AddRow({"greedy", Table::Num(12.5), Table::Num(3.1)});
+///   std::cout << t.ToString();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Formats a double with 4 significant decimals, trimming trailing zeros.
+  static std::string Num(double v);
+  /// Formats an integer.
+  static std::string Num(std::int64_t v);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the table with a header rule; numeric-looking cells are
+  /// right-aligned, everything else left-aligned.
+  std::string ToString() const;
+
+  /// Renders as CSV (no alignment, comma-separated, header first).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mbta
+
+#endif  // MBTA_UTIL_TABLE_H_

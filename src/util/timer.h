@@ -1,0 +1,31 @@
+#ifndef MBTA_UTIL_TIMER_H_
+#define MBTA_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace mbta {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Restart, in milliseconds.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSec() const { return ElapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mbta
+
+#endif  // MBTA_UTIL_TIMER_H_

@@ -1,0 +1,153 @@
+#include "sim/aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_markets.h"
+#include "util/rng.h"
+
+namespace mbta {
+namespace {
+
+AnswerSet MakeAnswers(std::vector<Label> truth,
+                      std::vector<std::vector<Answer>> answers) {
+  AnswerSet s;
+  s.truth = std::move(truth);
+  s.answers = std::move(answers);
+  return s;
+}
+
+TEST(MajorityVoteTest, UnanimousAnswer) {
+  const AnswerSet s = MakeAnswers(
+      {1}, {{{0, 1, 0.8}, {1, 1, 0.8}, {2, 1, 0.8}}});
+  const Predictions p = MajorityVote().Aggregate(s);
+  EXPECT_EQ(p[0], 1);
+}
+
+TEST(MajorityVoteTest, MajorityWinsOverMinority) {
+  const AnswerSet s = MakeAnswers(
+      {0}, {{{0, 0, 0.8}, {1, 0, 0.8}, {2, 1, 0.8}}});
+  EXPECT_EQ(MajorityVote().Aggregate(s)[0], 0);
+}
+
+TEST(MajorityVoteTest, UnansweredTaskGetsNoLabel) {
+  const AnswerSet s = MakeAnswers({0, 1}, {{}, {{0, 1, 0.8}}});
+  const Predictions p = MajorityVote().Aggregate(s);
+  EXPECT_EQ(p[0], kNoLabel);
+  EXPECT_EQ(p[1], 1);
+}
+
+TEST(MajorityVoteTest, TieBreaksTowardOne) {
+  const AnswerSet s = MakeAnswers({0}, {{{0, 0, 0.8}, {1, 1, 0.8}}});
+  EXPECT_EQ(MajorityVote().Aggregate(s)[0], 1);
+}
+
+TEST(WeightedVoteTest, HighQualityMinorityOverridesLowQualityMajority) {
+  // Two coin-flippers say 0, one expert says 1.
+  const AnswerSet s = MakeAnswers(
+      {1}, {{{0, 0, 0.55}, {1, 0, 0.55}, {2, 1, 0.99}}});
+  EXPECT_EQ(MajorityVote().Aggregate(s)[0], 0);
+  EXPECT_EQ(WeightedVote().Aggregate(s)[0], 1);
+}
+
+TEST(WeightedVoteTest, EqualQualityReducesToMajority) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Answer> as;
+    const int n = 3 + static_cast<int>(rng.NextBounded(5));
+    for (int i = 0; i < n; ++i) {
+      as.push_back({static_cast<WorkerId>(i),
+                    static_cast<Label>(rng.NextBool(0.5) ? 1 : 0), 0.8});
+    }
+    const AnswerSet s = MakeAnswers({1}, {as});
+    // Strict majority (no tie): both agree.
+    int ones = 0;
+    for (const Answer& a : as) ones += a.label;
+    if (2 * ones != n) {
+      EXPECT_EQ(WeightedVote().Aggregate(s)[0],
+                MajorityVote().Aggregate(s)[0]);
+    }
+  }
+}
+
+TEST(DawidSkeneTest, AgreesWithMajorityOnHomogeneousWorkers) {
+  const AnswerSet s = MakeAnswers(
+      {1, 0},
+      {{{0, 1, 0.8}, {1, 1, 0.8}, {2, 0, 0.8}},
+       {{0, 0, 0.8}, {1, 0, 0.8}, {2, 1, 0.8}}});
+  const Predictions ds = DawidSkene().Aggregate(s);
+  EXPECT_EQ(ds[0], 1);
+  EXPECT_EQ(ds[1], 0);
+}
+
+TEST(DawidSkeneTest, LearnsWorkerAccuracies) {
+  // Worker 0 always agrees with the (recoverable) consensus; worker 2
+  // always disagrees. DS should rank accuracy(w0) > accuracy(w2).
+  Rng rng(17);
+  const std::size_t num_tasks = 200;
+  std::vector<Label> truth(num_tasks);
+  std::vector<std::vector<Answer>> answers(num_tasks);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    truth[t] = rng.NextBool(0.5) ? 1 : 0;
+    const Label good = truth[t];
+    const Label bad = static_cast<Label>(1 - good);
+    // Three reliable-ish workers and one adversary.
+    answers[t].push_back({0, good, 0.9});
+    answers[t].push_back({1, rng.NextBool(0.8) ? good : bad, 0.8});
+    answers[t].push_back({2, bad, 0.9});
+    answers[t].push_back({3, rng.NextBool(0.7) ? good : bad, 0.7});
+  }
+  const AnswerSet s = MakeAnswers(std::move(truth), std::move(answers));
+  std::vector<double> acc;
+  DawidSkene ds;
+  const Predictions p = ds.AggregateWithAccuracies(s, 4, &acc);
+  EXPECT_GT(acc[0], acc[2]);
+  EXPECT_GT(acc[0], 0.8);
+  EXPECT_LT(acc[2], 0.3);
+  EXPECT_GT(LabelAccuracy(s, p), 0.95);
+}
+
+TEST(DawidSkeneTest, BeatsMajorityWithHeterogeneousCrowd) {
+  // 1 expert (q=0.95) + 4 near-random workers (q=0.55) per task. Majority
+  // is dominated by noise; DS discovers the expert.
+  Rng rng(23);
+  const std::size_t num_tasks = 400;
+  std::vector<Label> truth(num_tasks);
+  std::vector<std::vector<Answer>> answers(num_tasks);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    truth[t] = rng.NextBool(0.5) ? 1 : 0;
+    const Label good = truth[t];
+    const Label bad = static_cast<Label>(1 - good);
+    answers[t].push_back({0, rng.NextBool(0.95) ? good : bad, 0.95});
+    for (WorkerId w = 1; w <= 4; ++w) {
+      answers[t].push_back({w, rng.NextBool(0.55) ? good : bad, 0.55});
+    }
+  }
+  const AnswerSet s = MakeAnswers(std::move(truth), std::move(answers));
+  const double mv = LabelAccuracy(s, MajorityVote().Aggregate(s));
+  const double ds = LabelAccuracy(s, DawidSkene().Aggregate(s));
+  EXPECT_GT(ds, mv);
+  EXPECT_GT(ds, 0.85);
+}
+
+TEST(LabelAccuracyTest, CountsOnlyAnsweredTasks) {
+  const AnswerSet s = MakeAnswers(
+      {1, 0, 1}, {{{0, 1, 0.8}}, {}, {{0, 0, 0.8}}});
+  const Predictions p = MajorityVote().Aggregate(s);
+  // Task 0 correct, task 1 unanswered (ignored), task 2 wrong: 1/2.
+  EXPECT_DOUBLE_EQ(LabelAccuracy(s, p), 0.5);
+}
+
+TEST(LabelAccuracyTest, NoAnswersGivesZero) {
+  const AnswerSet s = MakeAnswers({1, 0}, {{}, {}});
+  EXPECT_DOUBLE_EQ(LabelAccuracy(s, MajorityVote().Aggregate(s)), 0.0);
+}
+
+TEST(TaskCoverageTest, FractionOfAnsweredTasks) {
+  const AnswerSet s = MakeAnswers(
+      {1, 0, 1, 0}, {{{0, 1, 0.8}}, {}, {{1, 0, 0.8}}, {}});
+  EXPECT_DOUBLE_EQ(TaskCoverage(s), 0.5);
+  EXPECT_DOUBLE_EQ(TaskCoverage(MakeAnswers({}, {})), 0.0);
+}
+
+}  // namespace
+}  // namespace mbta

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "sim/aggregation.h"
+#include "util/rng.h"
+
+namespace mbta {
+namespace {
+
+AnswerSet MakeAnswers(std::vector<Label> truth,
+                      std::vector<std::vector<Answer>> answers) {
+  AnswerSet s;
+  s.truth = std::move(truth);
+  s.answers = std::move(answers);
+  return s;
+}
+
+TEST(DawidSkeneTwoCoinTest, AgreesWithOneCoinOnSymmetricWorkers) {
+  Rng rng(3);
+  const std::size_t num_tasks = 300;
+  std::vector<Label> truth(num_tasks);
+  std::vector<std::vector<Answer>> answers(num_tasks);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    truth[t] = rng.NextBool(0.5) ? 1 : 0;
+    const Label good = truth[t];
+    const Label bad = static_cast<Label>(1 - good);
+    for (WorkerId w = 0; w < 5; ++w) {
+      answers[t].push_back({w, rng.NextBool(0.8) ? good : bad, 0.8});
+    }
+  }
+  const AnswerSet s = MakeAnswers(std::move(truth), std::move(answers));
+  const double one = LabelAccuracy(s, DawidSkene().Aggregate(s));
+  const double two = LabelAccuracy(s, DawidSkeneTwoCoin().Aggregate(s));
+  EXPECT_NEAR(one, two, 0.03);
+  EXPECT_GT(two, 0.9);
+}
+
+TEST(DawidSkeneTwoCoinTest, LearnsAsymmetricConfusion) {
+  // Worker 0: perfect on truth-1 tasks, coin flip on truth-0 tasks
+  // (sensitivity ~1, specificity ~0.5).
+  Rng rng(7);
+  const std::size_t num_tasks = 400;
+  std::vector<Label> truth(num_tasks);
+  std::vector<std::vector<Answer>> answers(num_tasks);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    truth[t] = rng.NextBool(0.5) ? 1 : 0;
+    const Label good = truth[t];
+    const Label bad = static_cast<Label>(1 - good);
+    const Label w0 =
+        truth[t] == 1 ? Label{1} : (rng.NextBool(0.5) ? good : bad);
+    answers[t].push_back({0, w0, 0.75});
+    // Three solid symmetric workers anchor the truth.
+    for (WorkerId w = 1; w <= 3; ++w) {
+      answers[t].push_back({w, rng.NextBool(0.85) ? good : bad, 0.85});
+    }
+  }
+  const AnswerSet s = MakeAnswers(std::move(truth), std::move(answers));
+  std::vector<double> sens, spec;
+  DawidSkeneTwoCoin ds;
+  ds.AggregateWithConfusion(s, 4, &sens, &spec);
+  EXPECT_GT(sens[0], 0.9);
+  EXPECT_LT(spec[0], 0.65);
+  EXPECT_GT(spec[1], 0.75);  // symmetric worker: both parameters high
+  EXPECT_GT(sens[1], 0.75);
+}
+
+TEST(DawidSkeneTwoCoinTest, DiscountsAlwaysOneSpammers) {
+  // Two spammers answer 1 regardless of truth; two honest workers at 0.8.
+  // Majority vote is wrecked on truth-0 tasks (spammers outvote ties);
+  // two-coin DS learns the spammers carry no information and recovers.
+  Rng rng(11);
+  const std::size_t num_tasks = 500;
+  std::vector<Label> truth(num_tasks);
+  std::vector<std::vector<Answer>> answers(num_tasks);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    truth[t] = rng.NextBool(0.5) ? 1 : 0;
+    const Label good = truth[t];
+    const Label bad = static_cast<Label>(1 - good);
+    answers[t].push_back({0, 1, 0.75});  // spammer
+    answers[t].push_back({1, 1, 0.75});  // spammer
+    answers[t].push_back({2, rng.NextBool(0.8) ? good : bad, 0.8});
+    answers[t].push_back({3, rng.NextBool(0.8) ? good : bad, 0.8});
+  }
+  const AnswerSet s = MakeAnswers(std::move(truth), std::move(answers));
+  const double mv = LabelAccuracy(s, MajorityVote().Aggregate(s));
+  const double two = LabelAccuracy(s, DawidSkeneTwoCoin().Aggregate(s));
+  EXPECT_GT(two, mv + 0.05);
+  EXPECT_GT(two, 0.75);
+}
+
+TEST(DawidSkeneTwoCoinTest, UnansweredTasksGetNoLabel) {
+  const AnswerSet s = MakeAnswers({1, 0}, {{}, {{0, 0, 0.8}}});
+  const Predictions p = DawidSkeneTwoCoin().Aggregate(s);
+  EXPECT_EQ(p[0], kNoLabel);
+  EXPECT_NE(p[1], kNoLabel);
+}
+
+}  // namespace
+}  // namespace mbta

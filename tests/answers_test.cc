@@ -1,0 +1,102 @@
+#include "sim/answers.h"
+
+#include <gtest/gtest.h>
+
+#include "market/objective.h"
+#include "tests/test_markets.h"
+
+namespace mbta {
+namespace {
+
+TEST(SimulateAnswersTest, EmptyAssignmentHasTruthsButNoAnswers) {
+  const LaborMarket m = MakeTestMarket({1}, {1, 1},
+                                       {{0, 0, 0.8, 1.0}});
+  const AnswerSet set = SimulateAnswers(m, Assignment{}, 1);
+  EXPECT_EQ(set.NumTasks(), 2u);
+  EXPECT_EQ(set.NumAnswers(), 0u);
+  for (Label l : set.truth) EXPECT_TRUE(l == 0 || l == 1);
+}
+
+TEST(SimulateAnswersTest, OneAnswerPerAssignedEdge) {
+  const LaborMarket m = MakeTestMarket(
+      {2, 1}, {2, 1},
+      {{0, 0, 0.8, 1.0}, {0, 1, 0.8, 1.0}, {1, 0, 0.8, 1.0}});
+  const Assignment a{{0, 1, 2}};
+  const AnswerSet set = SimulateAnswers(m, a, 2);
+  EXPECT_EQ(set.NumAnswers(), 3u);
+  EXPECT_EQ(set.answers[0].size(), 2u);
+  EXPECT_EQ(set.answers[1].size(), 1u);
+}
+
+TEST(SimulateAnswersTest, DeterministicPerSeed) {
+  Rng rng(3);
+  const LaborMarket m = RandomTestMarket(rng, 8, 8, 0.5);
+  Assignment a;
+  for (EdgeId e = 0; e < m.NumEdges(); e += 2) a.edges.push_back(e);
+  // Keep only a feasible subset: filter greedily.
+  Assignment feasible;
+  {
+    MutualBenefitObjective obj(&m, {});
+    ObjectiveState state(&obj);
+    for (EdgeId e : a.edges) {
+      if (state.CanAdd(e)) {
+        state.Add(e);
+        feasible.edges.push_back(e);
+      }
+    }
+  }
+  const AnswerSet s1 = SimulateAnswers(m, feasible, 7);
+  const AnswerSet s2 = SimulateAnswers(m, feasible, 7);
+  EXPECT_EQ(s1.truth, s2.truth);
+  ASSERT_EQ(s1.NumAnswers(), s2.NumAnswers());
+  for (std::size_t t = 0; t < s1.NumTasks(); ++t) {
+    ASSERT_EQ(s1.answers[t].size(), s2.answers[t].size());
+    for (std::size_t i = 0; i < s1.answers[t].size(); ++i) {
+      EXPECT_EQ(s1.answers[t][i].label, s2.answers[t][i].label);
+      EXPECT_EQ(s1.answers[t][i].worker, s2.answers[t][i].worker);
+    }
+  }
+}
+
+TEST(SimulateAnswersTest, AnswerCarriesEdgeQuality) {
+  const LaborMarket m = MakeTestMarket({1}, {1}, {{0, 0, 0.77, 1.0}});
+  const AnswerSet set = SimulateAnswers(m, Assignment{{0}}, 5);
+  ASSERT_EQ(set.answers[0].size(), 1u);
+  EXPECT_DOUBLE_EQ(set.answers[0][0].quality, 0.77);
+  EXPECT_EQ(set.answers[0][0].worker, 0u);
+}
+
+TEST(SimulateAnswersTest, HighQualityWorkerMostlyCorrect) {
+  // One worker with q = 0.95 answering 2000 independent tasks.
+  LaborMarketBuilder b;
+  Worker w;
+  w.capacity = 2000;
+  b.AddWorker(w);
+  Assignment a;
+  for (int i = 0; i < 2000; ++i) {
+    Task t;
+    t.capacity = 1;
+    b.AddTask(t);
+    a.edges.push_back(static_cast<EdgeId>(i));
+  }
+  for (TaskId t = 0; t < 2000; ++t) b.AddEdge(0, t, {0.95, 1.0});
+  const LaborMarket m = b.Build();
+  const AnswerSet set = SimulateAnswers(m, a, 11);
+  int correct = 0;
+  for (std::size_t t = 0; t < set.NumTasks(); ++t) {
+    ASSERT_EQ(set.answers[t].size(), 1u);
+    if (set.answers[t][0].label == set.truth[t]) ++correct;
+  }
+  EXPECT_NEAR(static_cast<double>(correct) / 2000.0, 0.95, 0.02);
+}
+
+TEST(SimulateAnswersTest, TruthRoughlyBalanced) {
+  const LaborMarket m = MakeTestMarket({1}, std::vector<int>(3000, 1), {});
+  const AnswerSet set = SimulateAnswers(m, Assignment{}, 13);
+  int ones = 0;
+  for (Label l : set.truth) ones += l;
+  EXPECT_NEAR(static_cast<double>(ones) / 3000.0, 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace mbta

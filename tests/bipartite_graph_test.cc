@@ -1,0 +1,148 @@
+#include "graph/bipartite_graph.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mbta {
+namespace {
+
+TEST(BipartiteGraphTest, EmptyGraph) {
+  BipartiteGraphBuilder b(0, 0);
+  const BipartiteGraph g = b.Build();
+  EXPECT_EQ(g.NumLeft(), 0u);
+  EXPECT_EQ(g.NumRight(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(BipartiteGraphTest, VerticesWithoutEdges) {
+  BipartiteGraphBuilder b(3, 2);
+  const BipartiteGraph g = b.Build();
+  EXPECT_EQ(g.NumLeft(), 3u);
+  EXPECT_EQ(g.NumRight(), 2u);
+  for (VertexId l = 0; l < 3; ++l) EXPECT_EQ(g.LeftDegree(l), 0u);
+  for (VertexId r = 0; r < 2; ++r) EXPECT_EQ(g.RightDegree(r), 0u);
+}
+
+TEST(BipartiteGraphTest, EdgeIdsFollowInsertionOrder) {
+  BipartiteGraphBuilder b(2, 2);
+  EXPECT_EQ(b.AddEdge(0, 1), 0u);
+  EXPECT_EQ(b.AddEdge(1, 0), 1u);
+  EXPECT_EQ(b.AddEdge(0, 0), 2u);
+  const BipartiteGraph g = b.Build();
+  EXPECT_EQ(g.EdgeLeft(0), 0u);
+  EXPECT_EQ(g.EdgeRight(0), 1u);
+  EXPECT_EQ(g.EdgeLeft(1), 1u);
+  EXPECT_EQ(g.EdgeRight(1), 0u);
+  EXPECT_EQ(g.EdgeLeft(2), 0u);
+  EXPECT_EQ(g.EdgeRight(2), 0u);
+}
+
+TEST(BipartiteGraphTest, AdjacencyFromBothSides) {
+  BipartiteGraphBuilder b(3, 3);
+  b.AddEdge(0, 0);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 1);
+  const BipartiteGraph g = b.Build();
+
+  EXPECT_EQ(g.LeftDegree(0), 2u);
+  EXPECT_EQ(g.LeftDegree(1), 0u);
+  EXPECT_EQ(g.LeftDegree(2), 1u);
+  EXPECT_EQ(g.RightDegree(0), 1u);
+  EXPECT_EQ(g.RightDegree(1), 2u);
+  EXPECT_EQ(g.RightDegree(2), 0u);
+
+  std::set<VertexId> left0_neighbors;
+  for (const Incidence& inc : g.LeftNeighbors(0)) {
+    left0_neighbors.insert(inc.vertex);
+  }
+  EXPECT_EQ(left0_neighbors, (std::set<VertexId>{0, 1}));
+
+  std::set<VertexId> right1_neighbors;
+  for (const Incidence& inc : g.RightNeighbors(1)) {
+    right1_neighbors.insert(inc.vertex);
+  }
+  EXPECT_EQ(right1_neighbors, (std::set<VertexId>{0, 2}));
+}
+
+TEST(BipartiteGraphTest, IncidenceEdgeIdsConsistent) {
+  BipartiteGraphBuilder b(2, 2);
+  b.AddEdge(0, 0);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 1);
+  const BipartiteGraph g = b.Build();
+  for (VertexId l = 0; l < g.NumLeft(); ++l) {
+    for (const Incidence& inc : g.LeftNeighbors(l)) {
+      EXPECT_EQ(g.EdgeLeft(inc.edge), l);
+      EXPECT_EQ(g.EdgeRight(inc.edge), inc.vertex);
+    }
+  }
+  for (VertexId r = 0; r < g.NumRight(); ++r) {
+    for (const Incidence& inc : g.RightNeighbors(r)) {
+      EXPECT_EQ(g.EdgeRight(inc.edge), r);
+      EXPECT_EQ(g.EdgeLeft(inc.edge), inc.vertex);
+    }
+  }
+}
+
+TEST(BipartiteGraphTest, FindEdgePresentAndAbsent) {
+  BipartiteGraphBuilder b(3, 3);
+  const EdgeId e01 = b.AddEdge(0, 1);
+  const EdgeId e22 = b.AddEdge(2, 2);
+  const BipartiteGraph g = b.Build();
+  EXPECT_EQ(g.FindEdge(0, 1), e01);
+  EXPECT_EQ(g.FindEdge(2, 2), e22);
+  EXPECT_EQ(g.FindEdge(0, 0), kInvalidEdge);
+  EXPECT_EQ(g.FindEdge(1, 1), kInvalidEdge);
+}
+
+TEST(BipartiteGraphDeathTest, DuplicateEdgeRejectedAtBuild) {
+  BipartiteGraphBuilder b(2, 2);
+  b.AddEdge(0, 0);
+  b.AddEdge(0, 0);
+  EXPECT_DEATH(b.Build(), "duplicate edge");
+}
+
+TEST(BipartiteGraphDeathTest, OutOfRangeEndpointsRejected) {
+  BipartiteGraphBuilder b(2, 2);
+  EXPECT_DEATH(b.AddEdge(2, 0), "MBTA_CHECK");
+  EXPECT_DEATH(b.AddEdge(0, 2), "MBTA_CHECK");
+}
+
+class RandomGraphTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGraphTest, CsrConsistentWithEdgeList) {
+  Rng rng(GetParam());
+  const std::size_t nl = 1 + rng.NextBounded(40);
+  const std::size_t nr = 1 + rng.NextBounded(40);
+  BipartiteGraphBuilder b(nl, nr);
+  std::set<std::pair<VertexId, VertexId>> pairs;
+  const std::size_t want = rng.NextBounded(nl * nr + 1);
+  while (pairs.size() < want) {
+    pairs.emplace(rng.NextBounded(nl), rng.NextBounded(nr));
+  }
+  for (const auto& [l, r] : pairs) b.AddEdge(l, r);
+  const BipartiteGraph g = b.Build();
+
+  ASSERT_EQ(g.NumEdges(), pairs.size());
+  // Sum of degrees on each side equals the edge count.
+  std::size_t left_sum = 0, right_sum = 0;
+  for (VertexId l = 0; l < nl; ++l) left_sum += g.LeftDegree(l);
+  for (VertexId r = 0; r < nr; ++r) right_sum += g.RightDegree(r);
+  EXPECT_EQ(left_sum, pairs.size());
+  EXPECT_EQ(right_sum, pairs.size());
+  // Every inserted pair is findable, and FindEdge endpoints agree.
+  for (const auto& [l, r] : pairs) {
+    const EdgeId e = g.FindEdge(l, r);
+    ASSERT_NE(e, kInvalidEdge);
+    EXPECT_EQ(g.EdgeLeft(e), l);
+    EXPECT_EQ(g.EdgeRight(e), r);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace mbta

@@ -1,0 +1,86 @@
+#include "core/brute_force_solver.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_markets.h"
+
+namespace mbta {
+namespace {
+
+/// Naive reference: enumerate all edge subsets without pruning.
+double NaiveOptimum(const MutualBenefitObjective& obj) {
+  const LaborMarket& m = obj.market();
+  const std::size_t n = m.NumEdges();
+  double best = 0.0;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    Assignment a;
+    for (std::size_t e = 0; e < n; ++e) {
+      if (mask & (1u << e)) a.edges.push_back(static_cast<EdgeId>(e));
+    }
+    if (IsFeasible(m, a)) best = std::max(best, obj.Value(a));
+  }
+  return best;
+}
+
+TEST(BruteForceSolverTest, EmptyMarket) {
+  const LaborMarket m = MakeTestMarket({}, {}, {});
+  const MbtaProblem p{&m, {}};
+  EXPECT_TRUE(BruteForceSolver().Solve(p).empty());
+}
+
+TEST(BruteForceSolverTest, TakesProfitableSingleton) {
+  const LaborMarket m = MakeTestMarket({1}, {1}, {{0, 0, 0.8, 1.0}});
+  const MbtaProblem p{&m, {}};
+  EXPECT_EQ(BruteForceSolver().Solve(p).size(), 1u);
+}
+
+TEST(BruteForceSolverTest, SolvesGreedyTrapOptimally) {
+  const LaborMarket m = MakeTestMarket(
+      {1, 1}, {1, 1},
+      {{0, 0, 0.5, 10.0}, {0, 1, 0.5, 9.0}, {1, 0, 0.5, 9.0}},
+      {0.0, 0.0});
+  const MbtaProblem p{&m, {.alpha = 0.0, .kind = ObjectiveKind::kModular}};
+  const MutualBenefitObjective obj = p.MakeObjective();
+  EXPECT_NEAR(obj.Value(BruteForceSolver().Solve(p)), 18.0, 1e-9);
+}
+
+class BruteForcePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BruteForcePropertyTest, PrunedSearchMatchesNaiveEnumeration) {
+  Rng rng(GetParam() * 41 + 13);
+  const LaborMarket m = RandomTestMarket(rng, 4, 4, 0.4);
+  if (m.NumEdges() > 12) GTEST_SKIP() << "too large for naive enumeration";
+  for (ObjectiveKind kind :
+       {ObjectiveKind::kModular, ObjectiveKind::kSubmodular}) {
+    const MbtaProblem p{&m, {.alpha = 0.5, .kind = kind}};
+    const MutualBenefitObjective obj = p.MakeObjective();
+    const Assignment a = BruteForceSolver().Solve(p);
+    EXPECT_TRUE(IsFeasible(m, a));
+    EXPECT_NEAR(obj.Value(a), NaiveOptimum(obj), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BruteForcePropertyTest,
+                         ::testing::Range(0, 25));
+
+TEST(BruteForceSolverDeathTest, RefusesLargeInstances) {
+  Rng rng(1);
+  LaborMarketBuilder b;
+  for (int i = 0; i < 30; ++i) {
+    Worker w;
+    w.capacity = 1;
+    b.AddWorker(w);
+  }
+  Task t;
+  t.capacity = 30;
+  b.AddTask(t);
+  for (WorkerId w = 0; w < 30; ++w) b.AddEdge(w, 0, {0.8, 1.0});
+  const LaborMarket m = b.Build();
+  const MbtaProblem p{&m, {}};
+  EXPECT_DEATH(BruteForceSolver().Solve(p), "brute force limited");
+}
+
+}  // namespace
+}  // namespace mbta

@@ -1,0 +1,162 @@
+/// Tests for k-ary (categorical) labeling: simulation and truth inference
+/// beyond the binary default.
+
+#include <gtest/gtest.h>
+
+#include "core/greedy_solver.h"
+#include "gen/market_generator.h"
+#include "sim/aggregation.h"
+#include "sim/answers.h"
+#include "tests/test_markets.h"
+
+namespace mbta {
+namespace {
+
+AnswerSet Simulate(int num_labels, std::uint64_t seed,
+                   std::size_t workers = 200) {
+  const LaborMarket m =
+      GenerateMarket(MTurkLikeConfig(workers, seed));
+  const MbtaProblem p{&m, {.alpha = 0.8,
+                           .kind = ObjectiveKind::kSubmodular}};
+  const Assignment a = GreedySolver().Solve(p);
+  return SimulateAnswers(m, a, seed + 1000, num_labels);
+}
+
+TEST(CategoricalTest, LabelsStayInAlphabet) {
+  for (int k : {2, 3, 5, 10}) {
+    const AnswerSet s = Simulate(k, 7);
+    EXPECT_EQ(s.num_labels, k);
+    for (Label t : s.truth) {
+      EXPECT_GE(t, 0);
+      EXPECT_LT(t, k);
+    }
+    for (const auto& as : s.answers) {
+      for (const Answer& a : as) {
+        EXPECT_GE(a.label, 0);
+        EXPECT_LT(a.label, k);
+      }
+    }
+  }
+}
+
+TEST(CategoricalTest, TruthRoughlyUniformOverClasses) {
+  const LaborMarket m = MakeTestMarket({1}, std::vector<int>(5000, 1), {});
+  const AnswerSet s = SimulateAnswers(m, Assignment{}, 3, 5);
+  std::vector<int> counts(5, 0);
+  for (Label t : s.truth) ++counts[t];
+  for (int c : counts) EXPECT_NEAR(c, 1000, 120);
+}
+
+TEST(CategoricalTest, WrongAnswersSpreadOverOtherClasses) {
+  // A single low-quality worker answering many 4-class tasks: wrong
+  // answers should cover all three other classes.
+  LaborMarketBuilder b;
+  Worker w;
+  w.capacity = 3000;
+  b.AddWorker(w);
+  Assignment a;
+  for (int i = 0; i < 3000; ++i) {
+    Task t;
+    t.capacity = 1;
+    b.AddTask(t);
+    a.edges.push_back(static_cast<EdgeId>(i));
+  }
+  for (TaskId t = 0; t < 3000; ++t) b.AddEdge(0, t, {0.5, 1.0});
+  const LaborMarket m = b.Build();
+  const AnswerSet s = SimulateAnswers(m, a, 11, 4);
+  // Count the offset (answer − truth mod 4) of wrong answers.
+  std::vector<int> offsets(4, 0);
+  for (std::size_t t = 0; t < s.NumTasks(); ++t) {
+    const int diff = (s.answers[t][0].label - s.truth[t] + 4) % 4;
+    ++offsets[diff];
+  }
+  // q = 0.5: about half correct, the rest ~uniform over offsets 1..3.
+  EXPECT_NEAR(offsets[0], 1500, 150);
+  for (int d = 1; d < 4; ++d) EXPECT_NEAR(offsets[d], 500, 100);
+}
+
+TEST(CategoricalTest, MajorityVoteWorksForKClasses) {
+  AnswerSet s;
+  s.num_labels = 4;
+  s.truth = {2};
+  s.answers = {{{0, 2, 0.8}, {1, 2, 0.8}, {2, 0, 0.8}, {3, 3, 0.8}}};
+  EXPECT_EQ(MajorityVote().Aggregate(s)[0], 2);
+}
+
+TEST(CategoricalTest, WeightedVoteUsesQualityAcrossClasses) {
+  // Two weak votes for class 0 vs one expert vote for class 2.
+  AnswerSet s;
+  s.num_labels = 3;
+  s.truth = {2};
+  s.answers = {{{0, 0, 0.55}, {1, 0, 0.55}, {2, 2, 0.99}}};
+  EXPECT_EQ(MajorityVote().Aggregate(s)[0], 0);
+  EXPECT_EQ(WeightedVote().Aggregate(s)[0], 2);
+}
+
+TEST(CategoricalTest, InferenceAccuracyBeatsGuessingForAllK) {
+  for (int k : {3, 5}) {
+    const AnswerSet s = Simulate(k, 13, 400);
+    const double guess = 1.0 / static_cast<double>(k);
+    EXPECT_GT(LabelAccuracy(s, MajorityVote().Aggregate(s)), guess + 0.2)
+        << "k=" << k;
+    EXPECT_GT(LabelAccuracy(s, WeightedVote().Aggregate(s)), guess + 0.2)
+        << "k=" << k;
+    EXPECT_GT(LabelAccuracy(s, DawidSkene().Aggregate(s)), guess + 0.2)
+        << "k=" << k;
+  }
+}
+
+TEST(CategoricalTest, MoreClassesAreEasierToDisambiguate) {
+  // With uniform errors, wrong voters scatter across k−1 classes, so
+  // plurality voting gets MORE accurate as k grows (at fixed quality).
+  const double acc2 =
+      LabelAccuracy(Simulate(2, 17, 300),
+                    MajorityVote().Aggregate(Simulate(2, 17, 300)));
+  const double acc8 =
+      LabelAccuracy(Simulate(8, 17, 300),
+                    MajorityVote().Aggregate(Simulate(8, 17, 300)));
+  EXPECT_GT(acc8, acc2);
+}
+
+TEST(CategoricalTest, DawidSkeneRecoversAccuraciesForKClasses) {
+  Rng rng(23);
+  const int k = 4;
+  const std::size_t num_tasks = 300;
+  AnswerSet s;
+  s.num_labels = k;
+  s.truth.resize(num_tasks);
+  s.answers.resize(num_tasks);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    s.truth[t] = static_cast<Label>(rng.NextBounded(k));
+    auto answer_of = [&](double q) {
+      if (rng.NextBool(q)) return s.truth[t];
+      return static_cast<Label>(
+          (s.truth[t] + 1 + static_cast<Label>(rng.NextBounded(k - 1))) %
+          k);
+    };
+    s.answers[t].push_back({0, answer_of(0.95), 0.95});
+    s.answers[t].push_back({1, answer_of(0.6), 0.6});
+    s.answers[t].push_back({2, answer_of(0.6), 0.6});
+  }
+  std::vector<double> acc;
+  DawidSkene ds;
+  const Predictions p = ds.AggregateWithAccuracies(s, 3, &acc);
+  EXPECT_GT(acc[0], acc[1]);
+  EXPECT_GT(LabelAccuracy(s, p), 0.85);
+}
+
+TEST(CategoricalDeathTest, TwoCoinRejectsKAry) {
+  AnswerSet s;
+  s.num_labels = 3;
+  s.truth = {0};
+  s.answers = {{{0, 0, 0.8}}};
+  EXPECT_DEATH(DawidSkeneTwoCoin().Aggregate(s), "MBTA_CHECK");
+}
+
+TEST(CategoricalDeathTest, InvalidAlphabetSizeRejected) {
+  const LaborMarket m = MakeTestMarket({1}, {1}, {{0, 0, 0.8, 1.0}});
+  EXPECT_DEATH(SimulateAnswers(m, Assignment{}, 1, 1), "MBTA_CHECK");
+}
+
+}  // namespace
+}  // namespace mbta

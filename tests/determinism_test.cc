@@ -1,0 +1,115 @@
+/// Cross-cutting reproducibility guarantees: every solver is a pure
+/// function of (market, objective, its own seed) — byte-identical output
+/// across repeated invocations — and generated markets are pure functions
+/// of their config. These invariants make every number in EXPERIMENTS.md
+/// reproducible.
+
+#include <gtest/gtest.h>
+
+#include "core/baseline_solvers.h"
+#include "core/budgeted_greedy_solver.h"
+#include "core/exact_flow_solver.h"
+#include "core/greedy_solver.h"
+#include "core/local_search_solver.h"
+#include "core/online_solvers.h"
+#include "core/solver.h"
+#include "core/stable_matching_solver.h"
+#include "core/threshold_solver.h"
+#include "gen/market_generator.h"
+
+namespace mbta {
+namespace {
+
+class SolverDeterminismTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(SolverDeterminismTest, RepeatedSolvesAreIdentical) {
+  const LaborMarket market = GenerateMarket(MTurkLikeConfig(200, 31));
+  const std::string which = GetParam();
+  const ObjectiveKind kind = which == "exact-flow"
+                                 ? ObjectiveKind::kModular
+                                 : ObjectiveKind::kSubmodular;
+  const MbtaProblem p{&market, {.alpha = 0.5, .kind = kind}};
+
+  std::unique_ptr<Solver> solver;
+  if (which == "greedy") solver = std::make_unique<GreedySolver>();
+  if (which == "threshold") solver = std::make_unique<ThresholdSolver>();
+  if (which == "local-search") {
+    solver = std::make_unique<LocalSearchSolver>();
+  }
+  if (which == "stable-da") {
+    solver = std::make_unique<StableMatchingSolver>();
+  }
+  if (which == "matching") solver = std::make_unique<MatchingSolver>();
+  if (which == "worker-centric") {
+    solver = std::make_unique<WorkerCentricSolver>();
+  }
+  if (which == "requester-centric") {
+    solver = std::make_unique<RequesterCentricSolver>();
+  }
+  if (which == "random") solver = std::make_unique<RandomSolver>(5);
+  if (which == "online-greedy") {
+    solver = std::make_unique<OnlineGreedySolver>(5);
+  }
+  if (which == "online-two-phase") {
+    solver = std::make_unique<TwoPhaseOnlineSolver>(5);
+  }
+  if (which == "online-task-greedy") {
+    solver = std::make_unique<TaskArrivalGreedySolver>(5);
+  }
+  if (which == "exact-flow") solver = std::make_unique<ExactFlowSolver>();
+  if (which == "budgeted-greedy") {
+    solver = std::make_unique<BudgetedGreedySolver>(
+        ProportionalBudgets(market, 0.5));
+  }
+  ASSERT_NE(solver, nullptr) << "unknown solver " << which;
+
+  const Assignment first = solver->Solve(p);
+  const Assignment second = solver->Solve(p);
+  EXPECT_EQ(first.edges, second.edges) << which;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSolvers, SolverDeterminismTest,
+    ::testing::Values("greedy", "threshold", "local-search", "stable-da",
+                      "matching", "worker-centric", "requester-centric",
+                      "random", "online-greedy", "online-two-phase",
+                      "online-task-greedy", "exact-flow",
+                      "budgeted-greedy"));
+
+TEST(GeneratorDeterminismTest, AllPresetsBitStable) {
+  for (int preset = 0; preset < 4; ++preset) {
+    auto make = [&]() {
+      switch (preset) {
+        case 0:
+          return GenerateMarket(UniformConfig(120, 120, 9));
+        case 1:
+          return GenerateMarket(ZipfConfig(120, 120, 9));
+        case 2:
+          return GenerateMarket(MTurkLikeConfig(120, 9));
+        default:
+          return GenerateMarket(UpworkLikeConfig(120, 9));
+      }
+    };
+    const LaborMarket a = make();
+    const LaborMarket b = make();
+    ASSERT_EQ(a.NumEdges(), b.NumEdges());
+    for (EdgeId e = 0; e < a.NumEdges(); ++e) {
+      ASSERT_EQ(a.EdgeWorker(e), b.EdgeWorker(e));
+      ASSERT_DOUBLE_EQ(a.Quality(e), b.Quality(e));
+    }
+  }
+}
+
+TEST(SolveInfoDeterminismTest, GainEvaluationCountsStable) {
+  const LaborMarket market = GenerateMarket(UniformConfig(150, 150, 13));
+  const MbtaProblem p{&market,
+                      {.alpha = 0.5, .kind = ObjectiveKind::kSubmodular}};
+  SolveInfo a, b;
+  GreedySolver().Solve(p, &a);
+  GreedySolver().Solve(p, &b);
+  EXPECT_EQ(a.gain_evaluations, b.gain_evaluations);
+}
+
+}  // namespace
+}  // namespace mbta

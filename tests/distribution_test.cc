@@ -1,0 +1,178 @@
+#include "util/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mbta {
+namespace {
+
+TEST(ZipfSamplerTest, PmfSumsToOne) {
+  for (double s : {0.0, 0.5, 1.0, 2.0}) {
+    ZipfSampler z(100, s);
+    double total = 0.0;
+    for (std::size_t r = 0; r < z.n(); ++r) total += z.Pmf(r);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "s=" << s;
+  }
+}
+
+TEST(ZipfSamplerTest, ZeroSkewIsUniform) {
+  ZipfSampler z(50, 0.0);
+  for (std::size_t r = 0; r < 50; ++r) {
+    EXPECT_NEAR(z.Pmf(r), 1.0 / 50.0, 1e-9);
+  }
+}
+
+TEST(ZipfSamplerTest, PmfDecreasesWithRank) {
+  ZipfSampler z(100, 1.2);
+  for (std::size_t r = 1; r < 100; ++r) {
+    EXPECT_LE(z.Pmf(r), z.Pmf(r - 1) + 1e-12);
+  }
+}
+
+TEST(ZipfSamplerTest, HigherSkewConcentratesMass) {
+  ZipfSampler flat(1000, 0.5), steep(1000, 2.0);
+  double flat_top10 = 0.0, steep_top10 = 0.0;
+  for (std::size_t r = 0; r < 10; ++r) {
+    flat_top10 += flat.Pmf(r);
+    steep_top10 += steep.Pmf(r);
+  }
+  EXPECT_GT(steep_top10, flat_top10);
+}
+
+TEST(ZipfSamplerTest, SamplesWithinRange) {
+  ZipfSampler z(10, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(z.Sample(rng), 10u);
+}
+
+TEST(ZipfSamplerTest, EmpiricalFrequencyTracksPmf) {
+  ZipfSampler z(20, 1.0);
+  Rng rng(2);
+  std::vector<int> counts(20, 0);
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[z.Sample(rng)];
+  for (std::size_t r = 0; r < 20; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / kN, z.Pmf(r), 0.01);
+  }
+}
+
+TEST(ZipfSamplerTest, SingleElement) {
+  ZipfSampler z(1, 1.5);
+  Rng rng(3);
+  EXPECT_EQ(z.Sample(rng), 0u);
+  EXPECT_NEAR(z.Pmf(0), 1.0, 1e-12);
+}
+
+TEST(SampleDistinctTest, ReturnsKDistinctInRange) {
+  Rng rng(4);
+  for (std::size_t n : {1u, 5u, 100u}) {
+    for (std::size_t k = 0; k <= n; k += std::max<std::size_t>(1, n / 3)) {
+      const auto sample = SampleDistinct(rng, n, k);
+      EXPECT_EQ(sample.size(), k);
+      std::set<std::size_t> unique(sample.begin(), sample.end());
+      EXPECT_EQ(unique.size(), k);
+      for (std::size_t v : sample) EXPECT_LT(v, n);
+    }
+  }
+}
+
+TEST(SampleDistinctTest, FullSampleIsPermutationOfRange) {
+  Rng rng(5);
+  const auto sample = SampleDistinct(rng, 20, 20);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+}
+
+TEST(SampleDistinctTest, UniformOverSubsets) {
+  // Each element should appear in roughly k/n of the samples.
+  Rng rng(6);
+  constexpr std::size_t kN = 10, kK = 3;
+  constexpr int kTrials = 60000;
+  std::vector<int> appearances(kN, 0);
+  for (int i = 0; i < kTrials; ++i) {
+    for (std::size_t v : SampleDistinct(rng, kN, kK)) ++appearances[v];
+  }
+  for (std::size_t v = 0; v < kN; ++v) {
+    EXPECT_NEAR(static_cast<double>(appearances[v]) / kTrials,
+                static_cast<double>(kK) / kN, 0.02);
+  }
+}
+
+TEST(ShuffleTest, ProducesPermutation) {
+  Rng rng(7);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  Shuffle(rng, v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(ShuffleTest, EmptyAndSingletonAreNoOps) {
+  Rng rng(8);
+  std::vector<int> empty;
+  Shuffle(rng, empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  Shuffle(rng, one);
+  EXPECT_EQ(one[0], 42);
+}
+
+TEST(ShuffleTest, FirstPositionRoughlyUniform) {
+  Rng rng(9);
+  constexpr int kN = 5;
+  constexpr int kTrials = 50000;
+  std::vector<int> counts(kN, 0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<int> v(kN);
+    std::iota(v.begin(), v.end(), 0);
+    Shuffle(rng, v);
+    ++counts[v[0]];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 1.0 / kN, 0.02);
+  }
+}
+
+TEST(ClippedGaussianTest, RespectsBounds) {
+  Rng rng(10);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = ClippedGaussian(rng, 0.0, 10.0, -1.0, 1.0);
+    EXPECT_GE(x, -1.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(ClippedGaussianTest, WideBoundsPreserveMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    sum += ClippedGaussian(rng, 3.0, 1.0, -100.0, 100.0);
+  }
+  EXPECT_NEAR(sum / kN, 3.0, 0.02);
+}
+
+TEST(LogNormalTest, AlwaysPositiveWithCorrectMedian) {
+  Rng rng(12);
+  std::vector<double> xs;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = LogNormal(rng, 1.0, 0.5);
+    ASSERT_GT(x, 0.0);
+    xs.push_back(x);
+  }
+  std::nth_element(xs.begin(), xs.begin() + kN / 2, xs.end());
+  // Median of LogNormal(mu, sigma) is exp(mu).
+  EXPECT_NEAR(xs[kN / 2], std::exp(1.0), 0.1);
+}
+
+}  // namespace
+}  // namespace mbta

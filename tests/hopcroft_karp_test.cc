@@ -1,0 +1,92 @@
+#include "flow/hopcroft_karp.h"
+
+#include <gtest/gtest.h>
+
+#include "flow/max_flow.h"
+#include "util/rng.h"
+
+namespace mbta {
+namespace {
+
+BipartiteGraph MakeGraph(std::size_t nl, std::size_t nr,
+                         const std::vector<std::pair<VertexId, VertexId>>& es) {
+  BipartiteGraphBuilder b(nl, nr);
+  for (const auto& [l, r] : es) b.AddEdge(l, r);
+  return b.Build();
+}
+
+TEST(HopcroftKarpTest, EmptyGraph) {
+  const auto m = MaximumBipartiteMatching(MakeGraph(0, 0, {}));
+  EXPECT_EQ(m.size, 0u);
+}
+
+TEST(HopcroftKarpTest, NoEdges) {
+  const auto m = MaximumBipartiteMatching(MakeGraph(3, 3, {}));
+  EXPECT_EQ(m.size, 0u);
+  for (int x : m.left_match) EXPECT_EQ(x, -1);
+}
+
+TEST(HopcroftKarpTest, PerfectMatchingOnIdentity) {
+  const auto m =
+      MaximumBipartiteMatching(MakeGraph(3, 3, {{0, 0}, {1, 1}, {2, 2}}));
+  EXPECT_EQ(m.size, 3u);
+  EXPECT_EQ(m.left_match[0], 0);
+  EXPECT_EQ(m.left_match[1], 1);
+  EXPECT_EQ(m.left_match[2], 2);
+}
+
+TEST(HopcroftKarpTest, AugmentingPathNeeded) {
+  // l0-{r0,r1}, l1-{r0}: greedy l0->r0 must be flipped so both match.
+  const auto m =
+      MaximumBipartiteMatching(MakeGraph(2, 2, {{0, 0}, {0, 1}, {1, 0}}));
+  EXPECT_EQ(m.size, 2u);
+  EXPECT_EQ(m.left_match[0], 1);
+  EXPECT_EQ(m.left_match[1], 0);
+}
+
+TEST(HopcroftKarpTest, StarGraphMatchesOne) {
+  const auto m = MaximumBipartiteMatching(
+      MakeGraph(4, 1, {{0, 0}, {1, 0}, {2, 0}, {3, 0}}));
+  EXPECT_EQ(m.size, 1u);
+}
+
+TEST(HopcroftKarpTest, MatchArraysConsistent) {
+  const auto g = MakeGraph(3, 4, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 0}});
+  const auto m = MaximumBipartiteMatching(g);
+  std::size_t count = 0;
+  for (VertexId l = 0; l < g.NumLeft(); ++l) {
+    if (m.left_match[l] >= 0) {
+      ++count;
+      EXPECT_EQ(m.right_match[m.left_match[l]], static_cast<int>(l));
+    }
+  }
+  EXPECT_EQ(count, m.size);
+}
+
+class RandomMatchingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMatchingTest, SizeAgreesWithMaxFlow) {
+  Rng rng(GetParam() * 911 + 5);
+  const std::size_t nl = 1 + rng.NextBounded(15);
+  const std::size_t nr = 1 + rng.NextBounded(15);
+  BipartiteGraphBuilder b(nl, nr);
+  MaxFlow mf(nl + nr + 2);
+  const std::size_t src = nl + nr, snk = nl + nr + 1;
+  for (VertexId l = 0; l < nl; ++l) mf.AddArc(src, l, 1);
+  for (VertexId r = 0; r < nr; ++r) mf.AddArc(nl + r, snk, 1);
+  for (VertexId l = 0; l < nl; ++l) {
+    for (VertexId r = 0; r < nr; ++r) {
+      if (rng.NextBool(0.25)) {
+        b.AddEdge(l, r);
+        mf.AddArc(l, nl + r, 1);
+      }
+    }
+  }
+  const auto m = MaximumBipartiteMatching(b.Build());
+  EXPECT_EQ(static_cast<std::int64_t>(m.size), mf.Solve(src, snk));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMatchingTest, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace mbta

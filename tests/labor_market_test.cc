@@ -1,0 +1,96 @@
+#include "market/labor_market.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_markets.h"
+
+namespace mbta {
+namespace {
+
+TEST(LaborMarketTest, EmptyMarket) {
+  LaborMarketBuilder b;
+  const LaborMarket m = b.Build();
+  EXPECT_EQ(m.NumWorkers(), 0u);
+  EXPECT_EQ(m.NumTasks(), 0u);
+  EXPECT_EQ(m.NumEdges(), 0u);
+}
+
+TEST(LaborMarketTest, IdsAreDenseAndOverwritten) {
+  LaborMarketBuilder b;
+  Worker w;
+  w.id = 999;  // must be overwritten
+  EXPECT_EQ(b.AddWorker(w), 0u);
+  EXPECT_EQ(b.AddWorker(w), 1u);
+  Task t;
+  t.id = 777;
+  EXPECT_EQ(b.AddTask(t), 0u);
+  const LaborMarket m = b.Build();
+  EXPECT_EQ(m.worker(0).id, 0u);
+  EXPECT_EQ(m.worker(1).id, 1u);
+  EXPECT_EQ(m.task(0).id, 0u);
+}
+
+TEST(LaborMarketTest, EdgeAttributesRoundTrip) {
+  const LaborMarket m = MakeTestMarket({2}, {1}, {{0, 0, 0.8, 1.5}});
+  ASSERT_EQ(m.NumEdges(), 1u);
+  EXPECT_DOUBLE_EQ(m.Quality(0), 0.8);
+  EXPECT_DOUBLE_EQ(m.WorkerBenefit(0), 1.5);
+  EXPECT_EQ(m.EdgeWorker(0), 0u);
+  EXPECT_EQ(m.EdgeTask(0), 0u);
+}
+
+TEST(LaborMarketTest, WorkerAndTaskEdgeSpans) {
+  const LaborMarket m = MakeTestMarket(
+      {1, 1}, {1, 1},
+      {{0, 0, 0.6, 1.0}, {0, 1, 0.7, 1.0}, {1, 1, 0.8, 1.0}});
+  EXPECT_EQ(m.WorkerEdges(0).size(), 2u);
+  EXPECT_EQ(m.WorkerEdges(1).size(), 1u);
+  EXPECT_EQ(m.TaskEdges(0).size(), 1u);
+  EXPECT_EQ(m.TaskEdges(1).size(), 2u);
+}
+
+TEST(LaborMarketTest, NamePropagates) {
+  LaborMarketBuilder b;
+  b.SetName("my-market");
+  EXPECT_EQ(b.Build().name(), "my-market");
+}
+
+TEST(LaborMarketTest, ConnectEligiblePairsMatchesManualScan) {
+  LaborMarketBuilder b;
+  EdgeModelParams params;
+  for (int i = 0; i < 3; ++i) {
+    Worker w;
+    w.unit_cost = static_cast<double>(i);  // costs 0, 1, 2
+    b.AddWorker(w);
+  }
+  Task t;
+  t.payment = 1.0;  // only workers 0 and 1 are eligible
+  b.AddTask(t);
+  b.ConnectEligiblePairs(params);
+  const LaborMarket m = b.Build();
+  EXPECT_EQ(m.NumEdges(), 2u);
+}
+
+TEST(LaborMarketDeathTest, InvalidWorkerRejected) {
+  LaborMarketBuilder b;
+  Worker w;
+  w.capacity = -1;
+  EXPECT_DEATH(b.AddWorker(w), "MBTA_CHECK");
+  Worker bad_fatigue;
+  bad_fatigue.fatigue = 0.0;
+  EXPECT_DEATH(b.AddWorker(bad_fatigue), "MBTA_CHECK");
+}
+
+TEST(LaborMarketDeathTest, InvalidEdgeRejected) {
+  LaborMarketBuilder b;
+  Worker w;
+  b.AddWorker(w);
+  Task t;
+  b.AddTask(t);
+  EXPECT_DEATH(b.AddEdge(1, 0, {0.5, 0.0}), "MBTA_CHECK");
+  EXPECT_DEATH(b.AddEdge(0, 0, {1.5, 0.0}), "MBTA_CHECK");   // quality > 1
+  EXPECT_DEATH(b.AddEdge(0, 0, {0.5, -1.0}), "MBTA_CHECK");  // negative wb
+}
+
+}  // namespace
+}  // namespace mbta

@@ -1,0 +1,89 @@
+#include "core/local_search_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force_solver.h"
+#include "core/greedy_solver.h"
+#include "tests/test_markets.h"
+
+namespace mbta {
+namespace {
+
+TEST(LocalSearchSolverTest, EmptyMarket) {
+  const LaborMarket m = MakeTestMarket({}, {}, {});
+  const MbtaProblem p{&m, {}};
+  EXPECT_TRUE(LocalSearchSolver().Solve(p).empty());
+}
+
+TEST(LocalSearchSolverTest, EscapesGreedyTrapViaSwap) {
+  // Greedy takes the 10-edge and gets stuck; a swap move recovers the
+  // 9+9 = 18 optimum.
+  const LaborMarket m = MakeTestMarket(
+      {1, 1}, {1, 1},
+      {{0, 0, 0.5, 10.0}, {0, 1, 0.5, 9.0}, {1, 0, 0.5, 9.0}},
+      {0.0, 0.0});
+  const MbtaProblem p{&m, {.alpha = 0.0, .kind = ObjectiveKind::kModular}};
+  const MutualBenefitObjective obj = p.MakeObjective();
+  EXPECT_NEAR(obj.Value(GreedySolver().Solve(p)), 10.0, 1e-9);
+  EXPECT_NEAR(obj.Value(LocalSearchSolver().Solve(p)), 18.0, 1e-9);
+}
+
+TEST(LocalSearchSolverTest, WorksFromEmptyStart) {
+  const LaborMarket m = MakeTestMarket(
+      {1, 1}, {1, 1},
+      {{0, 0, 0.8, 2.0}, {1, 1, 0.8, 2.0}});
+  LocalSearchSolver::Options opts;
+  opts.greedy_init = false;
+  const MbtaProblem p{&m, {}};
+  const Assignment a = LocalSearchSolver(opts).Solve(p);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+class LocalSearchPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LocalSearchPropertyTest, FeasibleOnRandomMarkets) {
+  Rng rng(GetParam() * 401 + 11);
+  const LaborMarket m = RandomTestMarket(rng, 8, 8, 0.5);
+  for (ObjectiveKind kind :
+       {ObjectiveKind::kModular, ObjectiveKind::kSubmodular}) {
+    const MbtaProblem p{&m, {.alpha = 0.5, .kind = kind}};
+    EXPECT_TRUE(IsFeasible(m, LocalSearchSolver().Solve(p)));
+  }
+}
+
+TEST_P(LocalSearchPropertyTest, NeverWorseThanGreedy) {
+  Rng rng(GetParam() * 409 + 13);
+  const LaborMarket m = RandomTestMarket(rng, 8, 8, 0.5);
+  const MbtaProblem p{&m,
+                      {.alpha = 0.5, .kind = ObjectiveKind::kSubmodular}};
+  const MutualBenefitObjective obj = p.MakeObjective();
+  EXPECT_GE(obj.Value(LocalSearchSolver().Solve(p)) + 1e-9,
+            obj.Value(GreedySolver().Solve(p)));
+}
+
+TEST_P(LocalSearchPropertyTest, NeverExceedsOptimum) {
+  Rng rng(GetParam() * 419 + 17);
+  const LaborMarket m = RandomTestMarket(rng, 4, 4, 0.5);
+  if (m.NumEdges() > 16) GTEST_SKIP() << "too large for brute force";
+  const MbtaProblem p{&m,
+                      {.alpha = 0.5, .kind = ObjectiveKind::kSubmodular}};
+  const MutualBenefitObjective obj = p.MakeObjective();
+  EXPECT_LE(obj.Value(LocalSearchSolver().Solve(p)),
+            obj.Value(BruteForceSolver().Solve(p)) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalSearchPropertyTest,
+                         ::testing::Range(0, 20));
+
+TEST(LocalSearchSolverTest, PassesAreBounded) {
+  // max_passes = 1 still yields a feasible result quickly.
+  Rng rng(77);
+  const LaborMarket m = RandomTestMarket(rng, 10, 10, 0.5);
+  LocalSearchSolver::Options opts;
+  opts.max_passes = 1;
+  const MbtaProblem p{&m, {}};
+  EXPECT_TRUE(IsFeasible(m, LocalSearchSolver(opts).Solve(p)));
+}
+
+}  // namespace
+}  // namespace mbta

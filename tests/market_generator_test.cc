@@ -1,0 +1,132 @@
+#include "gen/market_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace mbta {
+namespace {
+
+TEST(GeneratorTest, ProducesRequestedEntityCounts) {
+  const LaborMarket m = GenerateMarket(UniformConfig(100, 150, 1));
+  EXPECT_EQ(m.NumWorkers(), 100u);
+  EXPECT_EQ(m.NumTasks(), 150u);
+  EXPECT_GT(m.NumEdges(), 0u);
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  const LaborMarket a = GenerateMarket(UniformConfig(80, 80, 7));
+  const LaborMarket b = GenerateMarket(UniformConfig(80, 80, 7));
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (EdgeId e = 0; e < a.NumEdges(); ++e) {
+    EXPECT_EQ(a.EdgeWorker(e), b.EdgeWorker(e));
+    EXPECT_EQ(a.EdgeTask(e), b.EdgeTask(e));
+    EXPECT_DOUBLE_EQ(a.Quality(e), b.Quality(e));
+    EXPECT_DOUBLE_EQ(a.WorkerBenefit(e), b.WorkerBenefit(e));
+  }
+}
+
+TEST(GeneratorTest, SeedsProduceDifferentMarkets) {
+  const LaborMarket a = GenerateMarket(UniformConfig(80, 80, 1));
+  const LaborMarket b = GenerateMarket(UniformConfig(80, 80, 2));
+  bool any_diff = a.NumEdges() != b.NumEdges();
+  for (EdgeId e = 0; !any_diff && e < a.NumEdges(); ++e) {
+    any_diff = a.EdgeWorker(e) != b.EdgeWorker(e) ||
+               a.EdgeTask(e) != b.EdgeTask(e);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, AttributesWithinModelBounds) {
+  const LaborMarket m = GenerateMarket(ZipfConfig(100, 100, 3));
+  for (EdgeId e = 0; e < m.NumEdges(); ++e) {
+    EXPECT_GE(m.Quality(e), 0.5);
+    EXPECT_LE(m.Quality(e), 0.995);
+    EXPECT_GE(m.WorkerBenefit(e), 0.0);
+  }
+  for (WorkerId w = 0; w < m.NumWorkers(); ++w) {
+    EXPECT_GE(m.worker(w).capacity, 1);
+    EXPECT_GE(m.worker(w).reliability, 0.5);
+    EXPECT_LE(m.worker(w).reliability, 1.0);
+  }
+}
+
+TEST(GeneratorTest, CapacitiesWithinConfiguredRange) {
+  GeneratorConfig c = UniformConfig(60, 60, 5);
+  c.worker_capacity_min = 2;
+  c.worker_capacity_max = 3;
+  c.task_capacity_min = 4;
+  c.task_capacity_max = 4;
+  const LaborMarket m = GenerateMarket(c);
+  for (WorkerId w = 0; w < m.NumWorkers(); ++w) {
+    EXPECT_GE(m.worker(w).capacity, 2);
+    EXPECT_LE(m.worker(w).capacity, 3);
+  }
+  for (TaskId t = 0; t < m.NumTasks(); ++t) {
+    EXPECT_EQ(m.task(t).capacity, 4);
+  }
+}
+
+TEST(GeneratorTest, ZipfSkewConcentratesTaskDegrees) {
+  const MarketStats uniform =
+      ComputeStats(GenerateMarket(UniformConfig(300, 300, 9)));
+  const MarketStats zipf =
+      ComputeStats(GenerateMarket(ZipfConfig(300, 300, 9)));
+  EXPECT_GT(zipf.task_degree_gini, uniform.task_degree_gini + 0.1);
+}
+
+TEST(GeneratorTest, MTurkLikeShape) {
+  const LaborMarket m = GenerateMarket(MTurkLikeConfig(200, 11));
+  EXPECT_EQ(m.name(), "mturk-like");
+  EXPECT_EQ(m.NumTasks(), 400u);  // task-rich
+  // Redundant labeling: task capacities in [3, 5].
+  for (TaskId t = 0; t < m.NumTasks(); ++t) {
+    EXPECT_GE(m.task(t).capacity, 3);
+    EXPECT_LE(m.task(t).capacity, 5);
+  }
+}
+
+TEST(GeneratorTest, UpworkLikeShape) {
+  const LaborMarket m = GenerateMarket(UpworkLikeConfig(200, 13));
+  EXPECT_EQ(m.name(), "upwork-like");
+  EXPECT_EQ(m.NumTasks(), 50u);  // worker-rich
+  for (TaskId t = 0; t < m.NumTasks(); ++t) {
+    EXPECT_LE(m.task(t).capacity, 2);
+  }
+  // Specialized skills: 16 dims.
+  EXPECT_EQ(m.worker(0).skills.size(), 16u);
+  // Wage dispersion: payments should spread over an order of magnitude.
+  double min_pay = 1e18, max_pay = 0.0;
+  for (TaskId t = 0; t < m.NumTasks(); ++t) {
+    min_pay = std::min(min_pay, m.task(t).payment);
+    max_pay = std::max(max_pay, m.task(t).payment);
+  }
+  EXPECT_GT(max_pay / min_pay, 5.0);
+}
+
+TEST(GeneratorTest, StatsInternallyConsistent) {
+  const LaborMarket m = GenerateMarket(UniformConfig(120, 90, 17));
+  const MarketStats s = ComputeStats(m);
+  EXPECT_EQ(s.num_workers, 120u);
+  EXPECT_EQ(s.num_tasks, 90u);
+  EXPECT_EQ(s.num_edges, m.NumEdges());
+  EXPECT_NEAR(s.avg_worker_degree,
+              static_cast<double>(s.num_edges) / 120.0, 1e-9);
+  EXPECT_NEAR(s.avg_task_degree,
+              static_cast<double>(s.num_edges) / 90.0, 1e-9);
+  EXPECT_LE(s.avg_worker_degree, s.max_worker_degree);
+  EXPECT_LE(s.avg_task_degree, s.max_task_degree);
+  EXPECT_GE(s.avg_quality, 0.5);
+  EXPECT_GT(s.total_worker_capacity, 0);
+  EXPECT_GT(s.total_task_capacity, 0);
+}
+
+TEST(GeneratorTest, CandidateBudgetBoundsWorkerDegree) {
+  GeneratorConfig c = UniformConfig(100, 200, 19);
+  c.candidates_per_worker = 10;
+  const LaborMarket m = GenerateMarket(c);
+  for (WorkerId w = 0; w < m.NumWorkers(); ++w) {
+    EXPECT_LE(m.graph().LeftDegree(w), 10u);
+  }
+}
+
+}  // namespace
+}  // namespace mbta

@@ -1,0 +1,142 @@
+/// Robustness tests for the market/assignment parsers: external input
+/// must never crash the process — every malformed file yields a clean
+/// error. The "fuzzing" here is deterministic: random line drops,
+/// duplications, truncations, and byte mutations of a valid file, all
+/// seeded.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/greedy_solver.h"
+#include "gen/market_generator.h"
+#include "io/market_io.h"
+#include "util/rng.h"
+
+namespace mbta {
+namespace {
+
+std::string ValidMarketText() {
+  const LaborMarket m = GenerateMarket(UpworkLikeConfig(25, 5));
+  std::stringstream buffer;
+  WriteMarket(m, buffer);
+  return buffer.str();
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::stringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Parses and requires either success or a clean error — in particular,
+/// no abort and no exception.
+void ExpectNoCrash(const std::string& text) {
+  std::stringstream in(text);
+  std::string error;
+  const auto market = ReadMarket(in, &error);
+  if (!market.has_value()) {
+    EXPECT_FALSE(error.empty()) << "failure without an error message";
+  }
+}
+
+class IoFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IoFuzzTest, DroppedLinesNeverCrash) {
+  Rng rng(GetParam() * 7 + 1);
+  auto lines = SplitLines(ValidMarketText());
+  const std::size_t drops = 1 + rng.NextBounded(5);
+  for (std::size_t i = 0; i < drops && !lines.empty(); ++i) {
+    lines.erase(lines.begin() +
+                static_cast<std::ptrdiff_t>(rng.NextBounded(lines.size())));
+  }
+  ExpectNoCrash(JoinLines(lines));
+}
+
+TEST_P(IoFuzzTest, DuplicatedLinesNeverCrash) {
+  Rng rng(GetParam() * 11 + 2);
+  auto lines = SplitLines(ValidMarketText());
+  const std::size_t idx = rng.NextBounded(lines.size());
+  lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(idx),
+               lines[idx]);
+  ExpectNoCrash(JoinLines(lines));
+}
+
+TEST_P(IoFuzzTest, TruncationNeverCrashes) {
+  Rng rng(GetParam() * 13 + 3);
+  const std::string text = ValidMarketText();
+  const std::size_t cut = rng.NextBounded(text.size());
+  ExpectNoCrash(text.substr(0, cut));
+}
+
+TEST_P(IoFuzzTest, ByteMutationsNeverCrash) {
+  Rng rng(GetParam() * 17 + 4);
+  std::string text = ValidMarketText();
+  const std::size_t mutations = 1 + rng.NextBounded(20);
+  for (std::size_t i = 0; i < mutations; ++i) {
+    text[rng.NextBounded(text.size())] =
+        static_cast<char>(32 + rng.NextBounded(95));
+  }
+  ExpectNoCrash(text);
+}
+
+TEST_P(IoFuzzTest, ShuffledSectionsNeverCrash) {
+  Rng rng(GetParam() * 19 + 5);
+  auto lines = SplitLines(ValidMarketText());
+  // Swap two random lines a few times.
+  for (int i = 0; i < 4; ++i) {
+    const std::size_t a = rng.NextBounded(lines.size());
+    const std::size_t b = rng.NextBounded(lines.size());
+    std::swap(lines[a], lines[b]);
+  }
+  ExpectNoCrash(JoinLines(lines));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoFuzzTest, ::testing::Range(0, 25));
+
+TEST(IoFuzzTest, AssignmentParserSurvivesGarbage) {
+  const LaborMarket m = GenerateMarket(UniformConfig(20, 20, 2));
+  const Assignment a = GreedySolver().Solve({&m, {}});
+  std::stringstream buffer;
+  WriteAssignment(m, a, buffer);
+  std::string text = buffer.str();
+
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string mutated = text;
+    const std::size_t mutations = 1 + rng.NextBounded(10);
+    for (std::size_t i = 0; i < mutations; ++i) {
+      mutated[rng.NextBounded(mutated.size())] =
+          static_cast<char>(32 + rng.NextBounded(95));
+    }
+    std::stringstream in(mutated);
+    std::string error;
+    const auto parsed = ReadAssignment(m, in, &error);
+    if (!parsed.has_value()) EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(IoFuzzTest, HugeDeclaredCountsFailGracefully) {
+  // Header claims a billion workers but provides none: the parser must
+  // fail on the first missing line, not allocate or spin.
+  std::stringstream in("mbta-market v1\nname x\nworkers 1000000000\n");
+  std::string error;
+  EXPECT_FALSE(ReadMarket(in, &error).has_value());
+  EXPECT_NE(error.find("truncated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mbta

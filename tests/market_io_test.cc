@@ -1,0 +1,177 @@
+#include "io/market_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/greedy_solver.h"
+#include "gen/market_generator.h"
+#include "tests/test_markets.h"
+
+namespace mbta {
+namespace {
+
+void ExpectMarketsEqual(const LaborMarket& a, const LaborMarket& b) {
+  ASSERT_EQ(a.NumWorkers(), b.NumWorkers());
+  ASSERT_EQ(a.NumTasks(), b.NumTasks());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  EXPECT_EQ(a.name(), b.name());
+  for (WorkerId w = 0; w < a.NumWorkers(); ++w) {
+    EXPECT_EQ(a.worker(w).capacity, b.worker(w).capacity);
+    EXPECT_DOUBLE_EQ(a.worker(w).unit_cost, b.worker(w).unit_cost);
+    EXPECT_DOUBLE_EQ(a.worker(w).fatigue, b.worker(w).fatigue);
+    EXPECT_DOUBLE_EQ(a.worker(w).reliability, b.worker(w).reliability);
+    EXPECT_EQ(a.worker(w).skills, b.worker(w).skills);
+  }
+  for (TaskId t = 0; t < a.NumTasks(); ++t) {
+    EXPECT_EQ(a.task(t).capacity, b.task(t).capacity);
+    EXPECT_DOUBLE_EQ(a.task(t).payment, b.task(t).payment);
+    EXPECT_DOUBLE_EQ(a.task(t).value, b.task(t).value);
+    EXPECT_DOUBLE_EQ(a.task(t).difficulty, b.task(t).difficulty);
+    EXPECT_EQ(a.task(t).requester, b.task(t).requester);
+    EXPECT_EQ(a.task(t).required_skills, b.task(t).required_skills);
+  }
+  for (EdgeId e = 0; e < a.NumEdges(); ++e) {
+    EXPECT_EQ(a.EdgeWorker(e), b.EdgeWorker(e));
+    EXPECT_EQ(a.EdgeTask(e), b.EdgeTask(e));
+    EXPECT_DOUBLE_EQ(a.Quality(e), b.Quality(e));
+    EXPECT_DOUBLE_EQ(a.WorkerBenefit(e), b.WorkerBenefit(e));
+  }
+}
+
+TEST(MarketIoTest, RoundTripHandBuiltMarket) {
+  const LaborMarket m = MakeTestMarket(
+      {2, 1}, {1, 3}, {{0, 0, 0.8, 1.25}, {1, 1, 0.65, 0.5}}, {2.0, 5.0});
+  std::stringstream buffer;
+  WriteMarket(m, buffer);
+  std::string error;
+  const auto parsed = ReadMarket(buffer, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ExpectMarketsEqual(m, *parsed);
+}
+
+TEST(MarketIoTest, RoundTripGeneratedMarketsWithSkills) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const LaborMarket m = GenerateMarket(UpworkLikeConfig(60, seed));
+    std::stringstream buffer;
+    WriteMarket(m, buffer);
+    std::string error;
+    const auto parsed = ReadMarket(buffer, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    ExpectMarketsEqual(m, *parsed);
+  }
+}
+
+TEST(MarketIoTest, RoundTripEmptyMarket) {
+  const LaborMarket m = MakeTestMarket({}, {}, {});
+  std::stringstream buffer;
+  WriteMarket(m, buffer);
+  std::string error;
+  const auto parsed = ReadMarket(buffer, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->NumWorkers(), 0u);
+  EXPECT_EQ(parsed->NumEdges(), 0u);
+}
+
+TEST(MarketIoTest, CommentsAndBlankLinesIgnored) {
+  const LaborMarket m = MakeTestMarket({1}, {1}, {{0, 0, 0.8, 1.0}});
+  std::stringstream buffer;
+  buffer << "# leading comment\n\n";
+  WriteMarket(m, buffer);
+  std::string error;
+  EXPECT_TRUE(ReadMarket(buffer, &error).has_value()) << error;
+}
+
+TEST(MarketIoTest, RejectsBadHeader) {
+  std::stringstream buffer("not-a-market v9\n");
+  std::string error;
+  EXPECT_FALSE(ReadMarket(buffer, &error).has_value());
+  EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(MarketIoTest, RejectsTruncatedWorkerSection) {
+  std::stringstream buffer(
+      "mbta-market v1\nname x\nworkers 2\nw 1 0 1 0.8\n");
+  std::string error;
+  EXPECT_FALSE(ReadMarket(buffer, &error).has_value());
+  EXPECT_NE(error.find("truncated"), std::string::npos);
+}
+
+TEST(MarketIoTest, RejectsOutOfRangeEdgeEndpoint) {
+  std::stringstream buffer(
+      "mbta-market v1\nname x\nworkers 1\nw 1 0 1 0.8\ntasks 1\n"
+      "t 1 1 1 0 0\nedges 1\ne 0 5 0.8 1.0\n");
+  std::string error;
+  EXPECT_FALSE(ReadMarket(buffer, &error).has_value());
+  EXPECT_NE(error.find("bad edge"), std::string::npos);
+}
+
+TEST(MarketIoTest, RejectsInvalidAttributeRanges) {
+  // fatigue > 1
+  std::stringstream buffer(
+      "mbta-market v1\nname x\nworkers 1\nw 1 0 1.5 0.8\ntasks 0\n"
+      "edges 0\n");
+  std::string error;
+  EXPECT_FALSE(ReadMarket(buffer, &error).has_value());
+}
+
+TEST(MarketIoTest, FileRoundTrip) {
+  const LaborMarket m = GenerateMarket(UniformConfig(30, 30, 4));
+  const std::string path = ::testing::TempDir() + "/market_io_test.market";
+  std::string error;
+  ASSERT_TRUE(WriteMarketToFile(m, path, &error)) << error;
+  const auto parsed = ReadMarketFromFile(path, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ExpectMarketsEqual(m, *parsed);
+}
+
+TEST(MarketIoTest, MissingFileReportsError) {
+  std::string error;
+  EXPECT_FALSE(
+      ReadMarketFromFile("/nonexistent/nowhere.market", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(AssignmentIoTest, RoundTripSolvedAssignment) {
+  const LaborMarket m = GenerateMarket(UniformConfig(40, 40, 6));
+  const MbtaProblem p{&m, {}};
+  const Assignment a = GreedySolver().Solve(p);
+  std::stringstream buffer;
+  WriteAssignment(m, a, buffer);
+  std::string error;
+  const auto parsed = ReadAssignment(m, buffer, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  std::vector<EdgeId> original = a.edges, round_tripped = parsed->edges;
+  std::sort(original.begin(), original.end());
+  std::sort(round_tripped.begin(), round_tripped.end());
+  EXPECT_EQ(original, round_tripped);
+}
+
+TEST(AssignmentIoTest, RejectsNonEdgePair) {
+  const LaborMarket m = MakeTestMarket({1, 1}, {1, 1},
+                                       {{0, 0, 0.8, 1.0}});
+  std::stringstream buffer("mbta-assignment v1\npairs 1\na 1 1\n");
+  std::string error;
+  EXPECT_FALSE(ReadAssignment(m, buffer, &error).has_value());
+  EXPECT_NE(error.find("not an eligible edge"), std::string::npos);
+}
+
+TEST(AssignmentIoTest, RejectsInfeasibleAssignment) {
+  const LaborMarket m = MakeTestMarket({1}, {1, 1},
+                                       {{0, 0, 0.8, 1.0}, {0, 1, 0.8, 1.0}});
+  // Worker capacity 1 but two pairs.
+  std::stringstream buffer("mbta-assignment v1\npairs 2\na 0 0\na 0 1\n");
+  std::string error;
+  EXPECT_FALSE(ReadAssignment(m, buffer, &error).has_value());
+  EXPECT_NE(error.find("violates"), std::string::npos);
+}
+
+TEST(AssignmentIoTest, RejectsDuplicatePair) {
+  const LaborMarket m = MakeTestMarket({2}, {2}, {{0, 0, 0.8, 1.0}});
+  std::stringstream buffer("mbta-assignment v1\npairs 2\na 0 0\na 0 0\n");
+  std::string error;
+  EXPECT_FALSE(ReadAssignment(m, buffer, &error).has_value());
+}
+
+}  // namespace
+}  // namespace mbta

@@ -1,0 +1,160 @@
+#include "flow/max_flow.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mbta {
+namespace {
+
+/// Reference implementation: Edmonds–Karp on an adjacency matrix.
+std::int64_t ReferenceMaxFlow(std::vector<std::vector<std::int64_t>> cap,
+                              std::size_t s, std::size_t t) {
+  const std::size_t n = cap.size();
+  std::int64_t flow = 0;
+  for (;;) {
+    std::vector<int> parent(n, -1);
+    parent[s] = static_cast<int>(s);
+    std::queue<std::size_t> q;
+    q.push(s);
+    while (!q.empty() && parent[t] < 0) {
+      const std::size_t u = q.front();
+      q.pop();
+      for (std::size_t v = 0; v < n; ++v) {
+        if (cap[u][v] > 0 && parent[v] < 0) {
+          parent[v] = static_cast<int>(u);
+          q.push(v);
+        }
+      }
+    }
+    if (parent[t] < 0) break;
+    std::int64_t push = INT64_MAX;
+    for (std::size_t v = t; v != s; v = parent[v]) {
+      push = std::min(push, cap[parent[v]][v]);
+    }
+    for (std::size_t v = t; v != s; v = parent[v]) {
+      cap[parent[v]][v] -= push;
+      cap[v][parent[v]] += push;
+    }
+    flow += push;
+  }
+  return flow;
+}
+
+TEST(MaxFlowTest, SingleArc) {
+  MaxFlow mf(2);
+  const auto a = mf.AddArc(0, 1, 5);
+  EXPECT_EQ(mf.Solve(0, 1), 5);
+  EXPECT_EQ(mf.Flow(a), 5);
+}
+
+TEST(MaxFlowTest, NoPathGivesZero) {
+  MaxFlow mf(3);
+  mf.AddArc(0, 1, 10);  // node 2 disconnected
+  EXPECT_EQ(mf.Solve(0, 2), 0);
+}
+
+TEST(MaxFlowTest, SeriesBottleneck) {
+  MaxFlow mf(3);
+  mf.AddArc(0, 1, 10);
+  mf.AddArc(1, 2, 3);
+  EXPECT_EQ(mf.Solve(0, 2), 3);
+}
+
+TEST(MaxFlowTest, ParallelArcsAdd) {
+  MaxFlow mf(2);
+  mf.AddArc(0, 1, 2);
+  mf.AddArc(0, 1, 3);
+  EXPECT_EQ(mf.Solve(0, 1), 5);
+}
+
+TEST(MaxFlowTest, ClassicDiamond) {
+  // CLRS-style network with a cross arc.
+  MaxFlow mf(4);
+  mf.AddArc(0, 1, 3);
+  mf.AddArc(0, 2, 2);
+  mf.AddArc(1, 2, 1);
+  mf.AddArc(1, 3, 2);
+  mf.AddArc(2, 3, 3);
+  EXPECT_EQ(mf.Solve(0, 3), 5);
+}
+
+TEST(MaxFlowTest, ZeroCapacityArcCarriesNothing) {
+  MaxFlow mf(2);
+  const auto a = mf.AddArc(0, 1, 0);
+  EXPECT_EQ(mf.Solve(0, 1), 0);
+  EXPECT_EQ(mf.Flow(a), 0);
+}
+
+TEST(MaxFlowTest, AddNodeExtendsGraph) {
+  MaxFlow mf(1);
+  const std::size_t mid = mf.AddNode();
+  const std::size_t sink = mf.AddNode();
+  mf.AddArc(0, mid, 4);
+  mf.AddArc(mid, sink, 2);
+  EXPECT_EQ(mf.Solve(0, sink), 2);
+  EXPECT_EQ(mf.num_nodes(), 3u);
+}
+
+TEST(MaxFlowTest, FlowConservationHolds) {
+  MaxFlow mf(5);
+  std::vector<MaxFlow::ArcId> arcs;
+  std::vector<std::tuple<std::size_t, std::size_t>> ends = {
+      {0, 1}, {0, 2}, {1, 3}, {2, 3}, {1, 2}, {3, 4}, {2, 4}};
+  for (auto [u, v] : ends) arcs.push_back(mf.AddArc(u, v, 3));
+  mf.Solve(0, 4);
+  std::vector<std::int64_t> net(5, 0);
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    const auto [u, v] = ends[i];
+    const std::int64_t f = mf.Flow(arcs[i]);
+    EXPECT_GE(f, 0);
+    EXPECT_LE(f, 3);
+    net[u] -= f;
+    net[v] += f;
+  }
+  EXPECT_EQ(net[1], 0);
+  EXPECT_EQ(net[2], 0);
+  EXPECT_EQ(net[3], 0);
+  EXPECT_EQ(net[0], -net[4]);
+}
+
+class RandomMaxFlowTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMaxFlowTest, MatchesEdmondsKarp) {
+  Rng rng(GetParam() * 7919 + 3);
+  const std::size_t n = 2 + rng.NextBounded(8);
+  std::vector<std::vector<std::int64_t>> cap(
+      n, std::vector<std::int64_t>(n, 0));
+  MaxFlow mf(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (u != v && rng.NextBool(0.4)) {
+        const std::int64_t c = static_cast<std::int64_t>(rng.NextBounded(10));
+        cap[u][v] += c;
+        mf.AddArc(u, v, c);
+      }
+    }
+  }
+  EXPECT_EQ(mf.Solve(0, n - 1), ReferenceMaxFlow(cap, 0, n - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMaxFlowTest, ::testing::Range(0, 30));
+
+TEST(MaxFlowDeathTest, SolveTwiceAborts) {
+  MaxFlow mf(2);
+  mf.AddArc(0, 1, 1);
+  mf.Solve(0, 1);
+  EXPECT_DEATH(mf.Solve(0, 1), "MBTA_CHECK");
+}
+
+TEST(MaxFlowDeathTest, NegativeCapacityAborts) {
+  MaxFlow mf(2);
+  EXPECT_DEATH(mf.AddArc(0, 1, -1), "MBTA_CHECK");
+}
+
+}  // namespace
+}  // namespace mbta

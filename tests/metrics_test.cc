@@ -1,0 +1,81 @@
+#include "market/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_markets.h"
+
+namespace mbta {
+namespace {
+
+TEST(MetricsTest, EmptyAssignmentAllZero) {
+  const LaborMarket m = MakeTestMarket({1}, {1}, {{0, 0, 0.8, 1.0}});
+  MutualBenefitObjective obj(&m, {});
+  const AssignmentMetrics metrics = Evaluate(obj, Assignment{});
+  EXPECT_EQ(metrics.num_assignments, 0u);
+  EXPECT_EQ(metrics.tasks_covered, 0u);
+  EXPECT_EQ(metrics.workers_active, 0u);
+  EXPECT_DOUBLE_EQ(metrics.mutual_benefit, 0.0);
+  // Worker 0 is employable, so it appears with zero benefit.
+  ASSERT_EQ(metrics.per_worker_benefit.size(), 1u);
+  EXPECT_DOUBLE_EQ(metrics.per_worker_benefit[0], 0.0);
+}
+
+TEST(MetricsTest, HeadlineMatchesObjectiveValue) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const LaborMarket m = RandomTestMarket(rng, 6, 6, 0.5);
+    MutualBenefitObjective obj(
+        &m, {.alpha = 0.35, .kind = ObjectiveKind::kSubmodular});
+    ObjectiveState state(&obj);
+    for (EdgeId e = 0; e < m.NumEdges(); ++e) {
+      if (state.CanAdd(e) && rng.NextBool(0.5)) state.Add(e);
+    }
+    const Assignment a = state.ToAssignment();
+    const AssignmentMetrics metrics = Evaluate(obj, a);
+    EXPECT_NEAR(metrics.mutual_benefit, obj.Value(a), 1e-9);
+    EXPECT_NEAR(metrics.mutual_benefit,
+                0.35 * metrics.requester_benefit +
+                    0.65 * metrics.worker_benefit,
+                1e-9);
+    EXPECT_EQ(metrics.num_assignments, a.edges.size());
+  }
+}
+
+TEST(MetricsTest, CoverageCounts) {
+  // Worker 0 -> task 0; task 1 uncovered; worker 1 idle.
+  const LaborMarket m = MakeTestMarket(
+      {1, 1}, {1, 1},
+      {{0, 0, 0.8, 1.0}, {1, 1, 0.8, 1.0}});
+  MutualBenefitObjective obj(&m, {});
+  const AssignmentMetrics metrics = Evaluate(obj, Assignment{{0}});
+  EXPECT_EQ(metrics.tasks_covered, 1u);
+  EXPECT_EQ(metrics.workers_active, 1u);
+  EXPECT_EQ(metrics.per_worker_benefit.size(), 2u);  // both employable
+}
+
+TEST(MetricsTest, WorkersWithoutEdgesExcludedFromFairnessVector) {
+  // Worker 1 has no eligible edges at all: not in the fairness vector.
+  LaborMarketBuilder b;
+  Worker w;
+  w.capacity = 1;
+  b.AddWorker(w);
+  b.AddWorker(w);
+  Task t;
+  t.capacity = 1;
+  b.AddTask(t);
+  b.AddEdge(0, 0, {0.8, 1.0});
+  const LaborMarket m = b.Build();
+  MutualBenefitObjective obj(&m, {});
+  const AssignmentMetrics metrics = Evaluate(obj, Assignment{{0}});
+  EXPECT_EQ(metrics.per_worker_benefit.size(), 1u);
+}
+
+TEST(MetricsDeathTest, InfeasibleAssignmentAborts) {
+  const LaborMarket m = MakeTestMarket({1}, {1, 1},
+                                       {{0, 0, 0.8, 1.0}, {0, 1, 0.8, 1.0}});
+  MutualBenefitObjective obj(&m, {});
+  EXPECT_DEATH(Evaluate(obj, Assignment{{0, 1}}), "MBTA_CHECK");
+}
+
+}  // namespace
+}  // namespace mbta

@@ -1,0 +1,140 @@
+#include "flow/min_cost_flow.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "flow/hungarian.h"
+#include "util/rng.h"
+
+namespace mbta {
+namespace {
+
+TEST(MinCostFlowTest, SingleArc) {
+  MinCostFlow mcf(2);
+  const auto a = mcf.AddArc(0, 1, 5, 3);
+  const auto r = mcf.Solve(0, 1, 100);
+  EXPECT_EQ(r.flow, 5);
+  EXPECT_EQ(r.cost, 15);
+  EXPECT_EQ(mcf.Flow(a), 5);
+}
+
+TEST(MinCostFlowTest, FlowLimitRespected) {
+  MinCostFlow mcf(2);
+  mcf.AddArc(0, 1, 10, 2);
+  const auto r = mcf.Solve(0, 1, 4);
+  EXPECT_EQ(r.flow, 4);
+  EXPECT_EQ(r.cost, 8);
+}
+
+TEST(MinCostFlowTest, PrefersCheaperPath) {
+  MinCostFlow mcf(4);
+  const auto cheap1 = mcf.AddArc(0, 1, 1, 1);
+  const auto cheap2 = mcf.AddArc(1, 3, 1, 1);
+  const auto dear1 = mcf.AddArc(0, 2, 1, 5);
+  const auto dear2 = mcf.AddArc(2, 3, 1, 5);
+  const auto r = mcf.Solve(0, 3, 1);
+  EXPECT_EQ(r.flow, 1);
+  EXPECT_EQ(r.cost, 2);
+  EXPECT_EQ(mcf.Flow(cheap1), 1);
+  EXPECT_EQ(mcf.Flow(cheap2), 1);
+  EXPECT_EQ(mcf.Flow(dear1), 0);
+  EXPECT_EQ(mcf.Flow(dear2), 0);
+}
+
+TEST(MinCostFlowTest, SpillsToExpensivePathWhenCheapSaturates) {
+  MinCostFlow mcf(4);
+  mcf.AddArc(0, 1, 1, 1);
+  mcf.AddArc(1, 3, 1, 1);
+  mcf.AddArc(0, 2, 1, 5);
+  mcf.AddArc(2, 3, 1, 5);
+  const auto r = mcf.Solve(0, 3, 2);
+  EXPECT_EQ(r.flow, 2);
+  EXPECT_EQ(r.cost, 12);
+}
+
+TEST(MinCostFlowTest, NegativeCostArcsHandled) {
+  // Bellman–Ford potential initialization must absorb the negative cost.
+  MinCostFlow mcf(3);
+  mcf.AddArc(0, 1, 2, -4);
+  mcf.AddArc(1, 2, 2, 1);
+  const auto r = mcf.Solve(0, 2, 2);
+  EXPECT_EQ(r.flow, 2);
+  EXPECT_EQ(r.cost, -6);
+}
+
+TEST(MinCostFlowTest, SolveNegativeOnlyStopsAtNonnegative) {
+  // Two parallel paths: one profitable (cost -3), one costly (+2).
+  MinCostFlow mcf(4);
+  const auto good = mcf.AddArc(0, 1, 1, -3);
+  mcf.AddArc(1, 3, 1, 0);
+  const auto bad = mcf.AddArc(0, 2, 1, 2);
+  mcf.AddArc(2, 3, 1, 0);
+  const auto r = mcf.SolveNegativeOnly(0, 3);
+  EXPECT_EQ(r.flow, 1);  // only the profitable unit ships
+  EXPECT_EQ(r.cost, -3);
+  EXPECT_EQ(mcf.Flow(good), 1);
+  EXPECT_EQ(mcf.Flow(bad), 0);
+}
+
+TEST(MinCostFlowTest, SolveNegativeOnlyZeroWhenAllCostly) {
+  MinCostFlow mcf(2);
+  mcf.AddArc(0, 1, 5, 1);
+  const auto r = mcf.SolveNegativeOnly(0, 1);
+  EXPECT_EQ(r.flow, 0);
+  EXPECT_EQ(r.cost, 0);
+}
+
+TEST(MinCostFlowTest, DisconnectedSinkGivesZero) {
+  MinCostFlow mcf(3);
+  mcf.AddArc(0, 1, 4, 1);
+  const auto r = mcf.Solve(0, 2, 10);
+  EXPECT_EQ(r.flow, 0);
+}
+
+class RandomAssignmentCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomAssignmentCrossCheck, AgreesWithHungarianOnPerfectMatching) {
+  // Min-cost perfect matching n x n: flow formulation vs Kuhn–Munkres.
+  Rng rng(GetParam() * 7 + 1234);
+  const std::size_t n = 2 + rng.NextBounded(7);
+  std::vector<double> cost(n * n);
+  std::vector<std::int64_t> icost(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    icost[i] = rng.NextInt(0, 50);
+    cost[i] = static_cast<double>(icost[i]);
+  }
+
+  MinCostFlow mcf(2 * n + 2);
+  const std::size_t src = 2 * n, snk = 2 * n + 1;
+  for (std::size_t i = 0; i < n; ++i) mcf.AddArc(src, i, 1, 0);
+  for (std::size_t j = 0; j < n; ++j) mcf.AddArc(n + j, snk, 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      mcf.AddArc(i, n + j, 1, icost[i * n + j]);
+    }
+  }
+  const auto r = mcf.Solve(src, snk, static_cast<std::int64_t>(n));
+  ASSERT_EQ(r.flow, static_cast<std::int64_t>(n));
+
+  const AssignmentResult h = MinCostAssignment(cost, n, n);
+  EXPECT_DOUBLE_EQ(static_cast<double>(r.cost), h.total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAssignmentCrossCheck,
+                         ::testing::Range(0, 30));
+
+TEST(MinCostFlowDeathTest, SolveTwiceAborts) {
+  MinCostFlow mcf(2);
+  mcf.AddArc(0, 1, 1, 1);
+  mcf.Solve(0, 1, 1);
+  EXPECT_DEATH(mcf.Solve(0, 1, 1), "MBTA_CHECK");
+}
+
+TEST(MinCostFlowDeathTest, NegativeCapacityAborts) {
+  MinCostFlow mcf(2);
+  EXPECT_DEATH(mcf.AddArc(0, 1, -1, 0), "MBTA_CHECK");
+}
+
+}  // namespace
+}  // namespace mbta

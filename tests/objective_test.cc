@@ -1,0 +1,237 @@
+#include "market/objective.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_markets.h"
+#include "util/distribution.h"
+
+namespace mbta {
+namespace {
+
+TEST(ObjectiveTest, ModularValueIsEdgeWeightSum) {
+  // One worker (cap 2), two tasks, values 2 and 3.
+  const LaborMarket m = MakeTestMarket(
+      {2}, {1, 1}, {{0, 0, 0.8, 1.0}, {0, 1, 0.6, 0.5}}, {2.0, 3.0});
+  MutualBenefitObjective obj(&m, {.alpha = 0.5,
+                                  .kind = ObjectiveKind::kModular});
+  const Assignment a{{0, 1}};
+  // Edge 0: 0.5·2·0.8 + 0.5·1.0 = 1.3; edge 1: 0.5·3·0.6 + 0.5·0.5 = 1.15.
+  EXPECT_NEAR(obj.Value(a), 1.3 + 1.15, 1e-12);
+  EXPECT_NEAR(obj.EdgeWeight(0), 1.3, 1e-12);
+  EXPECT_NEAR(obj.EdgeWeight(1), 1.15, 1e-12);
+}
+
+TEST(ObjectiveTest, SubmodularTaskCoverage) {
+  // Two workers on one task (cap 2), value 10, qualities 0.8 and 0.6:
+  // rb = 10·(1 − 0.2·0.4) = 9.2 (not 14 as modular would give).
+  const LaborMarket m = MakeTestMarket(
+      {1, 1}, {2}, {{0, 0, 0.8, 0.0}, {1, 0, 0.6, 0.0}}, {10.0});
+  MutualBenefitObjective obj(&m, {.alpha = 1.0,
+                                  .kind = ObjectiveKind::kSubmodular});
+  EXPECT_NEAR(obj.Value(Assignment{{0, 1}}), 9.2, 1e-12);
+  MutualBenefitObjective modular(&m, {.alpha = 1.0,
+                                      .kind = ObjectiveKind::kModular});
+  EXPECT_NEAR(modular.Value(Assignment{{0, 1}}), 14.0, 1e-12);
+}
+
+TEST(ObjectiveTest, FatigueDiscountsLowerRankedTasks) {
+  // Worker with fatigue 0.5 doing benefits {4, 2}: WB = 4 + 0.5·2 = 5.
+  const LaborMarket m = MakeTestMarket(
+      {2}, {1, 1}, {{0, 0, 0.8, 4.0}, {0, 1, 0.8, 2.0}}, {}, 0.5);
+  MutualBenefitObjective obj(&m, {.alpha = 0.0,
+                                  .kind = ObjectiveKind::kSubmodular});
+  EXPECT_NEAR(obj.Value(Assignment{{0, 1}}), 5.0, 1e-12);
+  // Sorted descending regardless of insertion order.
+  EXPECT_NEAR(obj.Value(Assignment{{1, 0}}), 5.0, 1e-12);
+}
+
+TEST(ObjectiveTest, AlphaInterpolatesSides) {
+  const LaborMarket m =
+      MakeTestMarket({1}, {1}, {{0, 0, 0.8, 2.0}}, {5.0});
+  const Assignment a{{0}};
+  MutualBenefitObjective requester_only(&m, {.alpha = 1.0,
+                                             .kind = ObjectiveKind::kModular});
+  MutualBenefitObjective worker_only(&m, {.alpha = 0.0,
+                                          .kind = ObjectiveKind::kModular});
+  MutualBenefitObjective half(&m, {.alpha = 0.5,
+                                   .kind = ObjectiveKind::kModular});
+  EXPECT_NEAR(requester_only.Value(a), 4.0, 1e-12);  // 5·0.8
+  EXPECT_NEAR(worker_only.Value(a), 2.0, 1e-12);
+  EXPECT_NEAR(half.Value(a), 3.0, 1e-12);
+}
+
+TEST(ObjectiveTest, RequesterAndWorkerBenefitUnweighted) {
+  const LaborMarket m =
+      MakeTestMarket({1}, {1}, {{0, 0, 0.8, 2.0}}, {5.0});
+  MutualBenefitObjective obj(&m, {.alpha = 0.3,
+                                  .kind = ObjectiveKind::kModular});
+  const Assignment a{{0}};
+  EXPECT_NEAR(obj.RequesterBenefit(a), 4.0, 1e-12);
+  EXPECT_NEAR(obj.WorkerBenefit(a), 2.0, 1e-12);
+  EXPECT_NEAR(obj.Value(a), 0.3 * 4.0 + 0.7 * 2.0, 1e-12);
+}
+
+TEST(ObjectiveStateTest, CanAddRespectsCapacities) {
+  const LaborMarket m = MakeTestMarket(
+      {1, 1}, {1}, {{0, 0, 0.8, 1.0}, {1, 0, 0.7, 1.0}});
+  MutualBenefitObjective obj(&m, {});
+  ObjectiveState state(&obj);
+  EXPECT_TRUE(state.CanAdd(0));
+  state.Add(0);
+  EXPECT_FALSE(state.CanAdd(0));  // already chosen
+  EXPECT_FALSE(state.CanAdd(1));  // task 0 saturated
+}
+
+TEST(ObjectiveStateTest, ValueTracksScratchRecompute) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const LaborMarket m = RandomTestMarket(rng, 6, 6, 0.5);
+    for (ObjectiveKind kind :
+         {ObjectiveKind::kModular, ObjectiveKind::kSubmodular}) {
+      MutualBenefitObjective obj(&m, {.alpha = 0.4, .kind = kind});
+      ObjectiveState state(&obj);
+      for (EdgeId e = 0; e < m.NumEdges(); ++e) {
+        if (state.CanAdd(e) && rng.NextBool(0.6)) state.Add(e);
+      }
+      EXPECT_NEAR(state.value(), obj.Value(state.ToAssignment()), 1e-9);
+    }
+  }
+}
+
+TEST(ObjectiveStateTest, AddMatchesMarginalGain) {
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const LaborMarket m = RandomTestMarket(rng, 5, 5, 0.6);
+    MutualBenefitObjective obj(
+        &m, {.alpha = 0.5, .kind = ObjectiveKind::kSubmodular});
+    ObjectiveState state(&obj);
+    for (EdgeId e = 0; e < m.NumEdges(); ++e) {
+      if (!state.CanAdd(e)) continue;
+      const double before = state.value();
+      const double gain = state.MarginalGain(e);
+      state.Add(e);
+      EXPECT_NEAR(state.value(), before + gain, 1e-9);
+    }
+  }
+}
+
+TEST(ObjectiveStateTest, RemoveUndoesAdd) {
+  Rng rng(7);
+  const LaborMarket m = RandomTestMarket(rng, 6, 6, 0.7);
+  MutualBenefitObjective obj(
+      &m, {.alpha = 0.5, .kind = ObjectiveKind::kSubmodular});
+  ObjectiveState state(&obj);
+  // Fill half the market.
+  for (EdgeId e = 0; e < m.NumEdges(); e += 2) {
+    if (state.CanAdd(e)) state.Add(e);
+  }
+  const double value = state.value();
+  const std::size_t count = state.NumChosen();
+  for (EdgeId e = 1; e < m.NumEdges(); e += 2) {
+    if (!state.CanAdd(e)) continue;
+    state.Add(e);
+    state.Remove(e);
+    EXPECT_NEAR(state.value(), value, 1e-9);
+    EXPECT_EQ(state.NumChosen(), count);
+    break;
+  }
+}
+
+TEST(ObjectiveStateTest, EdgeWeightEqualsMarginalOnEmpty) {
+  Rng rng(17);
+  const LaborMarket m = RandomTestMarket(rng, 8, 8, 0.4);
+  for (ObjectiveKind kind :
+       {ObjectiveKind::kModular, ObjectiveKind::kSubmodular}) {
+    MutualBenefitObjective obj(&m, {.alpha = 0.6, .kind = kind});
+    ObjectiveState state(&obj);
+    for (EdgeId e = 0; e < m.NumEdges(); ++e) {
+      EXPECT_NEAR(state.MarginalGain(e), obj.EdgeWeight(e), 1e-12);
+    }
+  }
+}
+
+// Property: the submodular objective's marginal gains never increase as
+// the assignment grows (the lazy-greedy correctness precondition).
+class SubmodularityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubmodularityTest, MarginalGainsNonIncreasing) {
+  Rng rng(GetParam() * 13 + 5);
+  const LaborMarket m = RandomTestMarket(rng, 6, 6, 0.5);
+  MutualBenefitObjective obj(
+      &m, {.alpha = 0.5, .kind = ObjectiveKind::kSubmodular});
+
+  // Record each unchosen edge's gain, grow the assignment by one random
+  // feasible edge, and verify no gain increased.
+  ObjectiveState state(&obj);
+  std::vector<EdgeId> order(m.NumEdges());
+  for (EdgeId e = 0; e < m.NumEdges(); ++e) order[e] = e;
+  Shuffle(rng, order);
+
+  for (EdgeId to_add : order) {
+    if (!state.CanAdd(to_add)) continue;
+    std::vector<double> before(m.NumEdges(), -1.0);
+    for (EdgeId e = 0; e < m.NumEdges(); ++e) {
+      if (!state.Contains(e) && e != to_add) {
+        before[e] = state.MarginalGain(e);
+      }
+    }
+    state.Add(to_add);
+    for (EdgeId e = 0; e < m.NumEdges(); ++e) {
+      if (before[e] >= 0.0 && !state.Contains(e)) {
+        EXPECT_LE(state.MarginalGain(e), before[e] + 1e-9)
+            << "edge " << e << " gained after adding " << to_add;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubmodularityTest, ::testing::Range(0, 15));
+
+// Property: the objective is monotone — adding any feasible edge never
+// decreases the value (worker benefits are non-negative by construction).
+class MonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonotonicityTest, AddingEdgesNeverHurts) {
+  Rng rng(GetParam() * 29 + 11);
+  const LaborMarket m = RandomTestMarket(rng, 6, 6, 0.5);
+  for (ObjectiveKind kind :
+       {ObjectiveKind::kModular, ObjectiveKind::kSubmodular}) {
+    MutualBenefitObjective obj(&m, {.alpha = 0.5, .kind = kind});
+    ObjectiveState state(&obj);
+    double last = 0.0;
+    for (EdgeId e = 0; e < m.NumEdges(); ++e) {
+      if (!state.CanAdd(e)) continue;
+      state.Add(e);
+      EXPECT_GE(state.value(), last - 1e-9);
+      last = state.value();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonotonicityTest, ::testing::Range(0, 15));
+
+TEST(ObjectiveDeathTest, InvalidAlphaRejected) {
+  const LaborMarket m = MakeTestMarket({1}, {1}, {{0, 0, 0.8, 1.0}});
+  EXPECT_DEATH(MutualBenefitObjective(&m, {.alpha = 1.5}), "MBTA_CHECK");
+}
+
+TEST(ObjectiveDeathTest, AddInfeasibleAborts) {
+  const LaborMarket m = MakeTestMarket({1}, {1}, {{0, 0, 0.8, 1.0}});
+  MutualBenefitObjective obj(&m, {});
+  ObjectiveState state(&obj);
+  state.Add(0);
+  EXPECT_DEATH(state.Add(0), "MBTA_CHECK");
+}
+
+TEST(ObjectiveDeathTest, RemoveUnchosenAborts) {
+  const LaborMarket m = MakeTestMarket({1}, {1}, {{0, 0, 0.8, 1.0}});
+  MutualBenefitObjective obj(&m, {});
+  ObjectiveState state(&obj);
+  EXPECT_DEATH(state.Remove(0), "MBTA_CHECK");
+}
+
+}  // namespace
+}  // namespace mbta

@@ -1,0 +1,199 @@
+#include "core/online_solvers.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/greedy_solver.h"
+#include "tests/test_markets.h"
+
+namespace mbta {
+namespace {
+
+TEST(ArrivalOrderTest, IsPermutation) {
+  const auto order = RandomArrivalOrder(50, 7);
+  std::vector<WorkerId> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (WorkerId i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(ArrivalOrderTest, DeterministicPerSeed) {
+  EXPECT_EQ(RandomArrivalOrder(30, 5), RandomArrivalOrder(30, 5));
+  EXPECT_NE(RandomArrivalOrder(30, 5), RandomArrivalOrder(30, 6));
+}
+
+TEST(OnlineGreedyTest, SingleWorkerTakesBestTasks) {
+  const LaborMarket m = MakeTestMarket(
+      {2}, {1, 1, 1},
+      {{0, 0, 0.8, 1.0}, {0, 1, 0.8, 3.0}, {0, 2, 0.8, 2.0}});
+  const MbtaProblem p{&m, {.alpha = 0.0, .kind = ObjectiveKind::kModular}};
+  const Assignment a =
+      OnlineGreedySolver().SolveWithOrder(p, {0});
+  ASSERT_EQ(a.size(), 2u);
+  std::vector<TaskId> tasks;
+  for (EdgeId e : a.edges) tasks.push_back(m.EdgeTask(e));
+  std::sort(tasks.begin(), tasks.end());
+  EXPECT_EQ(tasks, (std::vector<TaskId>{1, 2}));
+}
+
+TEST(OnlineGreedyTest, EarlyArrivalsGrabContestedTasks) {
+  // Both workers want task 0 (capacity 1); whoever arrives first gets it.
+  const LaborMarket m = MakeTestMarket(
+      {1, 1}, {1}, {{0, 0, 0.8, 1.0}, {1, 0, 0.8, 1.0}});
+  const MbtaProblem p{&m, {}};
+  const Assignment first0 =
+      OnlineGreedySolver().SolveWithOrder(p, {0, 1});
+  ASSERT_EQ(first0.size(), 1u);
+  EXPECT_EQ(m.EdgeWorker(first0.edges[0]), 0u);
+  const Assignment first1 =
+      OnlineGreedySolver().SolveWithOrder(p, {1, 0});
+  ASSERT_EQ(first1.size(), 1u);
+  EXPECT_EQ(m.EdgeWorker(first1.edges[0]), 1u);
+}
+
+TEST(TwoPhaseTest, ZeroSampleReducesToOnlineGreedyUntilEndgame) {
+  // With an empty sample the threshold is 0, so until the endgame the
+  // two-phase algorithm behaves exactly like online greedy; with
+  // endgame_fraction covering everything they coincide entirely.
+  Rng rng(31);
+  const LaborMarket m = RandomTestMarket(rng, 12, 12, 0.6);
+  const MbtaProblem p{&m, {}};
+  TwoPhaseOnlineSolver::Options opts;
+  opts.sample_fraction = 0.0;
+  opts.endgame_fraction = 0.0;  // entire stream in accept-any mode
+  const auto order = RandomArrivalOrder(m.NumWorkers(), 3);
+  const Assignment two_phase =
+      TwoPhaseOnlineSolver(3, opts).SolveWithOrder(p, order);
+  const Assignment online = OnlineGreedySolver(3).SolveWithOrder(p, order);
+  EXPECT_EQ(two_phase.edges, online.edges);
+}
+
+TEST(TwoPhaseTest, SampledPrefixIsAssigned) {
+  // The sample phase assigns greedily — sampled workers are not wasted.
+  Rng rng(37);
+  const LaborMarket m = RandomTestMarket(rng, 15, 15, 0.8);
+  const MbtaProblem p{&m, {}};
+  TwoPhaseOnlineSolver::Options opts;
+  opts.sample_fraction = 0.5;
+  const auto order = RandomArrivalOrder(m.NumWorkers(), 3);
+  const Assignment a =
+      TwoPhaseOnlineSolver(3, opts).SolveWithOrder(p, order);
+  const auto loads = WorkerLoads(m, a);
+  const std::size_t sample_end = m.NumWorkers() / 2;
+  int assigned_in_sample = 0;
+  for (std::size_t i = 0; i < sample_end; ++i) {
+    assigned_in_sample += loads[order[i]];
+  }
+  // Dense market: the sampled half certainly lands some tasks.
+  EXPECT_GT(assigned_in_sample, 0);
+}
+
+class OnlinePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OnlinePropertyTest, BothOnlineSolversFeasible) {
+  Rng rng(GetParam() * 601 + 23);
+  const LaborMarket m = RandomTestMarket(rng, 12, 12, 0.4);
+  for (ObjectiveKind kind :
+       {ObjectiveKind::kModular, ObjectiveKind::kSubmodular}) {
+    const MbtaProblem p{&m, {.alpha = 0.5, .kind = kind}};
+    EXPECT_TRUE(IsFeasible(m, OnlineGreedySolver(GetParam()).Solve(p)));
+    EXPECT_TRUE(IsFeasible(m, TwoPhaseOnlineSolver(GetParam()).Solve(p)));
+  }
+}
+
+TEST_P(OnlinePropertyTest, OnlineNeverBeatsOfflineGreedyByMuch) {
+  // Online algorithms only see a prefix; they should not *systematically*
+  // exceed offline greedy. Tolerate instance-level noise (greedy is itself
+  // approximate) with a 10% band.
+  Rng rng(GetParam() * 607 + 29);
+  const LaborMarket m = RandomTestMarket(rng, 12, 12, 0.5);
+  const MbtaProblem p{&m,
+                      {.alpha = 0.5, .kind = ObjectiveKind::kSubmodular}};
+  const MutualBenefitObjective obj = p.MakeObjective();
+  const double offline = obj.Value(GreedySolver().Solve(p));
+  const double online = obj.Value(OnlineGreedySolver(GetParam()).Solve(p));
+  EXPECT_LE(online, offline * 1.1 + 1e-9);
+}
+
+TEST_P(OnlinePropertyTest, OnlineGreedyRecoversDecentFraction) {
+  Rng rng(GetParam() * 613 + 31);
+  const LaborMarket m = RandomTestMarket(rng, 15, 15, 0.5);
+  const MbtaProblem p{&m,
+                      {.alpha = 0.5, .kind = ObjectiveKind::kSubmodular}};
+  const MutualBenefitObjective obj = p.MakeObjective();
+  const double offline = obj.Value(GreedySolver().Solve(p));
+  if (offline <= 0.0) GTEST_SKIP() << "degenerate instance";
+  const double online = obj.Value(OnlineGreedySolver(GetParam()).Solve(p));
+  EXPECT_GE(online, 0.25 * offline);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlinePropertyTest, ::testing::Range(0, 20));
+
+TEST(TaskArrivalTest, OrderIsPermutationAndSeedDomainSeparated) {
+  const auto order = RandomTaskArrivalOrder(40, 9);
+  std::vector<TaskId> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (TaskId i = 0; i < 40; ++i) EXPECT_EQ(sorted[i], i);
+  // Same seed, different domain: task order != worker order.
+  EXPECT_NE(order, RandomArrivalOrder(40, 9));
+}
+
+TEST(TaskArrivalTest, ArrivingTaskRecruitsBestWorkers) {
+  // Task 0 (cap 2) arrives first and takes the two best of three workers
+  // by marginal gain (alpha=1, submodular: highest qualities win).
+  const LaborMarket m = MakeTestMarket(
+      {1, 1, 1}, {2},
+      {{0, 0, 0.9, 0.0}, {1, 0, 0.6, 0.0}, {2, 0, 0.8, 0.0}}, {10.0});
+  const MbtaProblem p{&m,
+                      {.alpha = 1.0, .kind = ObjectiveKind::kSubmodular}};
+  const Assignment a =
+      TaskArrivalGreedySolver().SolveWithOrder(p, {0});
+  ASSERT_EQ(a.size(), 2u);
+  std::vector<WorkerId> workers;
+  for (EdgeId e : a.edges) workers.push_back(m.EdgeWorker(e));
+  std::sort(workers.begin(), workers.end());
+  EXPECT_EQ(workers, (std::vector<WorkerId>{0, 2}));
+}
+
+TEST(TaskArrivalTest, EarlyTasksGrabContestedWorkers) {
+  const LaborMarket m = MakeTestMarket(
+      {1}, {1, 1}, {{0, 0, 0.8, 1.0}, {0, 1, 0.8, 1.0}});
+  const MbtaProblem p{&m, {}};
+  const Assignment first0 =
+      TaskArrivalGreedySolver().SolveWithOrder(p, {0, 1});
+  ASSERT_EQ(first0.size(), 1u);
+  EXPECT_EQ(m.EdgeTask(first0.edges[0]), 0u);
+  const Assignment first1 =
+      TaskArrivalGreedySolver().SolveWithOrder(p, {1, 0});
+  ASSERT_EQ(first1.size(), 1u);
+  EXPECT_EQ(m.EdgeTask(first1.edges[0]), 1u);
+}
+
+TEST(TaskArrivalTest, FeasibleAndBoundedByOfflineOnRandomMarkets) {
+  Rng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    const LaborMarket m = RandomTestMarket(rng, 12, 12, 0.5);
+    const MbtaProblem p{&m,
+                        {.alpha = 0.5, .kind = ObjectiveKind::kSubmodular}};
+    const MutualBenefitObjective obj = p.MakeObjective();
+    const Assignment a = TaskArrivalGreedySolver(trial).Solve(p);
+    EXPECT_TRUE(IsFeasible(m, a));
+    EXPECT_LE(obj.Value(a),
+              obj.Value(GreedySolver().Solve(p)) * 1.1 + 1e-9);
+  }
+}
+
+TEST(TwoPhaseDeathTest, InvalidOptionsAbort) {
+  const LaborMarket m = MakeTestMarket({1}, {1}, {{0, 0, 0.8, 1.0}});
+  const MbtaProblem p{&m, {}};
+  TwoPhaseOnlineSolver::Options opts;
+  opts.sample_fraction = 1.0;
+  EXPECT_DEATH(TwoPhaseOnlineSolver(1, opts).Solve(p), "MBTA_CHECK");
+  opts.sample_fraction = 0.5;
+  opts.endgame_fraction = 0.25;  // before the sample ends
+  EXPECT_DEATH(TwoPhaseOnlineSolver(1, opts).Solve(p), "MBTA_CHECK");
+}
+
+}  // namespace
+}  // namespace mbta

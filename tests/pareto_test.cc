@@ -1,0 +1,81 @@
+#include "core/pareto.h"
+
+#include <gtest/gtest.h>
+
+#include "core/greedy_solver.h"
+#include "gen/market_generator.h"
+#include "tests/test_markets.h"
+
+namespace mbta {
+namespace {
+
+TEST(ParetoFilterTest, RemovesDominatedPoints) {
+  std::vector<TradeoffPoint> points = {
+      {0.0, 1.0, 5.0},
+      {0.5, 3.0, 3.0},
+      {0.2, 2.0, 2.0},  // dominated by (3, 3)
+      {1.0, 5.0, 1.0},
+  };
+  const auto frontier = ParetoFilter(points);
+  ASSERT_EQ(frontier.size(), 3u);
+  EXPECT_DOUBLE_EQ(frontier[0].requester_benefit, 1.0);
+  EXPECT_DOUBLE_EQ(frontier[1].requester_benefit, 3.0);
+  EXPECT_DOUBLE_EQ(frontier[2].requester_benefit, 5.0);
+}
+
+TEST(ParetoFilterTest, KeepsIncomparablePoints) {
+  std::vector<TradeoffPoint> points = {{0.0, 1.0, 2.0}, {1.0, 2.0, 1.0}};
+  EXPECT_EQ(ParetoFilter(points).size(), 2u);
+}
+
+TEST(ParetoFilterTest, DeduplicatesIdenticalPoints) {
+  std::vector<TradeoffPoint> points = {{0.0, 2.0, 2.0}, {1.0, 2.0, 2.0}};
+  EXPECT_EQ(ParetoFilter(points).size(), 1u);
+}
+
+TEST(ParetoFilterTest, EmptyInput) {
+  EXPECT_TRUE(ParetoFilter({}).empty());
+}
+
+TEST(FrontierHypervolumeTest, SinglePointRectangle) {
+  EXPECT_DOUBLE_EQ(FrontierHypervolume({{0.5, 4.0, 3.0}}), 12.0);
+}
+
+TEST(FrontierHypervolumeTest, StaircaseArea) {
+  // (2, 4) then (5, 1): 2·4 + 3·1 = 11.
+  EXPECT_DOUBLE_EQ(
+      FrontierHypervolume({{0.0, 2.0, 4.0}, {1.0, 5.0, 1.0}}), 11.0);
+}
+
+TEST(FrontierHypervolumeTest, EmptyFrontierIsZero) {
+  EXPECT_DOUBLE_EQ(FrontierHypervolume({}), 0.0);
+}
+
+TEST(SweepAlphaTest, ProducesMonotonePointsOnRealMarket) {
+  const LaborMarket market = GenerateMarket(MTurkLikeConfig(150, 3));
+  const GreedySolver solver;
+  const auto points =
+      SweepAlpha(market, ObjectiveKind::kSubmodular,
+                 {0.0, 0.25, 0.5, 0.75, 1.0}, solver);
+  ASSERT_EQ(points.size(), 5u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    // Requester benefit weakly rises with alpha (small greedy noise ok).
+    EXPECT_GE(points[i].requester_benefit,
+              points[i - 1].requester_benefit * 0.98);
+  }
+  // The frontier of a monotone sweep keeps at least the two endpoints.
+  const auto frontier = ParetoFilter(points);
+  EXPECT_GE(frontier.size(), 2u);
+  EXPECT_GT(FrontierHypervolume(frontier), 0.0);
+}
+
+TEST(SweepAlphaDeathTest, InvalidAlphaAborts) {
+  const LaborMarket m = MakeTestMarket({1}, {1}, {{0, 0, 0.8, 1.0}});
+  const GreedySolver solver;
+  EXPECT_DEATH(
+      SweepAlpha(m, ObjectiveKind::kModular, {1.5}, solver),
+      "MBTA_CHECK");
+}
+
+}  // namespace
+}  // namespace mbta

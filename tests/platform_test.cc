@@ -1,0 +1,186 @@
+#include "platform/platform.h"
+
+#include <gtest/gtest.h>
+
+namespace mbta {
+namespace {
+
+PlatformConfig SmallConfig() {
+  PlatformConfig config;
+  config.market_template = MTurkLikeConfig(150, 9);
+  config.rounds = 6;
+  config.alpha = 0.7;
+  config.seed = 9;
+  return config;
+}
+
+TEST(PlatformTest, ProducesRequestedRounds) {
+  const PlatformResult result =
+      RunPlatform(SmallConfig(), KnowledgeModel::kLearned);
+  ASSERT_EQ(result.rounds.size(), 6u);
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_EQ(result.rounds[r].round, r);
+    EXPECT_GT(result.rounds[r].num_assignments, 0u);
+    EXPECT_GT(result.rounds[r].true_mutual_benefit, 0.0);
+    EXPECT_GE(result.rounds[r].label_accuracy, 0.0);
+    EXPECT_LE(result.rounds[r].label_accuracy, 1.0);
+    EXPECT_GE(result.rounds[r].coverage, 0.0);
+    EXPECT_LE(result.rounds[r].coverage, 1.0);
+  }
+}
+
+TEST(PlatformTest, DeterministicPerConfig) {
+  const PlatformResult a =
+      RunPlatform(SmallConfig(), KnowledgeModel::kLearned);
+  const PlatformResult b =
+      RunPlatform(SmallConfig(), KnowledgeModel::kLearned);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+    EXPECT_DOUBLE_EQ(a.rounds[r].true_mutual_benefit,
+                     b.rounds[r].true_mutual_benefit);
+    EXPECT_DOUBLE_EQ(a.rounds[r].reputation_rmse,
+                     b.rounds[r].reputation_rmse);
+  }
+}
+
+TEST(PlatformTest, OracleHasZeroReputationError) {
+  const PlatformResult result =
+      RunPlatform(SmallConfig(), KnowledgeModel::kOracle);
+  for (const RoundStats& stats : result.rounds) {
+    EXPECT_DOUBLE_EQ(stats.reputation_rmse, 0.0);
+  }
+}
+
+TEST(PlatformTest, LearningReducesReputationError) {
+  const PlatformResult result =
+      RunPlatform(SmallConfig(), KnowledgeModel::kLearned);
+  EXPECT_LT(result.rounds.back().reputation_rmse,
+            result.rounds.front().reputation_rmse);
+}
+
+TEST(PlatformTest, StaticBeliefsStayPut) {
+  const PlatformResult result =
+      RunPlatform(SmallConfig(), KnowledgeModel::kStatic);
+  for (const RoundStats& stats : result.rounds) {
+    EXPECT_NEAR(stats.reputation_rmse, result.rounds[0].reputation_rmse,
+                1e-12);
+  }
+}
+
+TEST(PlatformTest, LearnedBeatsStaticEventually) {
+  // Aggregate true mutual benefit over the second half of the run: once
+  // reputations are calibrated, the learned platform should deliver more
+  // than the prior-only platform (and no more than the oracle, with a
+  // small tolerance for noise in DS inference). Uses the contended
+  // template — under slack capacity, beliefs barely change who gets
+  // picked and all three models coincide.
+  PlatformConfig config;
+  config.market_template = ContendedLabelingConfig(200, 11);
+  config.alpha = 0.9;
+  config.seed = 11;
+  config.rounds = 10;
+  const PlatformResult oracle =
+      RunPlatform(config, KnowledgeModel::kOracle);
+  const PlatformResult learned =
+      RunPlatform(config, KnowledgeModel::kLearned);
+  const PlatformResult fixed =
+      RunPlatform(config, KnowledgeModel::kStatic);
+  auto second_half = [](const PlatformResult& r) {
+    double sum = 0.0;
+    for (std::size_t i = r.rounds.size() / 2; i < r.rounds.size(); ++i) {
+      sum += r.rounds[i].true_mutual_benefit;
+    }
+    return sum;
+  };
+  EXPECT_GT(second_half(learned), second_half(fixed));
+  EXPECT_LE(second_half(learned), second_half(oracle) * 1.02);
+}
+
+TEST(PlatformTest, GoldTasksAccelerateLearning) {
+  PlatformConfig config;
+  config.market_template = ContendedLabelingConfig(250, 13);
+  config.alpha = 0.9;
+  config.seed = 13;
+  config.rounds = 10;
+  const PlatformResult without =
+      RunPlatform(config, KnowledgeModel::kLearned);
+  config.gold_fraction = 0.3;
+  const PlatformResult with_gold =
+      RunPlatform(config, KnowledgeModel::kLearned);
+  // Gold observations are unbiased and come even from single-answer
+  // tasks, so the final reputation error should be smaller.
+  EXPECT_LT(with_gold.rounds.back().reputation_rmse,
+            without.rounds.back().reputation_rmse);
+}
+
+TEST(PlatformTest, GoldFractionDoesNotAffectOracle) {
+  PlatformConfig config;
+  config.market_template = ContendedLabelingConfig(150, 17);
+  config.seed = 17;
+  config.rounds = 4;
+  const PlatformResult plain =
+      RunPlatform(config, KnowledgeModel::kOracle);
+  config.gold_fraction = 0.5;
+  const PlatformResult gold = RunPlatform(config, KnowledgeModel::kOracle);
+  for (std::size_t r = 0; r < plain.rounds.size(); ++r) {
+    EXPECT_DOUBLE_EQ(plain.rounds[r].true_mutual_benefit,
+                     gold.rounds[r].true_mutual_benefit);
+  }
+}
+
+TEST(PlatformTest, ChurnKeepsReputationErrorElevated) {
+  PlatformConfig config;
+  config.market_template = ContendedLabelingConfig(250, 19);
+  config.alpha = 0.9;
+  config.seed = 19;
+  config.rounds = 12;
+  const PlatformResult stable =
+      RunPlatform(config, KnowledgeModel::kLearned);
+  config.churn_rate = 0.25;
+  const PlatformResult churned =
+      RunPlatform(config, KnowledgeModel::kLearned);
+  // With a quarter of the population replaced every round, accumulated
+  // evidence keeps being thrown away: final RMSE stays above the
+  // stable-population run's.
+  EXPECT_GT(churned.rounds.back().reputation_rmse,
+            stable.rounds.back().reputation_rmse);
+}
+
+TEST(PlatformTest, ChurnedRunStillProducesValidRounds) {
+  PlatformConfig config;
+  config.market_template = ContendedLabelingConfig(100, 23);
+  config.seed = 23;
+  config.rounds = 5;
+  config.churn_rate = 0.5;
+  config.gold_fraction = 0.2;
+  for (KnowledgeModel model :
+       {KnowledgeModel::kOracle, KnowledgeModel::kLearned,
+        KnowledgeModel::kStatic}) {
+    const PlatformResult result = RunPlatform(config, model);
+    ASSERT_EQ(result.rounds.size(), 5u);
+    for (const RoundStats& stats : result.rounds) {
+      EXPECT_GT(stats.true_mutual_benefit, 0.0);
+    }
+  }
+}
+
+TEST(PlatformDeathTest, InvalidFractionsAbort) {
+  PlatformConfig config;
+  config.market_template = ContendedLabelingConfig(50, 1);
+  config.gold_fraction = 1.5;
+  EXPECT_DEATH(RunPlatform(config, KnowledgeModel::kLearned),
+               "MBTA_CHECK");
+  config.gold_fraction = 0.0;
+  config.churn_rate = -0.1;
+  EXPECT_DEATH(RunPlatform(config, KnowledgeModel::kLearned),
+               "MBTA_CHECK");
+}
+
+TEST(PlatformTest, KnowledgeModelNames) {
+  EXPECT_STREQ(ToString(KnowledgeModel::kOracle), "oracle");
+  EXPECT_STREQ(ToString(KnowledgeModel::kLearned), "learned");
+  EXPECT_STREQ(ToString(KnowledgeModel::kStatic), "static");
+}
+
+}  // namespace
+}  // namespace mbta

@@ -1,0 +1,92 @@
+#include "core/recommend.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_markets.h"
+
+namespace mbta {
+namespace {
+
+TEST(RecommendTest, RanksByMarginalGain) {
+  // Worker 0 can do three tasks with distinct values.
+  const LaborMarket m = MakeTestMarket(
+      {3}, {1, 1, 1},
+      {{0, 0, 0.8, 1.0}, {0, 1, 0.8, 3.0}, {0, 2, 0.8, 2.0}});
+  MutualBenefitObjective obj(
+      &m, {.alpha = 0.0, .kind = ObjectiveKind::kModular});
+  ObjectiveState state(&obj);
+  const auto recs = RecommendTasksForWorker(state, 0, 3);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(m.EdgeTask(recs[0].edge), 1u);
+  EXPECT_EQ(m.EdgeTask(recs[1].edge), 2u);
+  EXPECT_EQ(m.EdgeTask(recs[2].edge), 0u);
+  EXPECT_GE(recs[0].gain, recs[1].gain);
+  EXPECT_GE(recs[1].gain, recs[2].gain);
+}
+
+TEST(RecommendTest, KClampsResultSize) {
+  const LaborMarket m = MakeTestMarket(
+      {3}, {1, 1, 1},
+      {{0, 0, 0.8, 1.0}, {0, 1, 0.8, 3.0}, {0, 2, 0.8, 2.0}});
+  MutualBenefitObjective obj(&m, {});
+  ObjectiveState state(&obj);
+  EXPECT_EQ(RecommendTasksForWorker(state, 0, 2).size(), 2u);
+  EXPECT_EQ(RecommendTasksForWorker(state, 0, 0).size(), 0u);
+  EXPECT_EQ(RecommendTasksForWorker(state, 0, 99).size(), 3u);
+}
+
+TEST(RecommendTest, ExcludesInfeasibleEdges) {
+  const LaborMarket m = MakeTestMarket(
+      {2}, {1, 1}, {{0, 0, 0.8, 1.0}, {0, 1, 0.8, 2.0}});
+  MutualBenefitObjective obj(&m, {});
+  ObjectiveState state(&obj);
+  state.Add(0);  // task 0 saturated; edge 0 also already chosen
+  const auto recs = RecommendTasksForWorker(state, 0, 5);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(m.EdgeTask(recs[0].edge), 1u);
+}
+
+TEST(RecommendTest, GainsReflectCurrentState) {
+  // Submodular task: the second worker's recommendation gain for the
+  // same task must shrink once the first worker is assigned.
+  const LaborMarket m = MakeTestMarket(
+      {1, 1}, {2}, {{0, 0, 0.9, 0.0}, {1, 0, 0.9, 0.0}}, {10.0});
+  MutualBenefitObjective obj(
+      &m, {.alpha = 1.0, .kind = ObjectiveKind::kSubmodular});
+  ObjectiveState state(&obj);
+  const auto before = RecommendWorkersForTask(state, 0, 2);
+  ASSERT_EQ(before.size(), 2u);
+  state.Add(before[0].edge);
+  const auto after = RecommendWorkersForTask(state, 0, 2);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_LT(after[0].gain, before[1].gain);
+}
+
+TEST(RecommendTest, WorkerWithNoEdgesGetsNothing) {
+  LaborMarketBuilder b;
+  Worker w;
+  w.capacity = 1;
+  b.AddWorker(w);
+  Task t;
+  t.capacity = 1;
+  b.AddTask(t);
+  const LaborMarket m = b.Build();
+  MutualBenefitObjective obj(&m, {});
+  ObjectiveState state(&obj);
+  EXPECT_TRUE(RecommendTasksForWorker(state, 0, 5).empty());
+  EXPECT_TRUE(RecommendWorkersForTask(state, 0, 5).empty());
+}
+
+TEST(RecommendTest, DeterministicTieBreakByEdgeId) {
+  const LaborMarket m = MakeTestMarket(
+      {2}, {1, 1}, {{0, 0, 0.8, 1.0}, {0, 1, 0.8, 1.0}});
+  MutualBenefitObjective obj(
+      &m, {.alpha = 0.0, .kind = ObjectiveKind::kModular});
+  ObjectiveState state(&obj);
+  const auto recs = RecommendTasksForWorker(state, 0, 2);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_LT(recs[0].edge, recs[1].edge);
+}
+
+}  // namespace
+}  // namespace mbta

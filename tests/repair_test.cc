@@ -1,0 +1,114 @@
+#include "core/repair.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/greedy_solver.h"
+#include "gen/market_generator.h"
+#include "tests/test_markets.h"
+
+namespace mbta {
+namespace {
+
+TEST(RepairTest, DepartedWorkerHoldsNothing) {
+  Rng rng(3);
+  const LaborMarket m = RandomTestMarket(rng, 10, 10, 0.5);
+  const MbtaProblem p{&m, {}};
+  const MutualBenefitObjective obj = p.MakeObjective();
+  const Assignment before = GreedySolver().Solve(p);
+  for (WorkerId w = 0; w < m.NumWorkers(); ++w) {
+    const Assignment after = RemoveWorkerAndRepair(obj, before, w);
+    EXPECT_TRUE(IsFeasible(m, after));
+    EXPECT_EQ(WorkerLoads(m, after)[w], 0);
+  }
+}
+
+TEST(RepairTest, ReplacementWorkerFillsTheSlot) {
+  // Two workers can serve the task; worker 0 is assigned, then leaves:
+  // the repair must hand the task to worker 1.
+  const LaborMarket m = MakeTestMarket(
+      {1, 1}, {1}, {{0, 0, 0.9, 1.0}, {1, 0, 0.7, 1.0}});
+  const MbtaProblem p{&m, {}};
+  const MutualBenefitObjective obj = p.MakeObjective();
+  const Assignment before{{0}};
+  const Assignment after = RemoveWorkerAndRepair(obj, before, 0);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(m.EdgeWorker(after.edges[0]), 1u);
+}
+
+TEST(RepairTest, WithdrawnTaskHasNoAssignments) {
+  Rng rng(5);
+  const LaborMarket m = RandomTestMarket(rng, 10, 10, 0.5);
+  const MbtaProblem p{&m, {}};
+  const MutualBenefitObjective obj = p.MakeObjective();
+  const Assignment before = GreedySolver().Solve(p);
+  for (TaskId t = 0; t < m.NumTasks(); ++t) {
+    const Assignment after = RemoveTaskAndRepair(obj, before, t);
+    EXPECT_TRUE(IsFeasible(m, after));
+    EXPECT_EQ(TaskLoads(m, after)[t], 0);
+  }
+}
+
+TEST(RepairTest, FreedWorkerRedeploysElsewhere) {
+  // Worker 0 on task 0; task 0 withdrawn; worker 0 must move to task 1.
+  const LaborMarket m = MakeTestMarket(
+      {1}, {1, 1}, {{0, 0, 0.9, 2.0}, {0, 1, 0.8, 1.0}});
+  const MbtaProblem p{&m, {}};
+  const MutualBenefitObjective obj = p.MakeObjective();
+  const Assignment after = RemoveTaskAndRepair(obj, Assignment{{0}}, 0);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(m.EdgeTask(after.edges[0]), 1u);
+}
+
+TEST(RepairTest, UntouchedPairsSurvive) {
+  Rng rng(7);
+  const LaborMarket m = RandomTestMarket(rng, 12, 12, 0.4);
+  const MbtaProblem p{&m, {}};
+  const MutualBenefitObjective obj = p.MakeObjective();
+  const Assignment before = GreedySolver().Solve(p);
+  if (before.empty()) GTEST_SKIP() << "degenerate instance";
+  const WorkerId w = m.EdgeWorker(before.edges[0]);
+  const Assignment after = RemoveWorkerAndRepair(obj, before, w);
+  // Every original pair not involving w must still be present.
+  std::set<EdgeId> kept(after.edges.begin(), after.edges.end());
+  for (EdgeId e : before.edges) {
+    if (m.EdgeWorker(e) != w) {
+      EXPECT_TRUE(kept.count(e)) << "edge " << e << " lost in repair";
+    }
+  }
+}
+
+TEST(RepairTest, RepairCompetitiveWithResolve) {
+  // On random markets, repairing after one departure should stay within
+  // a modest factor of greedy-from-scratch on the shrunken market.
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const LaborMarket m = GenerateMarket(UniformConfig(60, 60, 100 + trial));
+    const MbtaProblem p{&m,
+                        {.alpha = 0.5, .kind = ObjectiveKind::kSubmodular}};
+    const MutualBenefitObjective obj = p.MakeObjective();
+    const Assignment before = GreedySolver().Solve(p);
+    const WorkerId w = static_cast<WorkerId>(rng.NextBounded(m.NumWorkers()));
+    const Assignment repaired = RemoveWorkerAndRepair(obj, before, w);
+
+    // Reference: re-solve with the worker's capacity zeroed out — emulate
+    // by solving and then stripping w... simplest fair reference is the
+    // repaired value vs (before minus w's edges) with no refill.
+    Assignment stripped;
+    for (EdgeId e : before.edges) {
+      if (m.EdgeWorker(e) != w) stripped.edges.push_back(e);
+    }
+    EXPECT_GE(obj.Value(repaired) + 1e-9, obj.Value(stripped));
+  }
+}
+
+TEST(RepairDeathTest, OutOfRangeIdsAbort) {
+  const LaborMarket m = MakeTestMarket({1}, {1}, {{0, 0, 0.8, 1.0}});
+  const MutualBenefitObjective obj(&m, {});
+  EXPECT_DEATH(RemoveWorkerAndRepair(obj, Assignment{}, 5), "MBTA_CHECK");
+  EXPECT_DEATH(RemoveTaskAndRepair(obj, Assignment{}, 5), "MBTA_CHECK");
+}
+
+}  // namespace
+}  // namespace mbta

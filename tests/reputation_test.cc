@@ -1,0 +1,79 @@
+#include "platform/reputation.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mbta {
+namespace {
+
+TEST(ReputationTrackerTest, PriorMean) {
+  ReputationTracker tracker(3, 3.5, 1.5);
+  for (WorkerId w = 0; w < 3; ++w) {
+    EXPECT_NEAR(tracker.EstimatedReliability(w), 0.7, 1e-12);
+    EXPECT_DOUBLE_EQ(tracker.ObservationWeight(w), 0.0);
+  }
+}
+
+TEST(ReputationTrackerTest, ObserveShiftsPosterior) {
+  ReputationTracker tracker(1, 1.0, 1.0);  // uniform prior, mean 0.5
+  tracker.Observe(0, 8.0, 10.0);
+  // Beta(1+8, 1+2): mean 9/12 = 0.75.
+  EXPECT_NEAR(tracker.EstimatedReliability(0), 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(tracker.ObservationWeight(0), 10.0);
+}
+
+TEST(ReputationTrackerTest, ConvergesToEmpiricalRate) {
+  ReputationTracker tracker(1);
+  Rng rng(5);
+  const double true_rate = 0.83;
+  for (int i = 0; i < 5000; ++i) {
+    tracker.Observe(0, rng.NextBool(true_rate) ? 1.0 : 0.0, 1.0);
+  }
+  EXPECT_NEAR(tracker.EstimatedReliability(0), true_rate, 0.02);
+}
+
+TEST(ReputationTrackerTest, WorkersAreIndependent) {
+  ReputationTracker tracker(2);
+  tracker.Observe(0, 10.0, 10.0);
+  EXPECT_GT(tracker.EstimatedReliability(0),
+            tracker.EstimatedReliability(1));
+  EXPECT_DOUBLE_EQ(tracker.ObservationWeight(1), 0.0);
+}
+
+TEST(ReputationTrackerTest, UpdateFromPredictionsCountsAgreement) {
+  ReputationTracker tracker(2, 1.0, 1.0);
+  AnswerSet answers;
+  answers.truth = {1, 0};
+  // Worker 0 agrees with inferred labels on both tasks; worker 1 on none.
+  answers.answers = {{{0, 1, 0.9}, {1, 0, 0.6}},
+                     {{0, 0, 0.9}, {1, 1, 0.6}}};
+  const Predictions predicted = {1, 0};
+  tracker.UpdateFromPredictions(answers, predicted);
+  EXPECT_NEAR(tracker.EstimatedReliability(0), 3.0 / 4.0, 1e-12);
+  EXPECT_NEAR(tracker.EstimatedReliability(1), 1.0 / 4.0, 1e-12);
+}
+
+TEST(ReputationTrackerTest, UnlabeledTasksSkipped) {
+  ReputationTracker tracker(1, 1.0, 1.0);
+  AnswerSet answers;
+  answers.truth = {1};
+  answers.answers = {{{0, 1, 0.9}}};
+  tracker.UpdateFromPredictions(answers, {kNoLabel});
+  EXPECT_DOUBLE_EQ(tracker.ObservationWeight(0), 0.0);
+}
+
+TEST(ReputationTrackerTest, RmseZeroForPerfectEstimates) {
+  ReputationTracker tracker(2, 7.0, 3.0);  // mean 0.7
+  EXPECT_NEAR(tracker.Rmse({0.7, 0.7}), 0.0, 1e-12);
+  EXPECT_GT(tracker.Rmse({0.9, 0.9}), 0.19);
+}
+
+TEST(ReputationTrackerDeathTest, InvalidObservationsAbort) {
+  ReputationTracker tracker(1);
+  EXPECT_DEATH(tracker.Observe(0, 2.0, 1.0), "MBTA_CHECK");
+  EXPECT_DEATH(tracker.Observe(1, 0.0, 1.0), "MBTA_CHECK");
+}
+
+}  // namespace
+}  // namespace mbta

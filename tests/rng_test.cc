@@ -1,0 +1,179 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mbta {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextBoundedCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextBoundedRoughlyUniform) {
+  Rng rng(13);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.NextBounded(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(17);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextIntSingleton) {
+  Rng rng(19);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.NextInt(5, 5), 5);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(21);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(23);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, NextDoubleRangeRespectsBounds) {
+  Rng rng(25);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble(-2.5, 7.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 7.5);
+  }
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng rng(27);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, NextBoolFrequencyMatchesP) {
+  Rng rng(29);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(31);
+  constexpr int kN = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.03);
+}
+
+TEST(RngTest, GammaMeanEqualsShape) {
+  Rng rng(33);
+  for (double shape : {0.5, 1.0, 2.0, 5.0}) {
+    double sum = 0.0;
+    constexpr int kN = 50000;
+    for (int i = 0; i < kN; ++i) {
+      const double x = rng.NextGamma(shape);
+      ASSERT_GT(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum / kN, shape, shape * 0.05) << "shape=" << shape;
+  }
+}
+
+TEST(RngTest, BetaInUnitIntervalWithCorrectMean) {
+  Rng rng(35);
+  const double a = 4.0, b = 2.0;
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.NextBeta(a, b);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, a / (a + b), 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(37);
+  Rng child = parent.Fork();
+  // The child stream differs from the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next() == child.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mbta

@@ -1,0 +1,119 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mbta {
+namespace {
+
+TEST(SummarizeTest, EmptyInputAllZero) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.sum, 0.0);
+}
+
+TEST(SummarizeTest, SingleValue) {
+  const Summary s = Summarize({3.5});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(SummarizeTest, KnownSample) {
+  const Summary s = Summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.sum, 40.0);
+  // Sample stddev with n-1 = sqrt(32/7).
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(SummarizeTest, NegativeValues) {
+  const Summary s = Summarize({-1.0, -5.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.min, -5.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, -1.0);
+}
+
+TEST(PercentileTest, EmptyReturnsZero) {
+  EXPECT_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(PercentileTest, EndpointsAreMinAndMax) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 5.0);
+}
+
+TEST(PercentileTest, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(Percentile({9.0, 1.0, 5.0}, 50), 5.0);
+}
+
+TEST(PercentileTest, LinearInterpolation) {
+  // Sorted: 1, 2, 3, 4. p=50 -> rank 1.5 -> 2.5.
+  EXPECT_DOUBLE_EQ(Percentile({4.0, 1.0, 3.0, 2.0}, 50), 2.5);
+  // p=25 -> rank 0.75 -> 1.75.
+  EXPECT_DOUBLE_EQ(Percentile({4.0, 1.0, 3.0, 2.0}, 25), 1.75);
+}
+
+TEST(PercentileTest, SingletonAnyP) {
+  for (double p : {0.0, 33.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(Percentile({7.0}, p), 7.0);
+  }
+}
+
+TEST(JainFairnessTest, PerfectEqualityIsOne) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({3.0, 3.0, 3.0, 3.0}), 1.0);
+}
+
+TEST(JainFairnessTest, MaximallyUnfairIsOneOverN) {
+  EXPECT_NEAR(JainFairnessIndex({10.0, 0.0, 0.0, 0.0, 0.0}), 0.2, 1e-12);
+}
+
+TEST(JainFairnessTest, EmptyOrAllZeroIsZero) {
+  EXPECT_EQ(JainFairnessIndex({}), 0.0);
+  EXPECT_EQ(JainFairnessIndex({0.0, 0.0}), 0.0);
+}
+
+TEST(JainFairnessTest, BetweenBounds) {
+  const double j = JainFairnessIndex({1.0, 2.0, 3.0, 4.0});
+  EXPECT_GT(j, 0.25);
+  EXPECT_LT(j, 1.0);
+}
+
+TEST(GiniTest, PerfectEqualityIsZero) {
+  EXPECT_NEAR(GiniCoefficient({5.0, 5.0, 5.0, 5.0}), 0.0, 1e-12);
+}
+
+TEST(GiniTest, TotalConcentrationApproachesOne) {
+  // One person has everything among n=100: Gini = (n-1)/n = 0.99.
+  std::vector<double> xs(100, 0.0);
+  xs[0] = 1000.0;
+  EXPECT_NEAR(GiniCoefficient(xs), 0.99, 1e-9);
+}
+
+TEST(GiniTest, KnownTwoPersonSplit) {
+  // Shares (0.25, 0.75): Gini = 0.25.
+  EXPECT_NEAR(GiniCoefficient({1.0, 3.0}), 0.25, 1e-12);
+}
+
+TEST(GiniTest, EmptyAndZeroSumAreZero) {
+  EXPECT_EQ(GiniCoefficient({}), 0.0);
+  EXPECT_EQ(GiniCoefficient({0.0, 0.0, 0.0}), 0.0);
+}
+
+TEST(GiniTest, InvariantToScaling) {
+  const double g1 = GiniCoefficient({1.0, 2.0, 7.0});
+  const double g2 = GiniCoefficient({10.0, 20.0, 70.0});
+  EXPECT_NEAR(g1, g2, 1e-12);
+}
+
+}  // namespace
+}  // namespace mbta

@@ -1,0 +1,65 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace mbta {
+namespace {
+
+TEST(TableTest, NumFormatsDoublesTrimmed) {
+  EXPECT_EQ(Table::Num(1.5), "1.5");
+  EXPECT_EQ(Table::Num(2.0), "2.0");
+  EXPECT_EQ(Table::Num(0.12345), "0.1235");  // 4 decimals, rounded
+  EXPECT_EQ(Table::Num(-3.25), "-3.25");
+}
+
+TEST(TableTest, NumFormatsIntegers) {
+  EXPECT_EQ(Table::Num(static_cast<std::int64_t>(42)), "42");
+  EXPECT_EQ(Table::Num(static_cast<std::int64_t>(-7)), "-7");
+  EXPECT_EQ(Table::Num(static_cast<std::int64_t>(0)), "0");
+}
+
+TEST(TableTest, HeaderOnlyRendersRule) {
+  Table t({"a", "bb"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TableTest, RowsAppearInOrder) {
+  Table t({"name", "value"});
+  t.AddRow({"first", "1"});
+  t.AddRow({"second", "2"});
+  const std::string s = t.ToString();
+  EXPECT_LT(s.find("first"), s.find("second"));
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, ColumnsAlignedToWidestCell) {
+  Table t({"x", "y"});
+  t.AddRow({"longvalue", "1"});
+  const std::string s = t.ToString();
+  // Header line must be padded at least as wide as "longvalue".
+  const std::string header_line = s.substr(0, s.find('\n'));
+  EXPECT_GE(header_line.size(), std::string("longvalue").size());
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "x"});
+  t.AddRow({"2", "y"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,x\n2,y\n");
+}
+
+TEST(TableDeathTest, RowArityMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "MBTA_CHECK");
+}
+
+TEST(TableDeathTest, EmptyHeaderAborts) {
+  EXPECT_DEATH(Table{std::vector<std::string>{}}, "MBTA_CHECK");
+}
+
+}  // namespace
+}  // namespace mbta

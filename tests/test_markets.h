@@ -1,0 +1,81 @@
+#ifndef MBTA_TESTS_TEST_MARKETS_H_
+#define MBTA_TESTS_TEST_MARKETS_H_
+
+#include <vector>
+
+#include "market/labor_market.h"
+#include "util/rng.h"
+
+namespace mbta {
+
+/// Explicit edge for hand-built test markets.
+struct TestEdge {
+  WorkerId worker;
+  TaskId task;
+  double quality;
+  double worker_benefit;
+};
+
+/// Builds a market from explicit capacities and edges. Task values default
+/// to 1.0; override per test by passing task_values.
+inline LaborMarket MakeTestMarket(const std::vector<int>& worker_caps,
+                                  const std::vector<int>& task_caps,
+                                  const std::vector<TestEdge>& edges,
+                                  const std::vector<double>& task_values = {},
+                                  double fatigue = 1.0) {
+  LaborMarketBuilder b;
+  b.SetName("test");
+  for (int cap : worker_caps) {
+    Worker w;
+    w.capacity = cap;
+    w.fatigue = fatigue;
+    b.AddWorker(w);
+  }
+  for (std::size_t i = 0; i < task_caps.size(); ++i) {
+    Task t;
+    t.capacity = task_caps[i];
+    t.value = i < task_values.size() ? task_values[i] : 1.0;
+    b.AddTask(t);
+  }
+  for (const TestEdge& e : edges) {
+    b.AddEdge(e.worker, e.task, {e.quality, e.worker_benefit});
+  }
+  return b.Build();
+}
+
+/// Random small market for property tests: capacities in [1,3], random
+/// qualities/benefits, each pair connected with probability edge_prob.
+inline LaborMarket RandomTestMarket(Rng& rng, std::size_t max_workers,
+                                    std::size_t max_tasks,
+                                    double edge_prob, double fatigue = 0.9) {
+  const std::size_t nw = 1 + rng.NextBounded(max_workers);
+  const std::size_t nt = 1 + rng.NextBounded(max_tasks);
+  LaborMarketBuilder b;
+  b.SetName("random-test");
+  for (std::size_t i = 0; i < nw; ++i) {
+    Worker w;
+    w.capacity = static_cast<int>(1 + rng.NextBounded(3));
+    w.fatigue = fatigue;
+    w.reliability = rng.NextDouble(0.5, 1.0);
+    b.AddWorker(w);
+  }
+  for (std::size_t i = 0; i < nt; ++i) {
+    Task t;
+    t.capacity = static_cast<int>(1 + rng.NextBounded(3));
+    t.value = rng.NextDouble(0.5, 3.0);
+    b.AddTask(t);
+  }
+  for (WorkerId w = 0; w < nw; ++w) {
+    for (TaskId t = 0; t < nt; ++t) {
+      if (rng.NextBool(edge_prob)) {
+        b.AddEdge(w, t,
+                  {rng.NextDouble(0.5, 0.99), rng.NextDouble(0.0, 2.0)});
+      }
+    }
+  }
+  return b.Build();
+}
+
+}  // namespace mbta
+
+#endif  // MBTA_TESTS_TEST_MARKETS_H_

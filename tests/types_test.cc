@@ -1,0 +1,121 @@
+#include "market/types.h"
+
+#include <gtest/gtest.h>
+
+namespace mbta {
+namespace {
+
+TEST(SkillMatchTest, EmptyVectorsMatchFully) {
+  EXPECT_DOUBLE_EQ(SkillMatch({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(SkillMatch({}, {1.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(SkillMatch({1.0}, {}), 1.0);
+}
+
+TEST(SkillMatchTest, IdenticalVectorsMatchFully) {
+  EXPECT_NEAR(SkillMatch({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}), 1.0, 1e-12);
+}
+
+TEST(SkillMatchTest, OrthogonalVectorsZero) {
+  EXPECT_NEAR(SkillMatch({1.0, 0.0}, {0.0, 1.0}), 0.0, 1e-12);
+}
+
+TEST(SkillMatchTest, ScaleInvariant) {
+  EXPECT_NEAR(SkillMatch({1.0, 1.0}, {10.0, 10.0}), 1.0, 1e-12);
+}
+
+TEST(SkillMatchTest, ZeroVectorGivesZero) {
+  EXPECT_DOUBLE_EQ(SkillMatch({0.0, 0.0}, {1.0, 1.0}), 0.0);
+}
+
+TEST(SkillMatchTest, SymmetricAndBounded) {
+  const SkillVector a = {0.3, 0.9, 0.1}, b = {0.5, 0.2, 0.8};
+  const double ab = SkillMatch(a, b);
+  EXPECT_DOUBLE_EQ(ab, SkillMatch(b, a));
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 1.0);
+}
+
+TEST(SkillMatchDeathTest, DimensionMismatchAborts) {
+  EXPECT_DEATH(SkillMatch({1.0}, {1.0, 2.0}), "skill dims");
+}
+
+TEST(EligibilityTest, UnderpaidWorkerIsIneligible) {
+  Worker w;
+  w.unit_cost = 5.0;
+  Task t;
+  t.payment = 4.0;
+  EXPECT_FALSE(IsEligible(w, t, EdgeModelParams{}));
+  t.payment = 5.0;
+  EXPECT_TRUE(IsEligible(w, t, EdgeModelParams{}));
+}
+
+TEST(EligibilityTest, SkillThresholdGates) {
+  Worker w;
+  w.skills = {1.0, 0.0};
+  Task t;
+  t.payment = 1.0;
+  t.required_skills = {0.0, 1.0};  // orthogonal: match 0
+  EdgeModelParams p;
+  p.skill_threshold = 0.2;
+  EXPECT_FALSE(IsEligible(w, t, p));
+  t.required_skills = {1.0, 0.0};
+  EXPECT_TRUE(IsEligible(w, t, p));
+}
+
+TEST(EdgeAttributesTest, QualityWithinBounds) {
+  EdgeModelParams p;
+  Worker w;
+  w.reliability = 0.99;
+  Task t;
+  t.payment = 1.0;
+  const EdgeAttributes attr = ComputeEdgeAttributes(w, t, p);
+  EXPECT_GE(attr.quality, 0.5);
+  EXPECT_LE(attr.quality, 0.995);
+}
+
+TEST(EdgeAttributesTest, HigherReliabilityHigherQuality) {
+  EdgeModelParams p;
+  Task t;
+  t.payment = 1.0;
+  Worker lo, hi;
+  lo.reliability = 0.6;
+  hi.reliability = 0.9;
+  EXPECT_LT(ComputeEdgeAttributes(lo, t, p).quality,
+            ComputeEdgeAttributes(hi, t, p).quality);
+}
+
+TEST(EdgeAttributesTest, DifficultyDepressesQuality) {
+  EdgeModelParams p;
+  Worker w;
+  w.reliability = 0.9;
+  Task easy, hard;
+  easy.payment = hard.payment = 1.0;
+  easy.difficulty = 0.0;
+  hard.difficulty = 1.0;
+  EXPECT_GT(ComputeEdgeAttributes(w, easy, p).quality,
+            ComputeEdgeAttributes(w, hard, p).quality);
+}
+
+TEST(EdgeAttributesTest, WorkerBenefitIsSurplusPlusInterest) {
+  EdgeModelParams p;
+  p.interest_weight = 0.5;
+  Worker w;
+  w.unit_cost = 1.0;  // no skills: match = 1
+  Task t;
+  t.payment = 3.0;
+  const EdgeAttributes attr = ComputeEdgeAttributes(w, t, p);
+  EXPECT_DOUBLE_EQ(attr.worker_benefit, 2.0 + 0.5);
+}
+
+TEST(EdgeAttributesTest, BenefitNonNegativeForEligiblePairs) {
+  EdgeModelParams p;
+  Worker w;
+  w.unit_cost = 2.0;
+  Task t;
+  t.payment = 2.0;  // exactly break-even
+  ASSERT_TRUE(IsEligible(w, t, p));
+  EXPECT_GE(ComputeEdgeAttributes(w, t, p).worker_benefit, 0.0);
+}
+
+}  // namespace
+}  // namespace mbta

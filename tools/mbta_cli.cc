@@ -1,0 +1,300 @@
+/// Command-line front end for the library: generate markets, solve
+/// assignment problems, and evaluate/compare solutions without writing
+/// any C++.
+///
+///   mbta_cli generate --dataset mturk --workers 500 --seed 7 --out m.market
+///   mbta_cli stats    --market m.market
+///   mbta_cli solve    --market m.market --solver greedy --alpha 0.5 \
+///                     --out a.assignment
+///   mbta_cli evaluate --market m.market --assignment a.assignment
+///   mbta_cli compare  --market m.market --alpha 0.5
+///
+/// Solvers: greedy, threshold, local-search, stable-da, matching,
+/// worker-centric, requester-centric, random, online-greedy,
+/// online-two-phase, exact-flow (modular objective only).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/baseline_solvers.h"
+#include "core/exact_flow_solver.h"
+#include "core/greedy_solver.h"
+#include "core/local_search_solver.h"
+#include "core/online_solvers.h"
+#include "core/solver.h"
+#include "core/stable_matching_solver.h"
+#include "core/threshold_solver.h"
+#include "gen/market_generator.h"
+#include "io/market_io.h"
+#include "market/metrics.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace mbta::cli {
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+  std::uint64_t GetUint(const std::string& key,
+                        std::uint64_t fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end()
+               ? fallback
+               : static_cast<std::uint64_t>(
+                     std::strtoull(it->second.c_str(), nullptr, 10));
+  }
+  bool Require(const std::string& key, std::string* out) const {
+    const auto it = flags.find(key);
+    if (it == flags.end()) {
+      std::fprintf(stderr, "error: missing required flag --%s\n",
+                   key.c_str());
+      return false;
+    }
+    *out = it->second;
+    return true;
+  }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: mbta_cli <generate|stats|solve|evaluate|compare> [--flag "
+      "value ...]\n"
+      "  generate --dataset uniform|zipf|mturk|upwork --workers N\n"
+      "           [--tasks N] [--seed S] --out FILE\n"
+      "  stats    --market FILE\n"
+      "  solve    --market FILE [--solver greedy] [--alpha 0.5]\n"
+      "           [--objective submodular|modular] [--seed S] --out FILE\n"
+      "  evaluate --market FILE --assignment FILE [--alpha 0.5]\n"
+      "           [--objective submodular|modular]\n"
+      "  compare  --market FILE [--alpha 0.5]\n");
+  return 2;
+}
+
+std::unique_ptr<Solver> MakeSolver(const std::string& name,
+                                   std::uint64_t seed) {
+  if (name == "greedy") return std::make_unique<GreedySolver>();
+  if (name == "greedy-plain") {
+    return std::make_unique<GreedySolver>(GreedySolver::Mode::kPlain);
+  }
+  if (name == "threshold") return std::make_unique<ThresholdSolver>();
+  if (name == "local-search") return std::make_unique<LocalSearchSolver>();
+  if (name == "stable-da") return std::make_unique<StableMatchingSolver>();
+  if (name == "matching") return std::make_unique<MatchingSolver>();
+  if (name == "worker-centric") {
+    return std::make_unique<WorkerCentricSolver>();
+  }
+  if (name == "requester-centric") {
+    return std::make_unique<RequesterCentricSolver>();
+  }
+  if (name == "random") return std::make_unique<RandomSolver>(seed);
+  if (name == "online-greedy") {
+    return std::make_unique<OnlineGreedySolver>(seed);
+  }
+  if (name == "online-two-phase") {
+    return std::make_unique<TwoPhaseOnlineSolver>(seed);
+  }
+  if (name == "exact-flow") return std::make_unique<ExactFlowSolver>();
+  return nullptr;
+}
+
+ObjectiveParams MakeObjectiveParams(const Args& args) {
+  ObjectiveParams params;
+  params.alpha = args.GetDouble("alpha", 0.5);
+  params.kind = args.Get("objective", "submodular") == "modular"
+                    ? ObjectiveKind::kModular
+                    : ObjectiveKind::kSubmodular;
+  return params;
+}
+
+int Generate(const Args& args) {
+  std::string out;
+  if (!args.Require("out", &out)) return 2;
+  const std::string dataset = args.Get("dataset", "uniform");
+  const std::size_t workers =
+      static_cast<std::size_t>(args.GetUint("workers", 1000));
+  const std::size_t tasks =
+      static_cast<std::size_t>(args.GetUint("tasks", workers));
+  const std::uint64_t seed = args.GetUint("seed", 42);
+
+  GeneratorConfig config;
+  if (dataset == "uniform") {
+    config = UniformConfig(workers, tasks, seed);
+  } else if (dataset == "zipf") {
+    config = ZipfConfig(workers, tasks, seed);
+  } else if (dataset == "mturk") {
+    config = MTurkLikeConfig(workers, seed);
+  } else if (dataset == "upwork") {
+    config = UpworkLikeConfig(workers, seed);
+  } else {
+    std::fprintf(stderr, "error: unknown dataset '%s'\n", dataset.c_str());
+    return 2;
+  }
+  const LaborMarket market = GenerateMarket(config);
+  std::string error;
+  if (!WriteMarketToFile(market, out, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu workers, %zu tasks, %zu edges\n", out.c_str(),
+              market.NumWorkers(), market.NumTasks(), market.NumEdges());
+  return 0;
+}
+
+int Stats(const Args& args) {
+  std::string path;
+  if (!args.Require("market", &path)) return 2;
+  std::string error;
+  const auto market = ReadMarketFromFile(path, &error);
+  if (!market) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const MarketStats s = ComputeStats(*market);
+  std::printf("name            %s\n", market->name().c_str());
+  std::printf("workers         %zu (total capacity %lld)\n", s.num_workers,
+              static_cast<long long>(s.total_worker_capacity));
+  std::printf("tasks           %zu (total capacity %lld)\n", s.num_tasks,
+              static_cast<long long>(s.total_task_capacity));
+  std::printf("edges           %zu\n", s.num_edges);
+  std::printf("avg worker deg  %.2f (max %.0f)\n", s.avg_worker_degree,
+              s.max_worker_degree);
+  std::printf("avg task deg    %.2f (max %.0f, gini %.3f)\n",
+              s.avg_task_degree, s.max_task_degree, s.task_degree_gini);
+  std::printf("avg payment     %.4f\n", s.avg_payment);
+  std::printf("avg quality     %.4f\n", s.avg_quality);
+  return 0;
+}
+
+int Solve(const Args& args) {
+  std::string market_path, out;
+  if (!args.Require("market", &market_path) || !args.Require("out", &out)) {
+    return 2;
+  }
+  std::string error;
+  const auto market = ReadMarketFromFile(market_path, &error);
+  if (!market) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const std::string solver_name = args.Get("solver", "greedy");
+  const auto solver = MakeSolver(solver_name, args.GetUint("seed", 1));
+  if (!solver) {
+    std::fprintf(stderr, "error: unknown solver '%s'\n",
+                 solver_name.c_str());
+    return 2;
+  }
+  const MbtaProblem problem{&*market, MakeObjectiveParams(args)};
+  SolveInfo info;
+  const Assignment a = solver->Solve(problem, &info);
+  if (!WriteAssignmentToFile(*market, a, out, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const AssignmentMetrics metrics = Evaluate(problem.MakeObjective(), a);
+  std::printf("solver %s: MB=%.4f RB=%.4f WB=%.4f pairs=%zu (%.1f ms)\n",
+              solver->name().c_str(), metrics.mutual_benefit,
+              metrics.requester_benefit, metrics.worker_benefit,
+              metrics.num_assignments, info.wall_ms);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int EvaluateCmd(const Args& args) {
+  std::string market_path, assignment_path;
+  if (!args.Require("market", &market_path) ||
+      !args.Require("assignment", &assignment_path)) {
+    return 2;
+  }
+  std::string error;
+  const auto market = ReadMarketFromFile(market_path, &error);
+  if (!market) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const auto assignment =
+      ReadAssignmentFromFile(*market, assignment_path, &error);
+  if (!assignment) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const MutualBenefitObjective objective(&*market,
+                                         MakeObjectiveParams(args));
+  const AssignmentMetrics metrics = Evaluate(objective, *assignment);
+  std::printf("mutual benefit     %.4f (alpha=%.2f, %s)\n",
+              metrics.mutual_benefit, objective.alpha(),
+              ToString(objective.kind()));
+  std::printf("requester benefit  %.4f\n", metrics.requester_benefit);
+  std::printf("worker benefit     %.4f\n", metrics.worker_benefit);
+  std::printf("assignments        %zu\n", metrics.num_assignments);
+  std::printf("tasks covered      %zu / %zu\n", metrics.tasks_covered,
+              market->NumTasks());
+  std::printf("active workers     %zu / %zu\n", metrics.workers_active,
+              market->NumWorkers());
+  std::printf("worker-benefit jain %.4f, gini %.4f\n",
+              JainFairnessIndex(metrics.per_worker_benefit),
+              GiniCoefficient(metrics.per_worker_benefit));
+  return 0;
+}
+
+int Compare(const Args& args) {
+  std::string market_path;
+  if (!args.Require("market", &market_path)) return 2;
+  std::string error;
+  const auto market = ReadMarketFromFile(market_path, &error);
+  if (!market) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const MbtaProblem problem{&*market, MakeObjectiveParams(args)};
+  Table table({"solver", "MB", "RB", "WB", "pairs", "time(ms)"});
+  for (const auto& solver :
+       MakeStandardSolvers(args.GetUint("seed", 1),
+                           problem.objective.kind ==
+                               ObjectiveKind::kModular)) {
+    SolveInfo info;
+    const Assignment a = solver->Solve(problem, &info);
+    const AssignmentMetrics m = Evaluate(problem.MakeObjective(), a);
+    table.AddRow({solver->name(), Table::Num(m.mutual_benefit),
+                  Table::Num(m.requester_benefit),
+                  Table::Num(m.worker_benefit),
+                  Table::Num(static_cast<std::int64_t>(m.num_assignments)),
+                  Table::Num(info.wall_ms)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Args args;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) return Usage();
+    args.flags[argv[i] + 2] = argv[i + 1];
+  }
+  if (command == "generate") return Generate(args);
+  if (command == "stats") return Stats(args);
+  if (command == "solve") return Solve(args);
+  if (command == "evaluate") return EvaluateCmd(args);
+  if (command == "compare") return Compare(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace mbta::cli
+
+int main(int argc, char** argv) { return mbta::cli::Main(argc, argv); }
