@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_online_ratio.dir/fig10_online_ratio.cc.o"
+  "CMakeFiles/fig10_online_ratio.dir/fig10_online_ratio.cc.o.d"
+  "fig10_online_ratio"
+  "fig10_online_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_online_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_approx_quality.dir/fig12_approx_quality.cc.o"
+  "CMakeFiles/fig12_approx_quality.dir/fig12_approx_quality.cc.o.d"
+  "fig12_approx_quality"
+  "fig12_approx_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_approx_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

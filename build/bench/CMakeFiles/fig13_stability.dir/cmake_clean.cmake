@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_stability.dir/fig13_stability.cc.o"
+  "CMakeFiles/fig13_stability.dir/fig13_stability.cc.o.d"
+  "fig13_stability"
+  "fig13_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_reputation_learning.dir/fig14_reputation_learning.cc.o"
+  "CMakeFiles/fig14_reputation_learning.dir/fig14_reputation_learning.cc.o.d"
+  "fig14_reputation_learning"
+  "fig14_reputation_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_reputation_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_budget.dir/fig15_budget.cc.o"
+  "CMakeFiles/fig15_budget.dir/fig15_budget.cc.o.d"
+  "fig15_budget"
+  "fig15_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_categorical.dir/fig16_categorical.cc.o"
+  "CMakeFiles/fig16_categorical.dir/fig16_categorical.cc.o.d"
+  "fig16_categorical"
+  "fig16_categorical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_categorical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

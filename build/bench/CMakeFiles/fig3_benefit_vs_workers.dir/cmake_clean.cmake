@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_benefit_vs_workers.dir/fig3_benefit_vs_workers.cc.o"
+  "CMakeFiles/fig3_benefit_vs_workers.dir/fig3_benefit_vs_workers.cc.o.d"
+  "fig3_benefit_vs_workers"
+  "fig3_benefit_vs_workers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_benefit_vs_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_benefit_vs_workers.
+# This may be replaced when dependencies are built.

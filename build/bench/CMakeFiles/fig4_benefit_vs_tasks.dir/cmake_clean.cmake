@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_benefit_vs_tasks.dir/fig4_benefit_vs_tasks.cc.o"
+  "CMakeFiles/fig4_benefit_vs_tasks.dir/fig4_benefit_vs_tasks.cc.o.d"
+  "fig4_benefit_vs_tasks"
+  "fig4_benefit_vs_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_benefit_vs_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_alpha_tradeoff.dir/fig6_alpha_tradeoff.cc.o"
+  "CMakeFiles/fig6_alpha_tradeoff.dir/fig6_alpha_tradeoff.cc.o.d"
+  "fig6_alpha_tradeoff"
+  "fig6_alpha_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_alpha_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_answer_quality.dir/fig7_answer_quality.cc.o"
+  "CMakeFiles/fig7_answer_quality.dir/fig7_answer_quality.cc.o.d"
+  "fig7_answer_quality"
+  "fig7_answer_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_answer_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

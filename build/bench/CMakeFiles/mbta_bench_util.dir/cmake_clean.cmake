@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbta_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/mbta_bench_util.dir/bench_util.cc.o.d"
+  "libmbta_bench_util.a"
+  "libmbta_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbta_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

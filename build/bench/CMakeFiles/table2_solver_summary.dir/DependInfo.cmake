@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_solver_summary.cc" "bench/CMakeFiles/table2_solver_summary.dir/table2_solver_summary.cc.o" "gcc" "bench/CMakeFiles/table2_solver_summary.dir/table2_solver_summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/mbta_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/mbta_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mbta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mbta_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/mbta_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/mbta_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/mbta_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mbta_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mbta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_solver_summary.dir/table2_solver_summary.cc.o"
+  "CMakeFiles/table2_solver_summary.dir/table2_solver_summary.cc.o.d"
+  "table2_solver_summary"
+  "table2_solver_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_solver_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_market.dir/dynamic_market.cpp.o"
+  "CMakeFiles/dynamic_market.dir/dynamic_market.cpp.o.d"
+  "dynamic_market"
+  "dynamic_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freelance_matching.dir/freelance_matching.cpp.o"
+  "CMakeFiles/freelance_matching.dir/freelance_matching.cpp.o.d"
+  "freelance_matching"
+  "freelance_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freelance_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

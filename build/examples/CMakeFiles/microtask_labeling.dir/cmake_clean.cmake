@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microtask_labeling.dir/microtask_labeling.cpp.o"
+  "CMakeFiles/microtask_labeling.dir/microtask_labeling.cpp.o.d"
+  "microtask_labeling"
+  "microtask_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microtask_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

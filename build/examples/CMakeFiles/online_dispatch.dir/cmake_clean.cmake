@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_dispatch.dir/online_dispatch.cpp.o"
+  "CMakeFiles/online_dispatch.dir/online_dispatch.cpp.o.d"
+  "online_dispatch"
+  "online_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_loop.dir/platform_loop.cpp.o"
+  "CMakeFiles/platform_loop.dir/platform_loop.cpp.o.d"
+  "platform_loop"
+  "platform_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline_solvers.cc" "src/core/CMakeFiles/mbta_core.dir/baseline_solvers.cc.o" "gcc" "src/core/CMakeFiles/mbta_core.dir/baseline_solvers.cc.o.d"
+  "/root/repo/src/core/brute_force_solver.cc" "src/core/CMakeFiles/mbta_core.dir/brute_force_solver.cc.o" "gcc" "src/core/CMakeFiles/mbta_core.dir/brute_force_solver.cc.o.d"
+  "/root/repo/src/core/budget.cc" "src/core/CMakeFiles/mbta_core.dir/budget.cc.o" "gcc" "src/core/CMakeFiles/mbta_core.dir/budget.cc.o.d"
+  "/root/repo/src/core/budgeted_greedy_solver.cc" "src/core/CMakeFiles/mbta_core.dir/budgeted_greedy_solver.cc.o" "gcc" "src/core/CMakeFiles/mbta_core.dir/budgeted_greedy_solver.cc.o.d"
+  "/root/repo/src/core/exact_flow_solver.cc" "src/core/CMakeFiles/mbta_core.dir/exact_flow_solver.cc.o" "gcc" "src/core/CMakeFiles/mbta_core.dir/exact_flow_solver.cc.o.d"
+  "/root/repo/src/core/greedy_solver.cc" "src/core/CMakeFiles/mbta_core.dir/greedy_solver.cc.o" "gcc" "src/core/CMakeFiles/mbta_core.dir/greedy_solver.cc.o.d"
+  "/root/repo/src/core/local_search_solver.cc" "src/core/CMakeFiles/mbta_core.dir/local_search_solver.cc.o" "gcc" "src/core/CMakeFiles/mbta_core.dir/local_search_solver.cc.o.d"
+  "/root/repo/src/core/online_solvers.cc" "src/core/CMakeFiles/mbta_core.dir/online_solvers.cc.o" "gcc" "src/core/CMakeFiles/mbta_core.dir/online_solvers.cc.o.d"
+  "/root/repo/src/core/pareto.cc" "src/core/CMakeFiles/mbta_core.dir/pareto.cc.o" "gcc" "src/core/CMakeFiles/mbta_core.dir/pareto.cc.o.d"
+  "/root/repo/src/core/recommend.cc" "src/core/CMakeFiles/mbta_core.dir/recommend.cc.o" "gcc" "src/core/CMakeFiles/mbta_core.dir/recommend.cc.o.d"
+  "/root/repo/src/core/repair.cc" "src/core/CMakeFiles/mbta_core.dir/repair.cc.o" "gcc" "src/core/CMakeFiles/mbta_core.dir/repair.cc.o.d"
+  "/root/repo/src/core/solver.cc" "src/core/CMakeFiles/mbta_core.dir/solver.cc.o" "gcc" "src/core/CMakeFiles/mbta_core.dir/solver.cc.o.d"
+  "/root/repo/src/core/stable_matching_solver.cc" "src/core/CMakeFiles/mbta_core.dir/stable_matching_solver.cc.o" "gcc" "src/core/CMakeFiles/mbta_core.dir/stable_matching_solver.cc.o.d"
+  "/root/repo/src/core/threshold_solver.cc" "src/core/CMakeFiles/mbta_core.dir/threshold_solver.cc.o" "gcc" "src/core/CMakeFiles/mbta_core.dir/threshold_solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/market/CMakeFiles/mbta_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/mbta_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mbta_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mbta_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbta_core.dir/baseline_solvers.cc.o"
+  "CMakeFiles/mbta_core.dir/baseline_solvers.cc.o.d"
+  "CMakeFiles/mbta_core.dir/brute_force_solver.cc.o"
+  "CMakeFiles/mbta_core.dir/brute_force_solver.cc.o.d"
+  "CMakeFiles/mbta_core.dir/budget.cc.o"
+  "CMakeFiles/mbta_core.dir/budget.cc.o.d"
+  "CMakeFiles/mbta_core.dir/budgeted_greedy_solver.cc.o"
+  "CMakeFiles/mbta_core.dir/budgeted_greedy_solver.cc.o.d"
+  "CMakeFiles/mbta_core.dir/exact_flow_solver.cc.o"
+  "CMakeFiles/mbta_core.dir/exact_flow_solver.cc.o.d"
+  "CMakeFiles/mbta_core.dir/greedy_solver.cc.o"
+  "CMakeFiles/mbta_core.dir/greedy_solver.cc.o.d"
+  "CMakeFiles/mbta_core.dir/local_search_solver.cc.o"
+  "CMakeFiles/mbta_core.dir/local_search_solver.cc.o.d"
+  "CMakeFiles/mbta_core.dir/online_solvers.cc.o"
+  "CMakeFiles/mbta_core.dir/online_solvers.cc.o.d"
+  "CMakeFiles/mbta_core.dir/pareto.cc.o"
+  "CMakeFiles/mbta_core.dir/pareto.cc.o.d"
+  "CMakeFiles/mbta_core.dir/recommend.cc.o"
+  "CMakeFiles/mbta_core.dir/recommend.cc.o.d"
+  "CMakeFiles/mbta_core.dir/repair.cc.o"
+  "CMakeFiles/mbta_core.dir/repair.cc.o.d"
+  "CMakeFiles/mbta_core.dir/solver.cc.o"
+  "CMakeFiles/mbta_core.dir/solver.cc.o.d"
+  "CMakeFiles/mbta_core.dir/stable_matching_solver.cc.o"
+  "CMakeFiles/mbta_core.dir/stable_matching_solver.cc.o.d"
+  "CMakeFiles/mbta_core.dir/threshold_solver.cc.o"
+  "CMakeFiles/mbta_core.dir/threshold_solver.cc.o.d"
+  "libmbta_core.a"
+  "libmbta_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbta_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbta_flow.dir/hopcroft_karp.cc.o"
+  "CMakeFiles/mbta_flow.dir/hopcroft_karp.cc.o.d"
+  "CMakeFiles/mbta_flow.dir/hungarian.cc.o"
+  "CMakeFiles/mbta_flow.dir/hungarian.cc.o.d"
+  "CMakeFiles/mbta_flow.dir/max_flow.cc.o"
+  "CMakeFiles/mbta_flow.dir/max_flow.cc.o.d"
+  "CMakeFiles/mbta_flow.dir/min_cost_flow.cc.o"
+  "CMakeFiles/mbta_flow.dir/min_cost_flow.cc.o.d"
+  "libmbta_flow.a"
+  "libmbta_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbta_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbta_gen.dir/market_generator.cc.o"
+  "CMakeFiles/mbta_gen.dir/market_generator.cc.o.d"
+  "libmbta_gen.a"
+  "libmbta_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbta_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbta_graph.dir/bipartite_graph.cc.o"
+  "CMakeFiles/mbta_graph.dir/bipartite_graph.cc.o.d"
+  "libmbta_graph.a"
+  "libmbta_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbta_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

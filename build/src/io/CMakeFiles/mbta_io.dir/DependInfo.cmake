@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/market_io.cc" "src/io/CMakeFiles/mbta_io.dir/market_io.cc.o" "gcc" "src/io/CMakeFiles/mbta_io.dir/market_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/market/CMakeFiles/mbta_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mbta_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mbta_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

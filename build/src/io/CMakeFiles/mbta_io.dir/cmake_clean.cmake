@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbta_io.dir/market_io.cc.o"
+  "CMakeFiles/mbta_io.dir/market_io.cc.o.d"
+  "libmbta_io.a"
+  "libmbta_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbta_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

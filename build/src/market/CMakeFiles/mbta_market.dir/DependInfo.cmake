@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/assignment.cc" "src/market/CMakeFiles/mbta_market.dir/assignment.cc.o" "gcc" "src/market/CMakeFiles/mbta_market.dir/assignment.cc.o.d"
+  "/root/repo/src/market/labor_market.cc" "src/market/CMakeFiles/mbta_market.dir/labor_market.cc.o" "gcc" "src/market/CMakeFiles/mbta_market.dir/labor_market.cc.o.d"
+  "/root/repo/src/market/metrics.cc" "src/market/CMakeFiles/mbta_market.dir/metrics.cc.o" "gcc" "src/market/CMakeFiles/mbta_market.dir/metrics.cc.o.d"
+  "/root/repo/src/market/objective.cc" "src/market/CMakeFiles/mbta_market.dir/objective.cc.o" "gcc" "src/market/CMakeFiles/mbta_market.dir/objective.cc.o.d"
+  "/root/repo/src/market/types.cc" "src/market/CMakeFiles/mbta_market.dir/types.cc.o" "gcc" "src/market/CMakeFiles/mbta_market.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mbta_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mbta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

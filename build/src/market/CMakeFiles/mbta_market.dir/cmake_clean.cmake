@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbta_market.dir/assignment.cc.o"
+  "CMakeFiles/mbta_market.dir/assignment.cc.o.d"
+  "CMakeFiles/mbta_market.dir/labor_market.cc.o"
+  "CMakeFiles/mbta_market.dir/labor_market.cc.o.d"
+  "CMakeFiles/mbta_market.dir/metrics.cc.o"
+  "CMakeFiles/mbta_market.dir/metrics.cc.o.d"
+  "CMakeFiles/mbta_market.dir/objective.cc.o"
+  "CMakeFiles/mbta_market.dir/objective.cc.o.d"
+  "CMakeFiles/mbta_market.dir/types.cc.o"
+  "CMakeFiles/mbta_market.dir/types.cc.o.d"
+  "libmbta_market.a"
+  "libmbta_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbta_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

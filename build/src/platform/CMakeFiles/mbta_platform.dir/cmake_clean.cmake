@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbta_platform.dir/platform.cc.o"
+  "CMakeFiles/mbta_platform.dir/platform.cc.o.d"
+  "CMakeFiles/mbta_platform.dir/reputation.cc.o"
+  "CMakeFiles/mbta_platform.dir/reputation.cc.o.d"
+  "libmbta_platform.a"
+  "libmbta_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbta_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

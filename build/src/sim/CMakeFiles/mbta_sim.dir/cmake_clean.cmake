@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbta_sim.dir/aggregation.cc.o"
+  "CMakeFiles/mbta_sim.dir/aggregation.cc.o.d"
+  "CMakeFiles/mbta_sim.dir/answers.cc.o"
+  "CMakeFiles/mbta_sim.dir/answers.cc.o.d"
+  "libmbta_sim.a"
+  "libmbta_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbta_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmbta_sim.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbta_util.dir/distribution.cc.o"
+  "CMakeFiles/mbta_util.dir/distribution.cc.o.d"
+  "CMakeFiles/mbta_util.dir/rng.cc.o"
+  "CMakeFiles/mbta_util.dir/rng.cc.o.d"
+  "CMakeFiles/mbta_util.dir/stats.cc.o"
+  "CMakeFiles/mbta_util.dir/stats.cc.o.d"
+  "CMakeFiles/mbta_util.dir/table.cc.o"
+  "CMakeFiles/mbta_util.dir/table.cc.o.d"
+  "libmbta_util.a"
+  "libmbta_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbta_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregation_two_coin_test.dir/aggregation_two_coin_test.cc.o"
+  "CMakeFiles/aggregation_two_coin_test.dir/aggregation_two_coin_test.cc.o.d"
+  "aggregation_two_coin_test"
+  "aggregation_two_coin_test.pdb"
+  "aggregation_two_coin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregation_two_coin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

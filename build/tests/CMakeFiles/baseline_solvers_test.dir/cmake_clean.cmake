@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_solvers_test.dir/baseline_solvers_test.cc.o"
+  "CMakeFiles/baseline_solvers_test.dir/baseline_solvers_test.cc.o.d"
+  "baseline_solvers_test"
+  "baseline_solvers_test.pdb"
+  "baseline_solvers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_solvers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

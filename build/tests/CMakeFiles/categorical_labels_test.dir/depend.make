@@ -1,0 +1,2 @@
+# Empty dependencies file for categorical_labels_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_flow_solver_test.dir/exact_flow_solver_test.cc.o"
+  "CMakeFiles/exact_flow_solver_test.dir/exact_flow_solver_test.cc.o.d"
+  "exact_flow_solver_test"
+  "exact_flow_solver_test.pdb"
+  "exact_flow_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_flow_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_solver_test.dir/greedy_solver_test.cc.o"
+  "CMakeFiles/greedy_solver_test.dir/greedy_solver_test.cc.o.d"
+  "greedy_solver_test"
+  "greedy_solver_test.pdb"
+  "greedy_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

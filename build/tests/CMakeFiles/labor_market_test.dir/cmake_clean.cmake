@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labor_market_test.dir/labor_market_test.cc.o"
+  "CMakeFiles/labor_market_test.dir/labor_market_test.cc.o.d"
+  "labor_market_test"
+  "labor_market_test.pdb"
+  "labor_market_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labor_market_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_io_fuzz_test.dir/market_io_fuzz_test.cc.o"
+  "CMakeFiles/market_io_fuzz_test.dir/market_io_fuzz_test.cc.o.d"
+  "market_io_fuzz_test"
+  "market_io_fuzz_test.pdb"
+  "market_io_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_io_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/min_cost_flow_test.dir/min_cost_flow_test.cc.o"
+  "CMakeFiles/min_cost_flow_test.dir/min_cost_flow_test.cc.o.d"
+  "min_cost_flow_test"
+  "min_cost_flow_test.pdb"
+  "min_cost_flow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/min_cost_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_solvers_test.dir/online_solvers_test.cc.o"
+  "CMakeFiles/online_solvers_test.dir/online_solvers_test.cc.o.d"
+  "online_solvers_test"
+  "online_solvers_test.pdb"
+  "online_solvers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_solvers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

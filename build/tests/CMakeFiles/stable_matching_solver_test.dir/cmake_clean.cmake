@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stable_matching_solver_test.dir/stable_matching_solver_test.cc.o"
+  "CMakeFiles/stable_matching_solver_test.dir/stable_matching_solver_test.cc.o.d"
+  "stable_matching_solver_test"
+  "stable_matching_solver_test.pdb"
+  "stable_matching_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stable_matching_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

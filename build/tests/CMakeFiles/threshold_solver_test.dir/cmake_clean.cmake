@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_solver_test.dir/threshold_solver_test.cc.o"
+  "CMakeFiles/threshold_solver_test.dir/threshold_solver_test.cc.o.d"
+  "threshold_solver_test"
+  "threshold_solver_test.pdb"
+  "threshold_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbta_cli.dir/mbta_cli.cc.o"
+  "CMakeFiles/mbta_cli.dir/mbta_cli.cc.o.d"
+  "mbta_cli"
+  "mbta_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbta_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
