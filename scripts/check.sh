@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Full correctness matrix: the tier-1 suite under the plain build, then
+# under ASan and UBSan instrumentation (-DMBTA_SANITIZE presets).
+#
+# Usage: scripts/check.sh [--fast] [jobs]
+#   --fast   plain build runs only `ctest -L unit` (skips the differential
+#            harness); sanitizer builds always run everything.
+#   jobs     parallelism for build and ctest (default: nproc).
+#
+# Build trees land in build/, build-asan/, build-ubsan/ (all gitignored)
+# and are reused across runs, so incremental invocations are cheap.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+if [ "${1:-}" = "--fast" ]; then
+  FAST=1
+  shift
+fi
+JOBS="${1:-$(nproc)}"
+
+run_suite() {
+  local dir="$1" sanitize="$2" label_args="$3"
+  echo "=== ${dir} (MBTA_SANITIZE='${sanitize}') ==="
+  cmake -B "${dir}" -S . -DMBTA_SANITIZE="${sanitize}" >/dev/null
+  cmake --build "${dir}" -j "${JOBS}"
+  # shellcheck disable=SC2086  # label_args is intentionally word-split
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" ${label_args})
+}
+
+if [ "${FAST}" = "1" ]; then
+  run_suite build "" "-L unit"
+else
+  run_suite build "" ""
+fi
+run_suite build-asan address ""
+run_suite build-ubsan undefined ""
+
+echo "check.sh: all suites green (plain, asan, ubsan)"

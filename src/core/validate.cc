@@ -1,0 +1,228 @@
+#include "core/validate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <functional>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace mbta {
+
+namespace {
+
+std::string Format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[256];
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+/// From-scratch objective recomputation. Intentionally independent of
+/// MutualBenefitObjective / ObjectiveState: plain loops over the grouped
+/// edges, so the validator and the production code can only agree when
+/// both are right.
+double RecomputeObjective(const MbtaProblem& problem,
+                          const std::vector<EdgeId>& edges) {
+  const LaborMarket& m = *problem.market;
+  const double alpha = problem.objective.alpha;
+  const bool modular = problem.objective.kind == ObjectiveKind::kModular;
+
+  std::vector<std::vector<EdgeId>> by_task(m.NumTasks());
+  std::vector<std::vector<EdgeId>> by_worker(m.NumWorkers());
+  for (EdgeId e : edges) {
+    by_task[m.EdgeTask(e)].push_back(e);
+    by_worker[m.EdgeWorker(e)].push_back(e);
+  }
+
+  double requester = 0.0;
+  for (TaskId t = 0; t < m.NumTasks(); ++t) {
+    if (by_task[t].empty()) continue;
+    const double value = m.task(t).value;
+    if (modular) {
+      for (EdgeId e : by_task[t]) requester += value * m.Quality(e);
+    } else {
+      double miss = 1.0;
+      for (EdgeId e : by_task[t]) miss *= 1.0 - m.Quality(e);
+      requester += value * (1.0 - miss);
+    }
+  }
+
+  double worker = 0.0;
+  for (WorkerId w = 0; w < m.NumWorkers(); ++w) {
+    if (by_worker[w].empty()) continue;
+    if (modular) {
+      for (EdgeId e : by_worker[w]) worker += m.WorkerBenefit(e);
+    } else {
+      std::vector<double> benefits;
+      benefits.reserve(by_worker[w].size());
+      for (EdgeId e : by_worker[w]) benefits.push_back(m.WorkerBenefit(e));
+      std::sort(benefits.begin(), benefits.end(), std::greater<>());
+      double discount = 1.0;
+      for (double b : benefits) {
+        worker += discount * b;
+        discount *= m.worker(w).fatigue;
+      }
+    }
+  }
+
+  return alpha * requester + (1.0 - alpha) * worker;
+}
+
+}  // namespace
+
+const char* ToString(ValidationErrorKind kind) {
+  switch (kind) {
+    case ValidationErrorKind::kPhantomEdge:
+      return "phantom-edge";
+    case ValidationErrorKind::kGraphInconsistency:
+      return "graph-inconsistency";
+    case ValidationErrorKind::kDuplicateEdge:
+      return "duplicate-edge";
+    case ValidationErrorKind::kWorkerOverCapacity:
+      return "worker-over-capacity";
+    case ValidationErrorKind::kTaskOverCapacity:
+      return "task-over-capacity";
+    case ValidationErrorKind::kBudgetExceeded:
+      return "budget-exceeded";
+    case ValidationErrorKind::kObjectiveMismatch:
+      return "objective-mismatch";
+  }
+  return "unknown";
+}
+
+bool ValidationResult::Has(ValidationErrorKind kind) const {
+  for (const ValidationError& e : errors) {
+    if (e.kind == kind) return true;
+  }
+  return false;
+}
+
+std::string ValidationResult::Message() const {
+  if (errors.empty()) return "valid";
+  std::string out;
+  for (const ValidationError& e : errors) {
+    if (!out.empty()) out += "\n";
+    out += ToString(e.kind);
+    out += ": ";
+    out += e.message;
+  }
+  return out;
+}
+
+ValidationResult ValidateAssignment(const MbtaProblem& problem,
+                                    const Assignment& assignment,
+                                    const ValidationOptions& options) {
+  MBTA_CHECK(problem.market != nullptr);
+  const LaborMarket& m = *problem.market;
+  ValidationResult result;
+  auto fail = [&result](ValidationErrorKind kind, std::string message) {
+    result.errors.push_back({kind, std::move(message)});
+  };
+
+  // Structural pass: edge existence, graph-internal consistency, and
+  // duplicates. Only edges that survive it enter the quantitative checks —
+  // a phantom id cannot be dereferenced at all.
+  std::vector<EdgeId> sound;
+  sound.reserve(assignment.edges.size());
+  std::unordered_set<EdgeId> seen;
+  seen.reserve(assignment.edges.size() * 2);
+  for (EdgeId e : assignment.edges) {
+    if (e >= m.NumEdges()) {
+      fail(ValidationErrorKind::kPhantomEdge,
+           Format("edge %u not in market (|E| = %zu)", e, m.NumEdges()));
+      continue;
+    }
+    if (!seen.insert(e).second) {
+      fail(ValidationErrorKind::kDuplicateEdge,
+           Format("edge %u chosen more than once", e));
+      continue;
+    }
+    const WorkerId w = m.EdgeWorker(e);
+    const TaskId t = m.EdgeTask(e);
+    bool in_worker_list = false;
+    for (const Incidence& inc : m.WorkerEdges(w)) {
+      if (inc.edge == e && inc.vertex == t) in_worker_list = true;
+    }
+    bool in_task_list = false;
+    for (const Incidence& inc : m.TaskEdges(t)) {
+      if (inc.edge == e && inc.vertex == w) in_task_list = true;
+    }
+    if (!in_worker_list || !in_task_list) {
+      fail(ValidationErrorKind::kGraphInconsistency,
+           Format("edge %u (w=%u, t=%u) missing from incidence lists", e, w,
+                  t));
+      continue;
+    }
+    sound.push_back(e);
+  }
+
+  // Capacity feasibility, counted from the surviving edges.
+  std::vector<int> worker_load(m.NumWorkers(), 0);
+  std::vector<int> task_load(m.NumTasks(), 0);
+  for (EdgeId e : sound) {
+    ++worker_load[m.EdgeWorker(e)];
+    ++task_load[m.EdgeTask(e)];
+  }
+  for (WorkerId w = 0; w < m.NumWorkers(); ++w) {
+    if (worker_load[w] > m.worker(w).capacity) {
+      fail(ValidationErrorKind::kWorkerOverCapacity,
+           Format("worker %u load %d > capacity %d", w, worker_load[w],
+                  m.worker(w).capacity));
+    }
+  }
+  for (TaskId t = 0; t < m.NumTasks(); ++t) {
+    if (task_load[t] > m.task(t).capacity) {
+      fail(ValidationErrorKind::kTaskOverCapacity,
+           Format("task %u load %d > capacity %d", t, task_load[t],
+                  m.task(t).capacity));
+    }
+  }
+
+  // Budget feasibility (optional).
+  if (options.budget != nullptr) {
+    std::vector<double> spend(options.budget->budgets.size(), 0.0);
+    for (EdgeId e : sound) {
+      const Task& task = m.task(m.EdgeTask(e));
+      if (task.requester >= spend.size()) {
+        fail(ValidationErrorKind::kBudgetExceeded,
+             Format("task %u names requester %u but only %zu budgets given",
+                    m.EdgeTask(e), task.requester, spend.size()));
+        continue;
+      }
+      spend[task.requester] += task.payment;
+    }
+    for (std::size_t r = 0; r < spend.size(); ++r) {
+      // Match IsBudgetFeasible's strict comparison but forgive
+      // accumulation-order noise on exactly-binding budgets.
+      if (spend[r] > options.budget->budgets[r] + 1e-9) {
+        fail(ValidationErrorKind::kBudgetExceeded,
+             Format("requester %zu spends %.6f > budget %.6f", r, spend[r],
+                    options.budget->budgets[r]));
+      }
+    }
+  }
+
+  // Reported-vs-recomputed objective agreement.
+  result.recomputed_value = RecomputeObjective(problem, sound);
+  if (!std::isnan(options.reported_value)) {
+    const double diff =
+        std::abs(options.reported_value - result.recomputed_value);
+    const double bound =
+        options.tolerance * std::max(1.0, std::abs(result.recomputed_value));
+    if (!(diff <= bound)) {  // also catches a NaN recomputation
+      fail(ValidationErrorKind::kObjectiveMismatch,
+           Format("reported %.9f vs recomputed %.9f (|diff| %.3g > %.3g)",
+                  options.reported_value, result.recomputed_value, diff,
+                  bound));
+    }
+  }
+
+  return result;
+}
+
+}  // namespace mbta

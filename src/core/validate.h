@@ -1,0 +1,88 @@
+#ifndef MBTA_CORE_VALIDATE_H_
+#define MBTA_CORE_VALIDATE_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/budget.h"
+#include "core/problem.h"
+#include "market/assignment.h"
+
+namespace mbta {
+
+/// What a validation found wrong. One assignment can trip several kinds at
+/// once; ValidateAssignment reports all of them, not just the first.
+enum class ValidationErrorKind {
+  /// Edge id outside [0, NumEdges()): the pair does not exist in the
+  /// market's eligibility graph.
+  kPhantomEdge,
+  /// The market's own incidence lists do not contain the edge — internal
+  /// graph corruption (CSR index out of sync with the edge array).
+  kGraphInconsistency,
+  /// The same edge id appears more than once in the assignment.
+  kDuplicateEdge,
+  /// A worker is assigned more tasks than its capacity.
+  kWorkerOverCapacity,
+  /// A task has more workers than its capacity.
+  kTaskOverCapacity,
+  /// A requester's total payment exceeds its budget (only checked when a
+  /// BudgetConstraint is supplied).
+  kBudgetExceeded,
+  /// The solver-reported objective value disagrees with the validator's
+  /// independent recomputation beyond tolerance.
+  kObjectiveMismatch,
+};
+
+const char* ToString(ValidationErrorKind kind);
+
+struct ValidationError {
+  ValidationErrorKind kind;
+  /// Human-readable diagnostic naming the offending edge/worker/task/
+  /// requester and the violated bound.
+  std::string message;
+};
+
+/// Outcome of ValidateAssignment. `recomputed_value` is the validator's
+/// own from-scratch objective value — meaningful whenever the assignment
+/// had no structural errors (phantom/duplicate edges), even if capacity or
+/// budget checks failed.
+struct ValidationResult {
+  std::vector<ValidationError> errors;
+  double recomputed_value = 0.0;
+
+  bool ok() const { return errors.empty(); }
+  bool Has(ValidationErrorKind kind) const;
+  /// All error messages joined into one newline-separated block; "valid"
+  /// when ok(). Suitable for gtest failure output.
+  std::string Message() const;
+};
+
+struct ValidationOptions {
+  /// Objective value the caller (typically a solver or an incremental
+  /// ObjectiveState) claims for the assignment. NaN skips the
+  /// reported-vs-recomputed check.
+  double reported_value = std::numeric_limits<double>::quiet_NaN();
+  /// Relative tolerance of the objective comparison:
+  /// |reported − recomputed| ≤ tolerance · max(1, |recomputed|).
+  double tolerance = 1e-6;
+  /// When non-null, also check every requester's spend against its budget.
+  const BudgetConstraint* budget = nullptr;
+};
+
+/// Independent oracle for solver outputs: recomputes the objective value
+/// from first principles (deliberately NOT reusing MutualBenefitObjective,
+/// so a bug in the production objective code cannot hide itself) and
+/// checks every feasibility invariant — edge existence, no duplicates,
+/// worker/task capacities, optional requester budgets, and agreement of
+/// the reported objective with the recomputation.
+///
+/// This is the backbone of tests/differential_test.cc; every solver PR is
+/// expected to pass its output through this function in tests.
+ValidationResult ValidateAssignment(const MbtaProblem& problem,
+                                    const Assignment& assignment,
+                                    const ValidationOptions& options = {});
+
+}  // namespace mbta
+
+#endif  // MBTA_CORE_VALIDATE_H_

@@ -1,0 +1,76 @@
+/// SolveInfo accounting across the greedy family: every solver that
+/// evaluates marginal gains must report doing so, and the lazy heap must
+/// demonstrably save work over the plain rescans — the claim the
+/// lazy-greedy ablation (fig11) rests on.
+
+#include <gtest/gtest.h>
+
+#include "core/budgeted_greedy_solver.h"
+#include "core/greedy_solver.h"
+#include "core/local_search_solver.h"
+#include "core/threshold_solver.h"
+#include "gen/market_generator.h"
+
+namespace mbta {
+namespace {
+
+MbtaProblem SubmodularProblem(const LaborMarket& m) {
+  return MbtaProblem{&m, {.alpha = 0.5, .kind = ObjectiveKind::kSubmodular}};
+}
+
+TEST(SolveInfoTest, GreedyFamilyReportsGainEvaluations) {
+  const LaborMarket m = GenerateMarket(UniformConfig(80, 80, 21));
+  ASSERT_GT(m.NumEdges(), 0u);
+  const MbtaProblem p = SubmodularProblem(m);
+
+  SolveInfo info;
+  GreedySolver(GreedySolver::Mode::kLazy).Solve(p, &info);
+  EXPECT_GT(info.gain_evaluations, 0u) << "lazy greedy";
+
+  info = {};
+  GreedySolver(GreedySolver::Mode::kPlain).Solve(p, &info);
+  EXPECT_GT(info.gain_evaluations, 0u) << "plain greedy";
+
+  info = {};
+  ThresholdSolver().Solve(p, &info);
+  EXPECT_GT(info.gain_evaluations, 0u) << "threshold";
+
+  info = {};
+  LocalSearchSolver().Solve(p, &info);
+  EXPECT_GT(info.gain_evaluations, 0u) << "local search";
+
+  info = {};
+  BudgetedGreedySolver(ProportionalBudgets(m, 0.5)).Solve(p, &info);
+  EXPECT_GT(info.gain_evaluations, 0u) << "budgeted greedy";
+}
+
+TEST(SolveInfoTest, LazyGreedyStrictlyCheaperThanPlain) {
+  // On any non-trivial market the lazy heap re-evaluates only candidates
+  // that reach the top, while plain greedy rescans every live edge each
+  // round — strictly more work. Check across several regimes so the
+  // ablation's headline is not an artifact of one preset.
+  const std::uint64_t seeds[] = {3, 41, 97};
+  for (std::uint64_t seed : seeds) {
+    const LaborMarket m = GenerateMarket(MTurkLikeConfig(120, seed));
+    ASSERT_GT(m.NumEdges(), 100u);
+    const MbtaProblem p = SubmodularProblem(m);
+    SolveInfo lazy, plain;
+    GreedySolver(GreedySolver::Mode::kLazy).Solve(p, &lazy);
+    GreedySolver(GreedySolver::Mode::kPlain).Solve(p, &plain);
+    EXPECT_LT(lazy.gain_evaluations, plain.gain_evaluations)
+        << "seed " << seed;
+    EXPECT_GT(lazy.gain_evaluations, 0u);
+  }
+}
+
+TEST(SolveInfoTest, WallTimeIsPopulated) {
+  const LaborMarket m = GenerateMarket(UniformConfig(60, 60, 5));
+  const MbtaProblem p = SubmodularProblem(m);
+  SolveInfo info;
+  info.wall_ms = -1.0;
+  GreedySolver().Solve(p, &info);
+  EXPECT_GE(info.wall_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace mbta

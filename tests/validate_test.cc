@@ -1,0 +1,188 @@
+#include "core/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "core/greedy_solver.h"
+#include "tests/test_markets.h"
+
+namespace mbta {
+namespace {
+
+/// 2 workers (cap 1), 2 tasks (cap 1), full bipartite clique: edge w*2+t.
+LaborMarket SquareMarket() {
+  return MakeTestMarket({1, 1}, {1, 1},
+                        {{0, 0, 0.9, 1.0},
+                         {0, 1, 0.8, 0.5},
+                         {1, 0, 0.7, 2.0},
+                         {1, 1, 0.6, 1.5}});
+}
+
+MbtaProblem Problem(const LaborMarket& m,
+                    ObjectiveKind kind = ObjectiveKind::kSubmodular) {
+  return MbtaProblem{&m, {.alpha = 0.5, .kind = kind}};
+}
+
+TEST(ValidateTest, EmptyAssignmentIsValid) {
+  const LaborMarket m = SquareMarket();
+  const ValidationResult r = ValidateAssignment(Problem(m), Assignment{});
+  EXPECT_TRUE(r.ok()) << r.Message();
+  EXPECT_DOUBLE_EQ(r.recomputed_value, 0.0);
+  EXPECT_EQ(r.Message(), "valid");
+}
+
+TEST(ValidateTest, PerfectMatchingIsValid) {
+  const LaborMarket m = SquareMarket();
+  const ValidationResult r =
+      ValidateAssignment(Problem(m), Assignment{{0, 3}});
+  EXPECT_TRUE(r.ok()) << r.Message();
+  EXPECT_GT(r.recomputed_value, 0.0);
+}
+
+TEST(ValidateTest, RejectsPhantomEdge) {
+  const LaborMarket m = SquareMarket();
+  const ValidationResult r =
+      ValidateAssignment(Problem(m), Assignment{{0, 99}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.Has(ValidationErrorKind::kPhantomEdge)) << r.Message();
+  // The sound edge still contributes to the recomputed value.
+  EXPECT_GT(r.recomputed_value, 0.0);
+}
+
+TEST(ValidateTest, RejectsDuplicateEdge) {
+  const LaborMarket m = SquareMarket();
+  const ValidationResult r =
+      ValidateAssignment(Problem(m), Assignment{{2, 2}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.Has(ValidationErrorKind::kDuplicateEdge)) << r.Message();
+}
+
+TEST(ValidateTest, RejectsWorkerOverCapacity) {
+  const LaborMarket m = SquareMarket();
+  // Worker 0 (capacity 1) takes both tasks.
+  const ValidationResult r =
+      ValidateAssignment(Problem(m), Assignment{{0, 1}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.Has(ValidationErrorKind::kWorkerOverCapacity))
+      << r.Message();
+  EXPECT_FALSE(r.Has(ValidationErrorKind::kTaskOverCapacity));
+}
+
+TEST(ValidateTest, RejectsTaskOverCapacity) {
+  const LaborMarket m = SquareMarket();
+  // Task 0 (capacity 1) gets both workers.
+  const ValidationResult r =
+      ValidateAssignment(Problem(m), Assignment{{0, 2}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.Has(ValidationErrorKind::kTaskOverCapacity)) << r.Message();
+  EXPECT_FALSE(r.Has(ValidationErrorKind::kWorkerOverCapacity));
+}
+
+TEST(ValidateTest, ReportsEveryViolationAtOnce) {
+  const LaborMarket m = SquareMarket();
+  const ValidationResult r =
+      ValidateAssignment(Problem(m), Assignment{{0, 1, 2, 99, 0}});
+  EXPECT_TRUE(r.Has(ValidationErrorKind::kPhantomEdge));
+  EXPECT_TRUE(r.Has(ValidationErrorKind::kDuplicateEdge));
+  EXPECT_TRUE(r.Has(ValidationErrorKind::kWorkerOverCapacity));
+  EXPECT_TRUE(r.Has(ValidationErrorKind::kTaskOverCapacity));
+  EXPECT_GE(r.errors.size(), 4u);
+}
+
+TEST(ValidateTest, RejectsOverBudget) {
+  LaborMarketBuilder b;
+  Worker w;
+  w.capacity = 2;
+  b.AddWorker(w);
+  for (int i = 0; i < 2; ++i) {
+    Task t;
+    t.capacity = 1;
+    t.payment = 3.0;
+    t.requester = 0;
+    b.AddTask(t);
+    b.AddEdge(0, static_cast<TaskId>(i), {0.8, 1.0});
+  }
+  const LaborMarket m = b.Build();
+  const MbtaProblem p = Problem(m);
+
+  const BudgetConstraint enough{{6.0}};
+  ValidationOptions options;
+  options.budget = &enough;
+  EXPECT_TRUE(ValidateAssignment(p, Assignment{{0, 1}}, options).ok());
+
+  const BudgetConstraint tight{{5.0}};
+  options.budget = &tight;
+  const ValidationResult r =
+      ValidateAssignment(p, Assignment{{0, 1}}, options);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.Has(ValidationErrorKind::kBudgetExceeded)) << r.Message();
+}
+
+TEST(ValidateTest, RejectsBudgetVectorMissingRequester) {
+  const LaborMarket m = SquareMarket();  // requester ids default to 0
+  const BudgetConstraint none{{}};      // no budgets at all
+  ValidationOptions options;
+  options.budget = &none;
+  const ValidationResult r =
+      ValidateAssignment(Problem(m), Assignment{{0}}, options);
+  EXPECT_TRUE(r.Has(ValidationErrorKind::kBudgetExceeded)) << r.Message();
+}
+
+TEST(ValidateTest, RejectsObjectiveMismatch) {
+  const LaborMarket m = SquareMarket();
+  const MbtaProblem p = Problem(m);
+  const Assignment a{{0, 3}};
+  const double truth = p.MakeObjective().Value(a);
+
+  ValidationOptions options;
+  options.reported_value = truth;
+  EXPECT_TRUE(ValidateAssignment(p, a, options).ok());
+
+  options.reported_value = truth + 0.5;
+  const ValidationResult r = ValidateAssignment(p, a, options);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.Has(ValidationErrorKind::kObjectiveMismatch))
+      << r.Message();
+}
+
+TEST(ValidateTest, ToleranceScalesWithMagnitude) {
+  const LaborMarket m =
+      MakeTestMarket({1}, {1}, {{0, 0, 0.9, 100.0}}, {1000.0});
+  const MbtaProblem p = Problem(m, ObjectiveKind::kModular);
+  const Assignment a{{0}};
+  const double truth = p.MakeObjective().Value(a);
+
+  ValidationOptions options;
+  options.reported_value = truth * (1.0 + 1e-8);  // inside 1e-6 relative
+  EXPECT_TRUE(ValidateAssignment(p, a, options).ok());
+  options.reported_value = truth * (1.0 + 1e-4);  // outside
+  EXPECT_FALSE(ValidateAssignment(p, a, options).ok());
+}
+
+TEST(ValidateTest, RecomputationMatchesObjectiveOnRandomMarkets) {
+  // Differential check of the validator itself: its independent objective
+  // recomputation must agree with MutualBenefitObjective on feasible
+  // greedy outputs, for both objective kinds.
+  Rng rng(2024);
+  for (int trial = 0; trial < 25; ++trial) {
+    const LaborMarket m = RandomTestMarket(rng, 12, 12, 0.4);
+    for (ObjectiveKind kind :
+         {ObjectiveKind::kModular, ObjectiveKind::kSubmodular}) {
+      const MbtaProblem p{&m, {.alpha = 0.3, .kind = kind}};
+      const Assignment a = GreedySolver().Solve(p);
+      ValidationOptions options;
+      options.reported_value = p.MakeObjective().Value(a);
+      const ValidationResult r = ValidateAssignment(p, a, options);
+      EXPECT_TRUE(r.ok()) << "trial " << trial << " kind "
+                          << ToString(kind) << ": " << r.Message();
+    }
+  }
+}
+
+TEST(ValidateTest, ErrorKindNamesAreStable) {
+  EXPECT_STREQ(ToString(ValidationErrorKind::kPhantomEdge), "phantom-edge");
+  EXPECT_STREQ(ToString(ValidationErrorKind::kObjectiveMismatch),
+               "objective-mismatch");
+}
+
+}  // namespace
+}  // namespace mbta
