@@ -4,11 +4,14 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/solver.h"
 #include "gen/market_generator.h"
 #include "market/metrics.h"
+#include "obs/counters.h"
+#include "obs/phase_timer.h"
 #include "util/table.h"
 
 namespace mbta::bench {
@@ -54,6 +57,81 @@ inline std::vector<GeneratorConfig> StandardDatasets(std::size_t workers,
           ZipfConfig(workers, workers, seed),
           MTurkLikeConfig(workers, seed), UpworkLikeConfig(workers, seed)};
 }
+
+/// Removes `--json <path>` from argv (if present) and returns the path,
+/// or "" when the flag is absent. Needed by binaries that forward argv to
+/// another flag parser (fig9 hands it to google-benchmark).
+std::string ConsumeJsonFlag(int* argc, char** argv);
+
+/// Structured result sink behind the `--json <path>` flag every bench
+/// binary accepts. When the flag is absent the log is disabled and every
+/// call is a cheap no-op, so the printed tables stay the primary output.
+///
+/// The emitted document is schema-versioned (see kJsonSchemaVersion and
+/// CONTRIBUTING.md):
+///
+///   {"schema_version": 1, "experiment": ..., "workload": ...,
+///    "host": {"os", "arch", "cores", "compiler", "timestamp_unix"},
+///    "rows": [{"params": {...}, "solver": ..., "metrics": {...},
+///              "counters": {...}, "gauges": {...},
+///              "phases": {path: {"ms", "calls"}}}]}
+///
+/// Rows added via AddRow carry only params + metrics (no solver field);
+/// rows added via AddRun also record the solver name, its SolveStats
+/// counters, gauges, and phase timings.
+class JsonLog {
+ public:
+  /// Ordered key/value pairs identifying a row within the experiment
+  /// (e.g. {"workers", "500"}). Values are strings so sweeps over sizes,
+  /// alphas, and dataset names all match byte-exactly across runs.
+  using Params = std::vector<std::pair<std::string, std::string>>;
+  using Metrics = std::vector<std::pair<std::string, double>>;
+
+  /// Scans argv for `--json <path>`; the log stays disabled without it.
+  JsonLog(int argc, char* const* argv, std::string experiment,
+          std::string workload);
+  /// Directly bound to `path` (empty = disabled).
+  JsonLog(std::string path, std::string experiment, std::string workload);
+  JsonLog(const JsonLog&) = delete;
+  JsonLog& operator=(const JsonLog&) = delete;
+  /// Writes the file if enabled and not yet written.
+  ~JsonLog();
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Records a solver run: metrics, counters, gauges, and phase timings.
+  /// `extra` appends experiment-specific metrics (e.g. fairness indices)
+  /// after the standard set.
+  void AddRun(Params params, const SolverRun& run, Metrics extra = {});
+
+  /// Records a generic metric row (experiments whose data points are not
+  /// solver runs, e.g. accuracy curves).
+  void AddRow(Params params, Metrics metrics);
+
+  /// Writes the document to `path`. Returns false (with a message on
+  /// stderr) if the file cannot be written. Idempotent.
+  bool Write();
+
+ private:
+  struct Row {
+    Params params;
+    std::string solver;  // empty for AddRow rows
+    Metrics metrics;
+    CounterRegistry counters;
+    PhaseTimings phases;
+  };
+
+  std::string path_;
+  std::string experiment_;
+  std::string workload_;
+  std::vector<Row> rows_;
+  bool written_ = false;
+};
+
+/// Version of the JSON document layout written by JsonLog. Bump on any
+/// backwards-incompatible change and record the migration in
+/// CONTRIBUTING.md.
+inline constexpr int kJsonSchemaVersion = 1;
 
 }  // namespace mbta::bench
 

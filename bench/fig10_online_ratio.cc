@@ -16,7 +16,7 @@
 #include "core/greedy_solver.h"
 #include "core/online_solvers.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbta;
   bench::PrintBanner(
       "Figure 10: online competitive ratio vs sample fraction",
@@ -25,6 +25,9 @@ int main() {
       "f=0 reference",
       "upwork-like 1500 workers (contested: tasks scarce), alpha=0.5, "
       "submodular, seed 42");
+  bench::JsonLog json(argc, argv, "fig10",
+                      "upwork-like 1500 workers, alpha=0.5, submodular, "
+                      "seed 42");
 
   const LaborMarket market = GenerateMarket(UpworkLikeConfig(1500, 42));
   const MbtaProblem p{&market,
@@ -42,6 +45,9 @@ int main() {
   }
   table.AddRow({"0.0", "online-greedy", Table::Num(online_sum / kOrders),
                 Table::Num(online_sum / kOrders / offline)});
+  json.AddRow({{"sample_fraction", "0.0"}, {"algorithm", "online-greedy"}},
+              {{"mutual_benefit", online_sum / kOrders},
+               {"ratio_vs_offline", online_sum / kOrders / offline}});
 
   // Symmetric arrival model: tasks arrive against a standing worker pool.
   double task_sum = 0.0;
@@ -52,6 +58,10 @@ int main() {
   }
   table.AddRow({"0.0", "online-task-greedy", Table::Num(task_sum / kOrders),
                 Table::Num(task_sum / kOrders / offline)});
+  json.AddRow(
+      {{"sample_fraction", "0.0"}, {"algorithm", "online-task-greedy"}},
+      {{"mutual_benefit", task_sum / kOrders},
+       {"ratio_vs_offline", task_sum / kOrders / offline}});
 
   for (double fraction : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5}) {
     TwoPhaseOnlineSolver::Options opts;
@@ -65,6 +75,10 @@ int main() {
     table.AddRow({Table::Num(fraction), "online-two-phase",
                   Table::Num(sum / kOrders),
                   Table::Num(sum / kOrders / offline)});
+    json.AddRow({{"sample_fraction", Table::Num(fraction)},
+                 {"algorithm", "online-two-phase"}},
+                {{"mutual_benefit", sum / kOrders},
+                 {"ratio_vs_offline", sum / kOrders / offline}});
   }
   std::printf("offline greedy MB = %.4f\n\n", offline);
   std::printf("%s\n", table.ToString().c_str());

@@ -11,13 +11,16 @@
 #include "core/local_search_solver.h"
 #include "core/threshold_solver.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbta;
   bench::PrintBanner(
       "Figure 11: ablations (lazy greedy, local-search passes, "
       "threshold epsilon)",
       "three panels; see per-panel tables below",
       "mturk-like 1000 workers, alpha=0.5, submodular, seed 42");
+  bench::JsonLog json(argc, argv, "fig11",
+                      "mturk-like 1000 workers, alpha=0.5, submodular, "
+                      "seed 42");
 
   const LaborMarket market = GenerateMarket(MTurkLikeConfig(1000, 42));
   const MbtaProblem p{&market,
@@ -32,6 +35,11 @@ int main() {
       const GreedySolver solver(mode);
       SolveInfo info;
       const Assignment a = solver.Solve(p, &info);
+      json.AddRow({{"panel", "a"}, {"mode", solver.name()}},
+                  {{"mutual_benefit", obj.Value(a)},
+                   {"gain_evaluations",
+                    static_cast<double>(info.gain_evaluations)},
+                   {"wall_ms", info.wall_ms}});
       table.AddRow({solver.name(), Table::Num(obj.Value(a)),
                     Table::Num(static_cast<std::int64_t>(
                         info.gain_evaluations)),
@@ -50,6 +58,11 @@ int main() {
       SolveInfo info;
       const Assignment a = LocalSearchSolver(opts).Solve(p, &info);
       const double value = obj.Value(a);
+      json.AddRow({{"panel", "b"}, {"passes", std::to_string(passes)}},
+                  {{"mutual_benefit", value},
+                   {"improvement_pct",
+                    100.0 * (value - greedy_value) / greedy_value},
+                   {"wall_ms", info.wall_ms}});
       table.AddRow({Table::Num(static_cast<std::int64_t>(passes)),
                     Table::Num(value),
                     Table::Num(100.0 * (value - greedy_value) /
@@ -65,6 +78,11 @@ int main() {
     for (double eps : {0.5, 0.2, 0.1, 0.05, 0.02}) {
       SolveInfo info;
       const Assignment a = ThresholdSolver(eps).Solve(p, &info);
+      json.AddRow({{"panel", "c"}, {"epsilon", Table::Num(eps)}},
+                  {{"mutual_benefit", obj.Value(a)},
+                   {"gain_evaluations",
+                    static_cast<double>(info.gain_evaluations)},
+                   {"wall_ms", info.wall_ms}});
       table.AddRow({Table::Num(eps), Table::Num(obj.Value(a)),
                     Table::Num(static_cast<std::int64_t>(
                         info.gain_evaluations)),

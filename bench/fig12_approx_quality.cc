@@ -50,13 +50,15 @@ mbta::LaborMarket SmallMarket(mbta::Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbta;
   bench::PrintBanner(
       "Figure 12: approximation ratio vs brute-force optimum",
       "per solver: mean and minimum of MB(solver)/MB(optimum) over 60 "
       "random instances with <= 16 edges",
       "random small markets, alpha=0.5, submodular");
+  bench::JsonLog json(argc, argv, "fig12",
+                      "random small markets, alpha=0.5, submodular");
 
   const GreedySolver greedy;
   const LocalSearchSolver local_search;
@@ -92,6 +94,10 @@ int main() {
       min = std::min(min, r);
       if (r > 1.0 - 1e-9) ++exact;
     }
+    json.AddRow({{"solver", solvers[s]->name()}},
+                {{"mean_ratio", sum / static_cast<double>(ratios[s].size())},
+                 {"min_ratio", min},
+                 {"instances_exact", static_cast<double>(exact)}});
     table.AddRow({solvers[s]->name(),
                   Table::Num(sum / static_cast<double>(ratios[s].size())),
                   Table::Num(min), Table::Num(exact)});

@@ -13,13 +13,16 @@
 #include "core/stable_matching_solver.h"
 #include "core/baseline_solvers.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbta;
   bench::PrintBanner(
       "Figure 13: price of stability (extension)",
       "per solver x dataset: MB, MB relative to greedy, and number of "
       "blocking pairs (0 = stable)",
       "four datasets at 800 workers, alpha=0.5, submodular, seed 42");
+  bench::JsonLog json(argc, argv, "fig13",
+                      "four datasets at 800 workers, alpha=0.5, "
+                      "submodular, seed 42");
 
   Table table({"dataset", "solver", "MB", "vs greedy", "blocking pairs"});
   for (const GeneratorConfig& config : bench::StandardDatasets(800, 42)) {
@@ -41,6 +44,12 @@ int main() {
     for (const Solver* solver : solvers) {
       const Assignment a = solver->Solve(p);
       const double value = obj.Value(a);
+      json.AddRow(
+          {{"dataset", market.name()}, {"solver", solver->name()}},
+          {{"mutual_benefit", value},
+           {"ratio_vs_greedy", value / greedy_value},
+           {"blocking_pairs",
+            static_cast<double>(CountBlockingPairs(market, a))}});
       table.AddRow({market.name(), solver->name(), Table::Num(value),
                     Table::Num(value / greedy_value),
                     Table::Num(static_cast<std::int64_t>(

@@ -11,7 +11,7 @@
 #include "bench/bench_util.h"
 #include "platform/platform.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbta;
   bench::PrintBanner(
       "Figure 14: reputation learning over rounds (extension)",
@@ -20,6 +20,9 @@ int main() {
       "inferred-label accuracy",
       "contended-labeling market (600 workers, 150 tasks/round, "
       "redundancy 3), alpha=0.9, 12 rounds, seed 42");
+  bench::JsonLog json(argc, argv, "fig14",
+                      "contended-labeling market (600 workers, 150 "
+                      "tasks/round, redundancy 3), alpha=0.9, seed 42");
 
   PlatformConfig config;
   config.market_template = ContendedLabelingConfig(600, 42);
@@ -33,9 +36,17 @@ int main() {
   PlatformResult results[3];
   for (int i = 0; i < 3; ++i) results[i] = RunPlatform(config, models[i]);
 
+  const char* model_names[] = {"oracle", "learned", "static"};
   Table benefit({"round", "oracle MB", "learned MB", "static MB",
                  "learned/oracle"});
   for (int r = 0; r < config.rounds; ++r) {
+    for (int i = 0; i < 3; ++i) {
+      json.AddRow({{"round", std::to_string(r)}, {"model", model_names[i]}},
+                  {{"true_mutual_benefit",
+                    results[i].rounds[r].true_mutual_benefit},
+                   {"reputation_rmse", results[i].rounds[r].reputation_rmse},
+                   {"label_accuracy", results[i].rounds[r].label_accuracy}});
+    }
     benefit.AddRow(
         {Table::Num(static_cast<std::int64_t>(r)),
          Table::Num(results[0].rounds[r].true_mutual_benefit),

@@ -10,7 +10,7 @@
 #include "core/budgeted_greedy_solver.h"
 #include "core/greedy_solver.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbta;
   bench::PrintBanner(
       "Figure 15: benefit vs requester budget (extension)",
@@ -18,6 +18,9 @@ int main() {
       "unconstrained greedy shown as the saturation reference",
       "mturk-like 1000 workers grouped under 20 requesters, alpha=0.5, "
       "submodular, seed 42");
+  bench::JsonLog json(argc, argv, "fig15",
+                      "mturk-like 1000 workers, 20 requesters, alpha=0.5, "
+                      "submodular, seed 42");
 
   GeneratorConfig config = MTurkLikeConfig(1000, 42);
   config.num_requesters = 20;
@@ -37,6 +40,11 @@ int main() {
     SolveInfo info;
     const Assignment a = BudgetedGreedySolver(budget).Solve(p, &info);
     const double value = obj.Value(a);
+    json.AddRow({{"budget_fraction", Table::Num(fraction)}},
+                {{"mutual_benefit", value},
+                 {"ratio_vs_unconstrained", value / unconstrained},
+                 {"num_assignments", static_cast<double>(a.size())},
+                 {"wall_ms", info.wall_ms}});
     table.AddRow({Table::Num(fraction), Table::Num(value),
                   Table::Num(value / unconstrained),
                   Table::Num(static_cast<std::int64_t>(a.size())),

@@ -11,13 +11,16 @@
 #include "sim/aggregation.h"
 #include "sim/answers.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbta;
   bench::PrintBanner(
       "Figure 16: label accuracy vs alphabet size k (extension)",
       "x = number of label classes, series = aggregator, y = accuracy "
       "(mean of 5 simulation seeds)",
       "mturk-like 600 workers, greedy assignment at alpha=0.8");
+  bench::JsonLog json(argc, argv, "fig16",
+                      "mturk-like 600 workers, greedy assignment at "
+                      "alpha=0.8");
 
   const LaborMarket market = GenerateMarket(MTurkLikeConfig(600, 42));
   const MbtaProblem p{&market,
@@ -39,6 +42,9 @@ int main() {
             SimulateAnswers(market, assignment, 2000 + run, k);
         acc += LabelAccuracy(answers, agg->Aggregate(answers));
       }
+      json.AddRow({{"k", std::to_string(k)}, {"aggregator", agg->name()}},
+                  {{"accuracy", acc / kRuns},
+                   {"random_guess_floor", 1.0 / static_cast<double>(k)}});
       table.AddRow({Table::Num(static_cast<std::int64_t>(k)), agg->name(),
                     Table::Num(acc / kRuns),
                     Table::Num(1.0 / static_cast<double>(k))});

@@ -7,12 +7,14 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbta;
   bench::PrintBanner(
       "Figure 3: mutual benefit vs |W|",
       "series = solver, x = number of workers, y = MB(A)",
       "mturk-like, |T| = 2|W|, alpha=0.5, submodular, seed 42");
+  bench::JsonLog json(argc, argv, "fig3",
+                      "mturk-like, |T| = 2|W|, alpha=0.5, submodular, seed 42");
 
   Table table({"|W|", "solver", "MB", "RB", "WB", "time(ms)"});
   for (std::size_t workers : {250u, 500u, 1000u, 2000u, 4000u}) {
@@ -22,6 +24,7 @@ int main() {
                         {.alpha = 0.5, .kind = ObjectiveKind::kSubmodular}};
     for (const auto& solver : bench::SweepSolvers(7)) {
       const bench::SolverRun run = bench::RunSolver(*solver, p);
+      json.AddRun({{"workers", std::to_string(workers)}}, run);
       table.AddRow({Table::Num(static_cast<std::int64_t>(workers)),
                     run.solver, Table::Num(run.metrics.mutual_benefit),
                     Table::Num(run.metrics.requester_benefit),

@@ -7,11 +7,14 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbta;
   bench::PrintBanner(
       "Figure 4: mutual benefit vs |T|",
       "series = solver, x = number of tasks, y = MB(A); fixed 1000 workers",
+      "mturk-like base config with task count overridden, alpha=0.5");
+  bench::JsonLog json(
+      argc, argv, "fig4",
       "mturk-like base config with task count overridden, alpha=0.5");
 
   Table table({"|T|", "solver", "MB", "#assigned", "tasks covered"});
@@ -23,6 +26,7 @@ int main() {
                         {.alpha = 0.5, .kind = ObjectiveKind::kSubmodular}};
     for (const auto& solver : bench::SweepSolvers(7)) {
       const bench::SolverRun run = bench::RunSolver(*solver, p);
+      json.AddRun({{"tasks", std::to_string(tasks)}}, run);
       table.AddRow(
           {Table::Num(static_cast<std::int64_t>(tasks)), run.solver,
            Table::Num(run.metrics.mutual_benefit),

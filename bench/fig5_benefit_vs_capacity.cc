@@ -8,11 +8,14 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbta;
   bench::PrintBanner(
       "Figure 5: mutual benefit vs worker capacity",
       "series = solver, x = uniform worker capacity, y = MB(A)",
+      "synth-uniform 1000x1000, cap(w)=c for c in 1..10, alpha=0.5");
+  bench::JsonLog json(
+      argc, argv, "fig5",
       "synth-uniform 1000x1000, cap(w)=c for c in 1..10, alpha=0.5");
 
   Table table({"cap(w)", "solver", "MB", "#assigned"});
@@ -25,6 +28,7 @@ int main() {
                         {.alpha = 0.5, .kind = ObjectiveKind::kSubmodular}};
     for (const auto& solver : bench::SweepSolvers(7)) {
       const bench::SolverRun run = bench::RunSolver(*solver, p);
+      json.AddRun({{"worker_capacity", std::to_string(cap)}}, run);
       table.AddRow(
           {Table::Num(static_cast<std::int64_t>(cap)), run.solver,
            Table::Num(run.metrics.mutual_benefit),

@@ -11,13 +11,15 @@
 #include "core/greedy_solver.h"
 #include "core/pareto.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbta;
   bench::PrintBanner(
       "Figure 6: alpha trade-off",
       "x = alpha, y = unweighted requester benefit RB and worker benefit "
       "WB per solver",
       "mturk-like 1000 workers, submodular, seed 42");
+  bench::JsonLog json(argc, argv, "fig6",
+                      "mturk-like 1000 workers, submodular, seed 42");
 
   const LaborMarket market = GenerateMarket(MTurkLikeConfig(1000, 42));
   const GreedySolver greedy;
@@ -32,6 +34,7 @@ int main() {
         &market, {.alpha = alpha, .kind = ObjectiveKind::kSubmodular}};
     for (const Solver* solver : solvers) {
       const bench::SolverRun run = bench::RunSolver(*solver, p);
+      json.AddRun({{"alpha", Table::Num(alpha)}}, run);
       table.AddRow({Table::Num(alpha), run.solver,
                     Table::Num(run.metrics.mutual_benefit),
                     Table::Num(run.metrics.requester_benefit),

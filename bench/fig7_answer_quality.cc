@@ -16,12 +16,15 @@
 #include "sim/aggregation.h"
 #include "sim/answers.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbta;
   bench::PrintBanner(
       "Figure 7: answer quality by solver and aggregator",
       "x = solver, series = truth-inference method, y = label accuracy "
       "(mean of 5 simulation seeds) and task coverage",
+      "mturk-like 800 workers, alpha=0.9 (quality-focused), submodular");
+  bench::JsonLog json(
+      argc, argv, "fig7",
       "mturk-like 800 workers, alpha=0.9 (quality-focused), submodular");
 
   const LaborMarket market = GenerateMarket(MTurkLikeConfig(800, 42));
@@ -53,6 +56,8 @@ int main() {
         acc += LabelAccuracy(answers, agg->Aggregate(answers));
         cov += TaskCoverage(answers);
       }
+      json.AddRow({{"solver", solver->name()}, {"aggregator", agg->name()}},
+                  {{"accuracy", acc / kRuns}, {"coverage", cov / kRuns}});
       table.AddRow({solver->name(), agg->name(), Table::Num(acc / kRuns),
                     Table::Num(cov / kRuns)});
     }

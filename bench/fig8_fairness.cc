@@ -9,13 +9,16 @@
 #include "bench/bench_util.h"
 #include "util/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbta;
   bench::PrintBanner(
       "Figure 8: worker-benefit fairness",
       "x = solver, y = Jain index / Gini / min / P10 / P50 of per-worker "
       "benefit over employable workers",
       "upwork-like 1500 workers, alpha=0.5, submodular, seed 42");
+  bench::JsonLog json(argc, argv, "fig8",
+                      "upwork-like 1500 workers, alpha=0.5, submodular, "
+                      "seed 42");
 
   const LaborMarket market = GenerateMarket(UpworkLikeConfig(1500, 42));
   const MbtaProblem p{&market,
@@ -33,6 +36,9 @@ int main() {
     for (double b : benefits) {
       if (b > 0.0) active.push_back(b);
     }
+    json.AddRun({}, run,
+                {{"fairness_jain", JainFairnessIndex(benefits)},
+                 {"fairness_gini", GiniCoefficient(benefits)}});
     table.AddRow(
         {run.solver, Table::Num(JainFairnessIndex(benefits)),
          Table::Num(GiniCoefficient(benefits)),

@@ -88,9 +88,39 @@ int main(int argc, char** argv) {
       "google-benchmark timings: lazy/plain/threshold greedy, exact flow "
       "and market generation across market sizes (arg = workers)",
       "mturk-like markets, alpha=0.5, seed 42");
+  // `--json` is ours, not google-benchmark's: strip it before Initialize.
+  const std::string json_path = mbta::bench::ConsumeJsonFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  // Structured record: one instrumented run per solver x size (the
+  // google-benchmark loop above reports the statistically robust wall
+  // times; these rows carry the counters and phase breakdowns).
+  if (!json_path.empty()) {
+    using namespace mbta;
+    bench::JsonLog json(json_path, "fig9",
+                        "mturk-like markets, alpha=0.5, seed 42");
+    for (std::int64_t workers : {250, 500, 1000}) {
+      const LaborMarket market = MakeMarket(workers);
+      const MbtaProblem sub{
+          &market, {.alpha = 0.5, .kind = ObjectiveKind::kSubmodular}};
+      const MbtaProblem mod{
+          &market, {.alpha = 0.5, .kind = ObjectiveKind::kModular}};
+      const GreedySolver lazy(GreedySolver::Mode::kLazy);
+      const GreedySolver plain(GreedySolver::Mode::kPlain);
+      const ThresholdSolver threshold(0.1);
+      const ExactFlowSolver exact;
+      const auto params = [&](const char* objective) {
+        return bench::JsonLog::Params{
+            {"workers", std::to_string(workers)}, {"objective", objective}};
+      };
+      json.AddRun(params("submodular"), bench::RunSolver(lazy, sub));
+      json.AddRun(params("submodular"), bench::RunSolver(plain, sub));
+      json.AddRun(params("submodular"), bench::RunSolver(threshold, sub));
+      json.AddRun(params("modular"), bench::RunSolver(exact, mod));
+    }
+  }
   return 0;
 }

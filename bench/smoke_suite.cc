@@ -1,0 +1,166 @@
+/// Smoke benchmark suite: a pinned set of small workloads run through
+/// every solver, emitting one structured JSON row per (workload, solver)
+/// pair for `bench_compare` to diff between two builds (see
+/// scripts/bench_smoke.sh). Workloads are deliberately small so two
+/// back-to-back runs fit in CI; wall-clock comparisons are therefore
+/// noisy and bench_compare applies a floor below which only the
+/// deterministic counters are compared.
+///
+/// Doubles as the instrumentation-determinism gate: every solver is run
+/// once without a SolveStats sink and once with one, and the two
+/// assignments must match edge-for-edge (instrumentation must never
+/// perturb results). Exits nonzero on any mismatch.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/baseline_solvers.h"
+#include "core/budgeted_greedy_solver.h"
+#include "core/exact_flow_solver.h"
+#include "core/greedy_solver.h"
+#include "core/local_search_solver.h"
+#include "core/online_solvers.h"
+#include "core/solver.h"
+#include "core/stable_matching_solver.h"
+#include "core/threshold_solver.h"
+
+namespace {
+
+using namespace mbta;
+
+struct Workload {
+  std::string name;
+  LaborMarket market;
+  ObjectiveParams objective;
+};
+
+/// Solver line-up for the smoke suite: every solver family in
+/// MakeStandardSolvers (minus exact-flow, which needs the modular
+/// objective and gets its own workload below) plus the online and
+/// budgeted families and plain greedy, so every instrumented counter
+/// family shows up in the emitted JSON. Local search is capped at two
+/// passes — each row is solved six times (repeats + determinism checks)
+/// and uncapped passes would dominate the suite's wall clock.
+std::vector<std::unique_ptr<Solver>> SmokeSolvers(const LaborMarket& market) {
+  std::vector<std::unique_ptr<Solver>> solvers;
+  solvers.push_back(std::make_unique<GreedySolver>());
+  solvers.push_back(std::make_unique<ThresholdSolver>());
+  LocalSearchSolver::Options ls;
+  ls.max_passes = 2;
+  solvers.push_back(std::make_unique<LocalSearchSolver>(ls));
+  solvers.push_back(std::make_unique<MatchingSolver>());
+  solvers.push_back(std::make_unique<StableMatchingSolver>());
+  solvers.push_back(std::make_unique<WorkerCentricSolver>());
+  solvers.push_back(std::make_unique<RequesterCentricSolver>());
+  solvers.push_back(std::make_unique<RandomSolver>(7));
+  solvers.push_back(
+      std::make_unique<GreedySolver>(GreedySolver::Mode::kPlain));
+  solvers.push_back(std::make_unique<OnlineGreedySolver>(7));
+  solvers.push_back(std::make_unique<TaskArrivalGreedySolver>(7));
+  solvers.push_back(std::make_unique<TwoPhaseOnlineSolver>(7));
+  solvers.push_back(std::make_unique<BudgetedGreedySolver>(
+      ProportionalBudgets(market, 0.5)));
+  return solvers;
+}
+
+/// Runs `solver` once without instrumentation and `repeats` times with
+/// it, keeping the fastest wall time (counters are identical across
+/// repeats by determinism). Every instrumented assignment is compared
+/// edge-for-edge against the uninstrumented one, which catches both
+/// nondeterminism across repeats and instrumentation perturbing the
+/// result. Returns false on any mismatch.
+bool RunOne(const Solver& solver, const MbtaProblem& problem, int repeats,
+            bench::SolverRun* out) {
+  const Assignment plain = solver.Solve(problem);
+  out->solver = solver.name();
+  for (int i = 0; i < repeats; ++i) {
+    SolveInfo info;
+    const Assignment instrumented = solver.Solve(problem, &info);
+    if (instrumented.edges != plain.edges) {
+      std::fprintf(stderr,
+                   "FAIL: %s returned a different assignment on "
+                   "instrumented repeat %d\n",
+                   solver.name().c_str(), i);
+      return false;
+    }
+    if (i == 0) {
+      out->metrics = Evaluate(problem.MakeObjective(), instrumented);
+      out->info = std::move(info);
+    } else {
+      out->info.wall_ms = std::min(out->info.wall_ms, info.wall_ms);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::PrintBanner(
+      "Smoke suite: pinned workloads for the perf-regression gate",
+      "per (workload, solver): determinism check + best-of-3 wall time, "
+      "counters and phase timings; diff two runs with bench_compare",
+      "mturk 300 / uniform 250x250 / upwork 300 submodular + mturk 300 "
+      "modular, alpha=0.5, seed 42");
+  bench::JsonLog json(argc, argv, "smoke",
+                      "pinned small workloads, alpha=0.5, seed 42");
+
+  std::vector<Workload> workloads;
+  workloads.push_back({"mturk-300",
+                       GenerateMarket(MTurkLikeConfig(300, 42)),
+                       {.alpha = 0.5, .kind = ObjectiveKind::kSubmodular}});
+  workloads.push_back({"uniform-250",
+                       GenerateMarket(UniformConfig(250, 250, 42)),
+                       {.alpha = 0.5, .kind = ObjectiveKind::kSubmodular}});
+  workloads.push_back({"upwork-300",
+                       GenerateMarket(UpworkLikeConfig(300, 42)),
+                       {.alpha = 0.5, .kind = ObjectiveKind::kSubmodular}});
+
+  constexpr int kRepeats = 3;
+  bool ok = true;
+  Table table({"workload", "solver", "MB", "time(ms)", "gain evals"});
+  const auto report = [&](const Workload& w, const bench::SolverRun& run) {
+    json.AddRun({{"workload", w.name}}, run);
+    table.AddRow({w.name, run.solver, Table::Num(run.metrics.mutual_benefit),
+                  Table::Num(run.info.wall_ms),
+                  Table::Num(static_cast<std::int64_t>(
+                      run.info.gain_evaluations))});
+  };
+
+  for (const Workload& w : workloads) {
+    const MbtaProblem p{&w.market, w.objective};
+    for (const auto& solver : SmokeSolvers(w.market)) {
+      bench::SolverRun run;
+      ok = RunOne(*solver, p, kRepeats, &run) && ok;
+      report(w, run);
+    }
+  }
+
+  // Modular workload: the exact flow solver only accepts this objective.
+  {
+    const Workload modular{"mturk-300-modular",
+                           GenerateMarket(MTurkLikeConfig(300, 42)),
+                           {.alpha = 0.5, .kind = ObjectiveKind::kModular}};
+    const MbtaProblem p{&modular.market, modular.objective};
+    const ExactFlowSolver exact;
+    const GreedySolver greedy;
+    for (const Solver* solver : {static_cast<const Solver*>(&exact),
+                                 static_cast<const Solver*>(&greedy)}) {
+      bench::SolverRun run;
+      ok = RunOne(*solver, p, kRepeats, &run) && ok;
+      report(modular, run);
+    }
+  }
+
+  std::printf("%s\n", table.ToString().c_str());
+  if (!ok) {
+    std::fprintf(stderr, "smoke suite FAILED: see messages above\n");
+    return 1;
+  }
+  std::printf("determinism: all solvers byte-identical with "
+              "instrumentation attached\n");
+  return 0;
+}

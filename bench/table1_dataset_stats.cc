@@ -6,13 +6,15 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbta;
   bench::PrintBanner(
       "Table 1: dataset statistics",
       "size and shape of each evaluation market (see DESIGN.md for the "
       "MTurk/Upwork substitution rationale)",
       "four datasets at 2000 workers, seed 42");
+  bench::JsonLog json(argc, argv, "table1",
+                      "four datasets at 2000 workers, seed 42");
 
   Table table({"dataset", "|W|", "|T|", "|E|", "avg w-deg", "avg t-deg",
                "max t-deg", "t-deg gini", "cap(W)", "cap(T)", "avg pay",
@@ -20,6 +22,15 @@ int main() {
   for (const GeneratorConfig& config : bench::StandardDatasets(2000, 42)) {
     const LaborMarket market = GenerateMarket(config);
     const MarketStats s = ComputeStats(market);
+    json.AddRow({{"dataset", market.name()}},
+                {{"num_workers", static_cast<double>(s.num_workers)},
+                 {"num_tasks", static_cast<double>(s.num_tasks)},
+                 {"num_edges", static_cast<double>(s.num_edges)},
+                 {"avg_worker_degree", s.avg_worker_degree},
+                 {"avg_task_degree", s.avg_task_degree},
+                 {"task_degree_gini", s.task_degree_gini},
+                 {"avg_payment", s.avg_payment},
+                 {"avg_quality", s.avg_quality}});
     table.AddRow({market.name(),
                   Table::Num(static_cast<std::int64_t>(s.num_workers)),
                   Table::Num(static_cast<std::int64_t>(s.num_tasks)),

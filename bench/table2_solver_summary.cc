@@ -8,12 +8,15 @@
 #include "bench/bench_util.h"
 #include "core/exact_flow_solver.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbta;
   bench::PrintBanner(
       "Table 2: solver summary",
       "MB / requester / worker benefit and runtime per solver x dataset; "
       "mutual-benefit-aware solvers should lead on MB everywhere",
+      "four datasets at 500 workers, alpha=0.5, submodular objective");
+  bench::JsonLog json(
+      argc, argv, "table2",
       "four datasets at 500 workers, alpha=0.5, submodular objective");
 
   Table table({"dataset", "solver", "objective", "MB", "RB", "WB",
@@ -26,6 +29,8 @@ int main() {
     for (const auto& solver :
          MakeStandardSolvers(7, /*include_exact_flow=*/false)) {
       const bench::SolverRun run = bench::RunSolver(*solver, sub);
+      json.AddRun({{"dataset", market.name()}, {"objective", "submodular"}},
+                  run);
       table.AddRow(
           {market.name(), run.solver, "submodular",
            Table::Num(run.metrics.mutual_benefit),
@@ -41,6 +46,8 @@ int main() {
                           {.alpha = 0.5, .kind = ObjectiveKind::kModular}};
     const bench::SolverRun exact =
         bench::RunSolver(ExactFlowSolver(), mod);
+    json.AddRun({{"dataset", market.name()}, {"objective", "modular"}},
+                exact);
     table.AddRow(
         {market.name(), exact.solver, "modular",
          Table::Num(exact.metrics.mutual_benefit),

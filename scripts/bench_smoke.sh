@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the pinned smoke benchmark suite and writes a structured JSON
+# record for the perf-regression gate.
+#
+# Usage: scripts/bench_smoke.sh [output.json] [jobs]
+#   output.json  destination record (default: BENCH_smoke.json)
+#   jobs         build parallelism (default: nproc)
+#
+# Typical gate (two builds or two checkouts):
+#   scripts/bench_smoke.sh base.json       # on the baseline
+#   scripts/bench_smoke.sh cand.json       # on the candidate
+#   build/tools/bench_compare base.json cand.json --threshold 0.5 --min-ms 20
+#
+# Counters are compared exactly on every row; --min-ms restricts the
+# wall-time check to rows slow enough to measure (single-digit-ms rows
+# jitter well beyond 50% under load even best-of-3).
+#
+# The smoke suite itself also enforces instrumentation determinism: it
+# exits nonzero if any solver returns a different assignment when a
+# SolveStats sink is attached.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_smoke.json}"
+JOBS="${2:-$(nproc)}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}" --target smoke_suite bench_compare
+build/bench/smoke_suite --json "${OUT}"
+
+echo "bench_smoke.sh: wrote ${OUT}"

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "flow/min_cost_flow.h"
+#include "obs/phase_timer.h"
 #include "util/check.h"
 #include "util/distribution.h"
 #include "util/rng.h"
@@ -16,19 +17,38 @@ Assignment RandomSolver::Solve(const MbtaProblem& problem,
                                SolveInfo* info) const {
   MBTA_CHECK(problem.market != nullptr);
   WallTimer timer;
+  PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
+  ScopedPhase solve_phase(phases, "solve");
   const MutualBenefitObjective objective = problem.MakeObjective();
   const LaborMarket& market = objective.market();
   ObjectiveState state(&objective);
 
   Rng rng(seed_);
   std::vector<EdgeId> order(market.NumEdges());
-  for (EdgeId e = 0; e < market.NumEdges(); ++e) order[e] = e;
-  Shuffle(rng, order);
-  for (EdgeId e : order) {
-    if (state.CanAdd(e)) state.Add(e);
+  {
+    ScopedPhase phase(phases, "shuffle");
+    for (EdgeId e = 0; e < market.NumEdges(); ++e) order[e] = e;
+    Shuffle(rng, order);
+  }
+  std::size_t scanned = 0;
+  std::size_t accepted = 0;
+  {
+    ScopedPhase phase(phases, "fill");
+    for (EdgeId e : order) {
+      ++scanned;
+      if (state.CanAdd(e)) {
+        state.Add(e);
+        ++accepted;
+      }
+    }
   }
 
-  if (info != nullptr) info->wall_ms = timer.ElapsedMs();
+  if (info != nullptr) {
+    info->gain_evaluations = scanned;
+    info->counters.Add("random/edges_scanned", scanned);
+    info->counters.Add("random/edges_accepted", accepted);
+    info->wall_ms = timer.ElapsedMs();
+  }
   return state.ToAssignment();
 }
 
@@ -36,25 +56,41 @@ Assignment WorkerCentricSolver::Solve(const MbtaProblem& problem,
                                       SolveInfo* info) const {
   MBTA_CHECK(problem.market != nullptr);
   WallTimer timer;
+  PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
+  ScopedPhase solve_phase(phases, "solve");
   const MutualBenefitObjective objective = problem.MakeObjective();
   const LaborMarket& market = objective.market();
   ObjectiveState state(&objective);
 
-  for (WorkerId w = 0; w < market.NumWorkers(); ++w) {
-    auto edges = market.WorkerEdges(w);
-    std::vector<EdgeId> sorted;
-    sorted.reserve(edges.size());
-    for (const Incidence& inc : edges) sorted.push_back(inc.edge);
-    std::sort(sorted.begin(), sorted.end(), [&](EdgeId a, EdgeId b) {
-      return market.WorkerBenefit(a) > market.WorkerBenefit(b);
-    });
-    for (EdgeId e : sorted) {
-      if (state.WorkerLoad(w) >= market.worker(w).capacity) break;
-      if (state.CanAdd(e)) state.Add(e);
+  std::size_t scanned = 0;
+  std::size_t accepted = 0;
+  {
+    ScopedPhase phase(phases, "assign_workers");
+    for (WorkerId w = 0; w < market.NumWorkers(); ++w) {
+      auto edges = market.WorkerEdges(w);
+      std::vector<EdgeId> sorted;
+      sorted.reserve(edges.size());
+      for (const Incidence& inc : edges) sorted.push_back(inc.edge);
+      std::sort(sorted.begin(), sorted.end(), [&](EdgeId a, EdgeId b) {
+        return market.WorkerBenefit(a) > market.WorkerBenefit(b);
+      });
+      for (EdgeId e : sorted) {
+        if (state.WorkerLoad(w) >= market.worker(w).capacity) break;
+        ++scanned;
+        if (state.CanAdd(e)) {
+          state.Add(e);
+          ++accepted;
+        }
+      }
     }
   }
 
-  if (info != nullptr) info->wall_ms = timer.ElapsedMs();
+  if (info != nullptr) {
+    info->gain_evaluations = scanned;
+    info->counters.Add("baseline/edges_scanned", scanned);
+    info->counters.Add("baseline/edges_accepted", accepted);
+    info->wall_ms = timer.ElapsedMs();
+  }
   return state.ToAssignment();
 }
 
@@ -62,25 +98,41 @@ Assignment RequesterCentricSolver::Solve(const MbtaProblem& problem,
                                          SolveInfo* info) const {
   MBTA_CHECK(problem.market != nullptr);
   WallTimer timer;
+  PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
+  ScopedPhase solve_phase(phases, "solve");
   const MutualBenefitObjective objective = problem.MakeObjective();
   const LaborMarket& market = objective.market();
   ObjectiveState state(&objective);
 
-  for (TaskId t = 0; t < market.NumTasks(); ++t) {
-    auto edges = market.TaskEdges(t);
-    std::vector<EdgeId> sorted;
-    sorted.reserve(edges.size());
-    for (const Incidence& inc : edges) sorted.push_back(inc.edge);
-    std::sort(sorted.begin(), sorted.end(), [&](EdgeId a, EdgeId b) {
-      return market.Quality(a) > market.Quality(b);
-    });
-    for (EdgeId e : sorted) {
-      if (state.TaskLoad(t) >= market.task(t).capacity) break;
-      if (state.CanAdd(e)) state.Add(e);
+  std::size_t scanned = 0;
+  std::size_t accepted = 0;
+  {
+    ScopedPhase phase(phases, "assign_tasks");
+    for (TaskId t = 0; t < market.NumTasks(); ++t) {
+      auto edges = market.TaskEdges(t);
+      std::vector<EdgeId> sorted;
+      sorted.reserve(edges.size());
+      for (const Incidence& inc : edges) sorted.push_back(inc.edge);
+      std::sort(sorted.begin(), sorted.end(), [&](EdgeId a, EdgeId b) {
+        return market.Quality(a) > market.Quality(b);
+      });
+      for (EdgeId e : sorted) {
+        if (state.TaskLoad(t) >= market.task(t).capacity) break;
+        ++scanned;
+        if (state.CanAdd(e)) {
+          state.Add(e);
+          ++accepted;
+        }
+      }
     }
   }
 
-  if (info != nullptr) info->wall_ms = timer.ElapsedMs();
+  if (info != nullptr) {
+    info->gain_evaluations = scanned;
+    info->counters.Add("baseline/edges_scanned", scanned);
+    info->counters.Add("baseline/edges_accepted", accepted);
+    info->wall_ms = timer.ElapsedMs();
+  }
   return state.ToAssignment();
 }
 
@@ -88,6 +140,8 @@ Assignment MatchingSolver::Solve(const MbtaProblem& problem,
                                  SolveInfo* info) const {
   MBTA_CHECK(problem.market != nullptr);
   WallTimer timer;
+  PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
+  ScopedPhase flow_phase(phases, "flow");
   const MutualBenefitObjective objective = problem.MakeObjective();
   const LaborMarket& market = objective.market();
 
@@ -97,26 +151,41 @@ Assignment MatchingSolver::Solve(const MbtaProblem& problem,
   MinCostFlow mcf(num_workers + num_tasks + 2);
   const std::size_t source = 0;
   const std::size_t sink = num_workers + num_tasks + 1;
-  for (WorkerId w = 0; w < num_workers; ++w) {
-    mcf.AddArc(source, 1 + w, 1, 0);  // unit capacity: it's a matching
-  }
-  for (TaskId t = 0; t < num_tasks; ++t) {
-    mcf.AddArc(1 + num_workers + t, sink, 1, 0);
-  }
   std::vector<MinCostFlow::ArcId> edge_arcs(market.NumEdges());
-  for (EdgeId e = 0; e < market.NumEdges(); ++e) {
-    const std::int64_t cost = -static_cast<std::int64_t>(
-        std::llround(objective.EdgeWeight(e) * kScale));
-    edge_arcs[e] = mcf.AddArc(1 + market.EdgeWorker(e),
-                              1 + num_workers + market.EdgeTask(e), 1, cost);
+  {
+    ScopedPhase phase(phases, "build_graph");
+    for (WorkerId w = 0; w < num_workers; ++w) {
+      mcf.AddArc(source, 1 + w, 1, 0);  // unit capacity: it's a matching
+    }
+    for (TaskId t = 0; t < num_tasks; ++t) {
+      mcf.AddArc(1 + num_workers + t, sink, 1, 0);
+    }
+    for (EdgeId e = 0; e < market.NumEdges(); ++e) {
+      const std::int64_t cost = -static_cast<std::int64_t>(
+          std::llround(objective.EdgeWeight(e) * kScale));
+      edge_arcs[e] = mcf.AddArc(1 + market.EdgeWorker(e),
+                                1 + num_workers + market.EdgeTask(e), 1,
+                                cost);
+    }
   }
-  mcf.SolveNegativeOnly(source, sink);
+  {
+    ScopedPhase phase(phases, "augment");
+    mcf.SolveNegativeOnly(source, sink);
+  }
 
   Assignment result;
   for (EdgeId e = 0; e < market.NumEdges(); ++e) {
     if (mcf.Flow(edge_arcs[e]) > 0) result.edges.push_back(e);
   }
-  if (info != nullptr) info->wall_ms = timer.ElapsedMs();
+  if (info != nullptr) {
+    const MinCostFlow::Stats& fs = mcf.stats();
+    info->gain_evaluations =
+        static_cast<std::size_t>(fs.augmenting_paths);
+    info->counters.Add("flow/augmenting_paths", fs.augmenting_paths);
+    info->counters.Add("flow/dijkstra_runs", fs.dijkstra_runs);
+    info->counters.Add("flow/arcs_scanned", fs.arcs_scanned);
+    info->wall_ms = timer.ElapsedMs();
+  }
   return result;
 }
 

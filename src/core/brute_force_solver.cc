@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/phase_timer.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -18,18 +19,24 @@ struct SearchContext {
   std::vector<double> suffix_bound;
   double best_value = 0.0;
   Assignment best;
+  std::size_t nodes = 0;
+  std::size_t pruned = 0;
 
   explicit SearchContext(const MutualBenefitObjective& obj)
       : objective(obj), state(&obj) {}
 
   void Search(EdgeId e) {
     const std::size_t num_edges = objective.market().NumEdges();
+    ++nodes;
     if (state.value() > best_value) {
       best_value = state.value();
       best = state.ToAssignment();
     }
     if (e >= num_edges) return;
-    if (state.value() + suffix_bound[e] <= best_value) return;  // prune
+    if (state.value() + suffix_bound[e] <= best_value) {
+      ++pruned;
+      return;
+    }
 
     if (state.CanAdd(e)) {
       state.Add(e);
@@ -49,6 +56,8 @@ Assignment BruteForceSolver::Solve(const MbtaProblem& problem,
                  "brute force limited to %zu edges, got %zu", max_edges_,
                  problem.market->NumEdges());
   WallTimer timer;
+  PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
+  ScopedPhase solve_phase(phases, "solve");
   const MutualBenefitObjective objective = problem.MakeObjective();
   SearchContext ctx(objective);
 
@@ -59,8 +68,16 @@ Assignment BruteForceSolver::Solve(const MbtaProblem& problem,
         ctx.suffix_bound[i + 1] + objective.EdgeWeight(static_cast<EdgeId>(i));
   }
 
-  ctx.Search(0);
-  if (info != nullptr) info->wall_ms = timer.ElapsedMs();
+  {
+    ScopedPhase phase(phases, "search");
+    ctx.Search(0);
+  }
+  if (info != nullptr) {
+    info->gain_evaluations = ctx.nodes;
+    info->counters.Add("brute_force/nodes", ctx.nodes);
+    info->counters.Add("brute_force/pruned", ctx.pruned);
+    info->wall_ms = timer.ElapsedMs();
+  }
   return ctx.best;
 }
 

@@ -3,6 +3,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/phase_timer.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -12,12 +13,20 @@ namespace {
 
 constexpr double kGainEpsilon = 1e-12;
 
+/// Work tallies accumulated across both greedy passes.
+struct PassTally {
+  std::size_t evals = 0;
+  std::size_t heap_pushes = 0;
+  std::size_t budget_rejects = 0;
+  std::size_t commits = 0;
+};
+
 /// Lazy greedy over `key(gain, payment)` with budget tracking. The key
 /// must be monotone in gain for fixed payment so that submodularity keeps
 /// stale heap keys valid upper bounds.
 Assignment GreedyPass(const MutualBenefitObjective& objective,
                       const BudgetConstraint& budget, bool by_density,
-                      std::size_t* evals) {
+                      PassTally& tally) {
   const LaborMarket& market = objective.market();
   ObjectiveState state(&objective);
   std::vector<double> remaining = budget.budgets;
@@ -43,6 +52,7 @@ Assignment GreedyPass(const MutualBenefitObjective& objective,
   for (EdgeId e = 0; e < market.NumEdges(); ++e) {
     const double gain = objective.EdgeWeight(e);
     heap.push({key(gain, e), gain, e});
+    ++tally.heap_pushes;
   }
 
   while (!heap.empty()) {
@@ -51,18 +61,21 @@ Assignment GreedyPass(const MutualBenefitObjective& objective,
     if (top.gain <= kGainEpsilon) break;
     if (!state.CanAdd(top.edge)) continue;
     if (payment_of(top.edge) > remaining[requester_of(top.edge)] + 1e-9) {
+      ++tally.budget_rejects;
       continue;  // would blow the requester's budget: drop for good
     }
     const double fresh_gain = state.MarginalGain(top.edge);
-    ++*evals;
+    ++tally.evals;
     const double fresh_key = key(fresh_gain, top.edge);
     if (heap.empty() || fresh_key >= heap.top().key - kGainEpsilon) {
       if (fresh_gain > kGainEpsilon) {
         state.Add(top.edge);
         remaining[requester_of(top.edge)] -= payment_of(top.edge);
+        ++tally.commits;
       }
     } else {
       heap.push({fresh_key, fresh_gain, top.edge});
+      ++tally.heap_pushes;
     }
   }
   return state.ToAssignment();
@@ -75,19 +88,30 @@ Assignment BudgetedGreedySolver::Solve(const MbtaProblem& problem,
   MBTA_CHECK(problem.market != nullptr);
   MBTA_CHECK(budget_.budgets.size() >= NumRequesters(*problem.market));
   WallTimer timer;
+  PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
+  ScopedPhase solve_phase(phases, "solve");
   const MutualBenefitObjective objective = problem.MakeObjective();
-  std::size_t evals = 0;
+  PassTally tally;
 
-  const Assignment by_gain =
-      GreedyPass(objective, budget_, /*by_density=*/false, &evals);
-  const Assignment by_density =
-      GreedyPass(objective, budget_, /*by_density=*/true, &evals);
+  Assignment by_gain;
+  {
+    ScopedPhase phase(phases, "pass_gain");
+    by_gain = GreedyPass(objective, budget_, /*by_density=*/false, tally);
+  }
+  Assignment by_density;
+  {
+    ScopedPhase phase(phases, "pass_density");
+    by_density = GreedyPass(objective, budget_, /*by_density=*/true, tally);
+  }
 
   const Assignment& better =
       objective.Value(by_gain) >= objective.Value(by_density) ? by_gain
                                                               : by_density;
   if (info != nullptr) {
-    info->gain_evaluations = evals;
+    info->gain_evaluations = tally.evals;
+    info->counters.Add("budgeted/heap_pushes", tally.heap_pushes);
+    info->counters.Add("budgeted/budget_rejects", tally.budget_rejects);
+    info->counters.Add("budgeted/commits", tally.commits);
     info->wall_ms = timer.ElapsedMs();
   }
   return better;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "flow/min_cost_flow.h"
+#include "obs/phase_timer.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -15,6 +16,8 @@ Assignment ExactFlowSolver::Solve(const MbtaProblem& problem,
   MBTA_CHECK_MSG(problem.objective.kind == ObjectiveKind::kModular,
                  "ExactFlowSolver requires the modular objective");
   WallTimer timer;
+  PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
+  ScopedPhase flow_phase(phases, "flow");
   const MutualBenefitObjective objective = problem.MakeObjective();
   const LaborMarket& market = objective.market();
 
@@ -27,27 +30,44 @@ Assignment ExactFlowSolver::Solve(const MbtaProblem& problem,
   auto worker_node = [&](WorkerId w) { return 1 + w; };
   auto task_node = [&](TaskId t) { return 1 + num_workers + t; };
 
-  for (WorkerId w = 0; w < num_workers; ++w) {
-    mcf.AddArc(source, worker_node(w), market.worker(w).capacity, 0);
-  }
-  for (TaskId t = 0; t < num_tasks; ++t) {
-    mcf.AddArc(task_node(t), sink, market.task(t).capacity, 0);
-  }
   std::vector<MinCostFlow::ArcId> edge_arcs(market.NumEdges());
-  for (EdgeId e = 0; e < market.NumEdges(); ++e) {
-    const std::int64_t cost = -static_cast<std::int64_t>(
-        std::llround(objective.EdgeWeight(e) * kScale));
-    edge_arcs[e] = mcf.AddArc(worker_node(market.EdgeWorker(e)),
-                              task_node(market.EdgeTask(e)), 1, cost);
+  {
+    ScopedPhase phase(phases, "build_graph");
+    for (WorkerId w = 0; w < num_workers; ++w) {
+      mcf.AddArc(source, worker_node(w), market.worker(w).capacity, 0);
+    }
+    for (TaskId t = 0; t < num_tasks; ++t) {
+      mcf.AddArc(task_node(t), sink, market.task(t).capacity, 0);
+    }
+    for (EdgeId e = 0; e < market.NumEdges(); ++e) {
+      const std::int64_t cost = -static_cast<std::int64_t>(
+          std::llround(objective.EdgeWeight(e) * kScale));
+      edge_arcs[e] = mcf.AddArc(worker_node(market.EdgeWorker(e)),
+                                task_node(market.EdgeTask(e)), 1, cost);
+    }
   }
 
-  mcf.SolveNegativeOnly(source, sink);
+  {
+    ScopedPhase phase(phases, "augment");
+    mcf.SolveNegativeOnly(source, sink);
+  }
 
   Assignment result;
-  for (EdgeId e = 0; e < market.NumEdges(); ++e) {
-    if (mcf.Flow(edge_arcs[e]) > 0) result.edges.push_back(e);
+  {
+    ScopedPhase phase(phases, "extract");
+    for (EdgeId e = 0; e < market.NumEdges(); ++e) {
+      if (mcf.Flow(edge_arcs[e]) > 0) result.edges.push_back(e);
+    }
   }
-  if (info != nullptr) info->wall_ms = timer.ElapsedMs();
+  if (info != nullptr) {
+    const MinCostFlow::Stats& fs = mcf.stats();
+    info->gain_evaluations =
+        static_cast<std::size_t>(fs.augmenting_paths);
+    info->counters.Add("flow/augmenting_paths", fs.augmenting_paths);
+    info->counters.Add("flow/dijkstra_runs", fs.dijkstra_runs);
+    info->counters.Add("flow/arcs_scanned", fs.arcs_scanned);
+    info->wall_ms = timer.ElapsedMs();
+  }
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/phase_timer.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -13,10 +14,14 @@ namespace {
 constexpr double kGainEpsilon = 1e-12;
 
 Assignment SolveLazy(const MutualBenefitObjective& objective,
-                     SolveInfo* info) {
+                     SolveStats* info) {
   const LaborMarket& market = objective.market();
   ObjectiveState state(&objective);
+  PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
   std::size_t evals = 0;
+  std::size_t pushes = 0;
+  std::size_t pops = 0;
+  std::size_t commits = 0;
 
   struct Entry {
     double gain;
@@ -24,40 +29,64 @@ Assignment SolveLazy(const MutualBenefitObjective& objective,
     bool operator<(const Entry& other) const { return gain < other.gain; }
   };
   std::priority_queue<Entry> heap;
-  for (EdgeId e = 0; e < market.NumEdges(); ++e) {
-    // On the empty assignment the marginal equals the edge weight for both
-    // objective kinds, so no state evaluation is needed to seed the heap.
-    heap.push({objective.EdgeWeight(e), e});
-  }
-
-  while (!heap.empty()) {
-    const Entry top = heap.top();
-    heap.pop();
-    if (top.gain <= kGainEpsilon) break;  // all remaining gains are ~zero
-    if (!state.CanAdd(top.edge)) continue;  // endpoint saturated: drop
-    const double fresh = state.MarginalGain(top.edge);
-    ++evals;
-    // Submodularity: `fresh` <= the stale key. If it still beats the next
-    // best stale key it is the true argmax and we can commit.
-    if (heap.empty() || fresh >= heap.top().gain - kGainEpsilon) {
-      if (fresh > kGainEpsilon) state.Add(top.edge);
-    } else {
-      heap.push({fresh, top.edge});
+  {
+    ScopedPhase phase(phases, "build_heap");
+    for (EdgeId e = 0; e < market.NumEdges(); ++e) {
+      // On the empty assignment the marginal equals the edge weight for
+      // both objective kinds, so no state evaluation is needed to seed the
+      // heap.
+      heap.push({objective.EdgeWeight(e), e});
+      ++pushes;
     }
   }
 
-  if (info != nullptr) info->gain_evaluations = evals;
+  {
+    ScopedPhase phase(phases, "lazy_loop");
+    while (!heap.empty()) {
+      const Entry top = heap.top();
+      heap.pop();
+      ++pops;
+      if (top.gain <= kGainEpsilon) break;  // all remaining gains ~zero
+      if (!state.CanAdd(top.edge)) continue;  // endpoint saturated: drop
+      const double fresh = state.MarginalGain(top.edge);
+      ++evals;
+      // Submodularity: `fresh` <= the stale key. If it still beats the
+      // next best stale key it is the true argmax and we can commit.
+      if (heap.empty() || fresh >= heap.top().gain - kGainEpsilon) {
+        if (fresh > kGainEpsilon) {
+          state.Add(top.edge);
+          ++commits;
+        }
+      } else {
+        heap.push({fresh, top.edge});
+        ++pushes;
+      }
+    }
+  }
+
+  if (info != nullptr) {
+    info->gain_evaluations = evals;
+    info->counters.Add("greedy/heap_pushes", pushes);
+    info->counters.Add("greedy/heap_pops", pops);
+    info->counters.Add("greedy/lazy_reevals", evals);
+    info->counters.Add("greedy/commits", commits);
+  }
   return state.ToAssignment();
 }
 
 Assignment SolvePlain(const MutualBenefitObjective& objective,
-                      SolveInfo* info) {
+                      SolveStats* info) {
   const LaborMarket& market = objective.market();
   ObjectiveState state(&objective);
+  PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
   std::size_t evals = 0;
+  std::size_t rounds = 0;
+  std::size_t commits = 0;
   std::vector<bool> dead(market.NumEdges(), false);
 
+  ScopedPhase phase(phases, "scan_rounds");
   for (;;) {
+    ++rounds;
     double best_gain = kGainEpsilon;
     EdgeId best_edge = kInvalidEdge;
     for (EdgeId e = 0; e < market.NumEdges(); ++e) {
@@ -75,9 +104,15 @@ Assignment SolvePlain(const MutualBenefitObjective& objective,
     }
     if (best_edge == kInvalidEdge) break;
     state.Add(best_edge);
+    ++commits;
   }
 
-  if (info != nullptr) info->gain_evaluations = evals;
+  if (info != nullptr) {
+    info->gain_evaluations = evals;
+    info->counters.Add("greedy/scan_rounds", rounds);
+    info->counters.Add("greedy/edge_scans", evals);
+    info->counters.Add("greedy/commits", commits);
+  }
   return state.ToAssignment();
 }
 
@@ -87,6 +122,8 @@ Assignment GreedySolver::Solve(const MbtaProblem& problem,
                                SolveInfo* info) const {
   MBTA_CHECK(problem.market != nullptr);
   WallTimer timer;
+  ScopedPhase solve_phase(info != nullptr ? &info->phases : nullptr,
+                          "solve");
   const MutualBenefitObjective objective = problem.MakeObjective();
   Assignment result = mode_ == Mode::kLazy ? SolveLazy(objective, info)
                                            : SolvePlain(objective, info);

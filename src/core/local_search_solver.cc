@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "core/greedy_solver.h"
+#include "obs/phase_timer.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -153,13 +154,19 @@ Assignment LocalSearchSolver::Solve(const MbtaProblem& problem,
                                     SolveInfo* info) const {
   MBTA_CHECK(problem.market != nullptr);
   WallTimer timer;
+  PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
+  ScopedPhase solve_phase(phases, "solve");
   const MutualBenefitObjective objective = problem.MakeObjective();
   const LaborMarket& market = objective.market();
 
   ObjectiveState state(&objective);
   std::size_t evals = 0;
+  std::size_t passes = 0;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
 
   if (options_.greedy_init) {
+    ScopedPhase phase(phases, "greedy_init");
     SolveInfo greedy_info;
     const Assignment start =
         GreedySolver(GreedySolver::Mode::kLazy).Solve(problem, &greedy_info);
@@ -167,18 +174,30 @@ Assignment LocalSearchSolver::Solve(const MbtaProblem& problem,
     for (EdgeId e : start.edges) state.Add(e);
   }
 
-  for (int pass = 0; pass < options_.max_passes; ++pass) {
-    bool improved = false;
-    const double scale = std::max(state.value(), 1.0);
-    const double min_gain = options_.min_relative_gain * scale;
-    for (EdgeId e = 0; e < market.NumEdges(); ++e) {
-      if (TryAdmit(state, e, min_gain, &evals)) improved = true;
+  {
+    ScopedPhase phase(phases, "improve_passes");
+    for (int pass = 0; pass < options_.max_passes; ++pass) {
+      ++passes;
+      bool improved = false;
+      const double scale = std::max(state.value(), 1.0);
+      const double min_gain = options_.min_relative_gain * scale;
+      for (EdgeId e = 0; e < market.NumEdges(); ++e) {
+        if (TryAdmit(state, e, min_gain, &evals)) {
+          improved = true;
+          ++accepted;
+        } else {
+          ++rejected;
+        }
+      }
+      if (!improved) break;
     }
-    if (!improved) break;
   }
 
   if (info != nullptr) {
     info->gain_evaluations = evals;
+    info->counters.Add("local_search/passes", passes);
+    info->counters.Add("local_search/moves_accepted", accepted);
+    info->counters.Add("local_search/moves_rejected", rejected);
     info->wall_ms = timer.ElapsedMs();
   }
   return state.ToAssignment();

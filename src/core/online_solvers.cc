@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/phase_timer.h"
 #include "util/check.h"
 #include "util/distribution.h"
 #include "util/rng.h"
@@ -13,28 +14,45 @@ namespace mbta {
 
 namespace {
 
+/// Tallies shared by the online solvers: marginal-gain evaluations,
+/// matches committed, and arrivals deferred by a threshold (the arrival
+/// had a positive-gain edge available but none clearing `min_gain`).
+struct OnlineTally {
+  std::size_t evals = 0;
+  std::size_t matches = 0;
+  std::size_t deferred = 0;
+};
+
 /// Greedily fills one arrived worker: repeatedly adds its best feasible
 /// edge with marginal gain above `min_gain` until capacity runs out.
 /// Accepted gains are appended to `accepted_gains` when non-null.
 void FillWorker(ObjectiveState& state, WorkerId w, double min_gain,
-                std::size_t* evals,
+                OnlineTally& tally,
                 std::vector<double>* accepted_gains = nullptr) {
   const LaborMarket& market = state.objective().market();
   while (state.WorkerLoad(w) < market.worker(w).capacity) {
     double best_gain = min_gain;
+    double best_any_gain = 0.0;
     EdgeId best_edge = kInvalidEdge;
     for (const Incidence& inc : market.WorkerEdges(w)) {
       if (!state.CanAdd(inc.edge)) continue;
       const double gain = state.MarginalGain(inc.edge);
-      ++*evals;
+      ++tally.evals;
+      best_any_gain = std::max(best_any_gain, gain);
       if (gain > best_gain) {
         best_gain = gain;
         best_edge = inc.edge;
       }
     }
-    if (best_edge == kInvalidEdge) break;
+    if (best_edge == kInvalidEdge) {
+      // A positive-gain match existed but the threshold gated it: the
+      // arrival is deferred, reserving the capacity for later.
+      if (best_any_gain > 0.0 && min_gain > 0.0) ++tally.deferred;
+      break;
+    }
     if (accepted_gains != nullptr) accepted_gains->push_back(best_gain);
     state.Add(best_edge);
+    ++tally.matches;
   }
 }
 
@@ -65,14 +83,21 @@ Assignment OnlineGreedySolver::SolveWithOrder(
   MBTA_CHECK(problem.market != nullptr);
   MBTA_CHECK(order.size() == problem.market->NumWorkers());
   WallTimer timer;
+  PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
+  ScopedPhase solve_phase(phases, "solve");
   const MutualBenefitObjective objective = problem.MakeObjective();
   ObjectiveState state(&objective);
-  std::size_t evals = 0;
+  OnlineTally tally;
 
-  for (WorkerId w : order) FillWorker(state, w, 0.0, &evals);
+  {
+    ScopedPhase phase(phases, "arrivals");
+    for (WorkerId w : order) FillWorker(state, w, 0.0, tally);
+  }
 
   if (info != nullptr) {
-    info->gain_evaluations = evals;
+    info->gain_evaluations = tally.evals;
+    info->counters.Add("online/arrivals", order.size());
+    info->counters.Add("online/matches", tally.matches);
     info->wall_ms = timer.ElapsedMs();
   }
   return state.ToAssignment();
@@ -105,31 +130,40 @@ Assignment TaskArrivalGreedySolver::SolveWithOrder(
   MBTA_CHECK(problem.market != nullptr);
   MBTA_CHECK(order.size() == problem.market->NumTasks());
   WallTimer timer;
+  PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
+  ScopedPhase solve_phase(phases, "solve");
   const MutualBenefitObjective objective = problem.MakeObjective();
   const LaborMarket& market = objective.market();
   ObjectiveState state(&objective);
   std::size_t evals = 0;
+  std::size_t matches = 0;
 
-  for (TaskId t : order) {
-    while (state.TaskLoad(t) < market.task(t).capacity) {
-      double best_gain = 0.0;
-      EdgeId best_edge = kInvalidEdge;
-      for (const Incidence& inc : market.TaskEdges(t)) {
-        if (!state.CanAdd(inc.edge)) continue;
-        const double gain = state.MarginalGain(inc.edge);
-        ++evals;
-        if (gain > best_gain) {
-          best_gain = gain;
-          best_edge = inc.edge;
+  {
+    ScopedPhase phase(phases, "arrivals");
+    for (TaskId t : order) {
+      while (state.TaskLoad(t) < market.task(t).capacity) {
+        double best_gain = 0.0;
+        EdgeId best_edge = kInvalidEdge;
+        for (const Incidence& inc : market.TaskEdges(t)) {
+          if (!state.CanAdd(inc.edge)) continue;
+          const double gain = state.MarginalGain(inc.edge);
+          ++evals;
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_edge = inc.edge;
+          }
         }
+        if (best_edge == kInvalidEdge) break;
+        state.Add(best_edge);
+        ++matches;
       }
-      if (best_edge == kInvalidEdge) break;
-      state.Add(best_edge);
     }
   }
 
   if (info != nullptr) {
     info->gain_evaluations = evals;
+    info->counters.Add("online/arrivals", order.size());
+    info->counters.Add("online/matches", matches);
     info->wall_ms = timer.ElapsedMs();
   }
   return state.ToAssignment();
@@ -153,10 +187,12 @@ Assignment TwoPhaseOnlineSolver::SolveWithOrder(
   MBTA_CHECK(options_.endgame_fraction >= options_.sample_fraction &&
              options_.endgame_fraction <= 1.0);
   WallTimer timer;
+  PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
+  ScopedPhase solve_phase(phases, "solve");
   const MutualBenefitObjective objective = problem.MakeObjective();
   const LaborMarket& market = objective.market();
   ObjectiveState state(&objective);
-  std::size_t evals = 0;
+  OnlineTally tally;
 
   const std::size_t n = order.size();
   const std::size_t sample_end = static_cast<std::size_t>(
@@ -168,25 +204,36 @@ Assignment TwoPhaseOnlineSolver::SolveWithOrder(
   // record the accepted marginal gains — they calibrate what a "normal"
   // match is worth in this market.
   std::vector<double> sampled_gains;
-  for (std::size_t i = 0; i < sample_end; ++i) {
-    FillWorker(state, order[i], 0.0, &evals, &sampled_gains);
+  double threshold = 0.0;
+  {
+    ScopedPhase phase(phases, "sample");
+    for (std::size_t i = 0; i < sample_end; ++i) {
+      FillWorker(state, order[i], 0.0, tally, &sampled_gains);
+    }
+    threshold = sampled_gains.empty()
+                    ? 0.0
+                    : Percentile(sampled_gains,
+                                 options_.threshold_percentile);
   }
-  const double threshold =
-      sampled_gains.empty()
-          ? 0.0
-          : Percentile(sampled_gains, options_.threshold_percentile);
 
   // Phase 2: be picky — only take matches clearing the calibrated
   // threshold, reserving contested task capacity for later high-value
   // arrivals. Endgame: accept any positive gain so capacity is not
   // stranded.
-  for (std::size_t i = sample_end; i < n; ++i) {
-    const double min_gain = i >= endgame_start ? 0.0 : threshold;
-    FillWorker(state, order[i], min_gain, &evals);
+  {
+    ScopedPhase phase(phases, "thresholded_arrivals");
+    for (std::size_t i = sample_end; i < n; ++i) {
+      const double min_gain = i >= endgame_start ? 0.0 : threshold;
+      FillWorker(state, order[i], min_gain, tally);
+    }
   }
 
   if (info != nullptr) {
-    info->gain_evaluations = evals;
+    info->gain_evaluations = tally.evals;
+    info->counters.Add("online/arrivals", n);
+    info->counters.Add("online/matches", tally.matches);
+    info->counters.Add("online/deferred", tally.deferred);
+    info->counters.SetGauge("online/calibrated_threshold", threshold);
     info->wall_ms = timer.ElapsedMs();
   }
   return state.ToAssignment();

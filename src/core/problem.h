@@ -1,7 +1,11 @@
 #ifndef MBTA_CORE_PROBLEM_H_
 #define MBTA_CORE_PROBLEM_H_
 
+#include <cstddef>
+
 #include "market/objective.h"
+#include "obs/counters.h"
+#include "obs/phase_timer.h"
 
 namespace mbta {
 
@@ -17,14 +21,44 @@ struct MbtaProblem {
   }
 };
 
-/// Solver-side accounting, filled in by Solve() when requested.
-struct SolveInfo {
+/// Solver-side accounting, filled in by Solve() when requested. Passing
+/// nullptr disables instrumentation entirely — solvers then skip every
+/// counter publish and phase-timer clock read, so the disabled path costs
+/// nothing. Instrumentation never changes a solver's output: with or
+/// without a SolveStats attached, the returned assignment is
+/// byte-identical (enforced by tests/differential_test.cc).
+struct SolveStats {
   /// Wall-clock time of the solve, milliseconds.
   double wall_ms = 0.0;
-  /// Number of marginal-gain evaluations performed (the dominant cost of
-  /// greedy-family solvers; reported by the lazy-greedy ablation).
+
+  /// The solver's *dominant work counter* — the unit a complexity claim
+  /// about it should be stated in, mirroring how the submodular-
+  /// maximization literature counts oracle calls rather than seconds:
+  ///  * greedy family / local search / online / budgeted: marginal-gain
+  ///    evaluations (ObjectiveState::MarginalGain calls);
+  ///  * exact-flow and matching baselines: augmenting paths shipped by
+  ///    the min-cost-flow core;
+  ///  * sort-and-scan baselines (worker-/requester-centric, random):
+  ///    candidate edges scanned;
+  ///  * stable matching: proposals made;
+  ///  * brute force: search-tree nodes visited.
+  /// Per-solver breakdowns beyond the headline number live in `counters`.
   std::size_t gain_evaluations = 0;
+
+  /// Named work counters and gauges (stable keys, see CONTRIBUTING.md
+  /// "Observability"). Every standard solver publishes at least one
+  /// solver-specific counter here.
+  CounterRegistry counters;
+
+  /// Nested wall-clock phase breakdown (e.g. "solve/build_heap",
+  /// "flow/augment"). Every standard solver records at least one phase.
+  PhaseTimings phases;
 };
+
+/// Historic name of SolveStats, kept as an alias so pre-instrumentation
+/// call sites (`SolveInfo info; solver.Solve(p, &info);`) compile
+/// unchanged.
+using SolveInfo = SolveStats;
 
 }  // namespace mbta
 

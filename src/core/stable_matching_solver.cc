@@ -4,6 +4,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/phase_timer.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -27,19 +28,24 @@ Assignment StableMatchingSolver::Solve(const MbtaProblem& problem,
                                        SolveInfo* info) const {
   MBTA_CHECK(problem.market != nullptr);
   WallTimer timer;
+  PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
+  ScopedPhase solve_phase(phases, "solve");
   const LaborMarket& market = *problem.market;
 
   // Each worker's proposal list: its edges sorted by worker benefit,
   // best first; `next_proposal[w]` tracks progress down the list.
   std::vector<std::vector<EdgeId>> preference(market.NumWorkers());
-  for (WorkerId w = 0; w < market.NumWorkers(); ++w) {
-    for (const Incidence& inc : market.WorkerEdges(w)) {
-      preference[w].push_back(inc.edge);
+  {
+    ScopedPhase phase(phases, "build_preferences");
+    for (WorkerId w = 0; w < market.NumWorkers(); ++w) {
+      for (const Incidence& inc : market.WorkerEdges(w)) {
+        preference[w].push_back(inc.edge);
+      }
+      std::sort(preference[w].begin(), preference[w].end(),
+                [&](EdgeId a, EdgeId b) {
+                  return market.WorkerBenefit(a) > market.WorkerBenefit(b);
+                });
     }
-    std::sort(preference[w].begin(), preference[w].end(),
-              [&](EdgeId a, EdgeId b) {
-                return market.WorkerBenefit(a) > market.WorkerBenefit(b);
-              });
   }
   std::vector<std::size_t> next_proposal(market.NumWorkers(), 0);
   std::vector<int> worker_held(market.NumWorkers(), 0);
@@ -56,41 +62,56 @@ Assignment StableMatchingSolver::Solve(const MbtaProblem& problem,
     }
   }
 
-  while (!active.empty()) {
-    const WorkerId w = active.front();
-    active.pop();
-    while (worker_held[w] < market.worker(w).capacity &&
-           next_proposal[w] < preference[w].size()) {
-      const EdgeId e = preference[w][next_proposal[w]++];
-      const TaskId t = market.EdgeTask(e);
-      const int cap = market.task(t).capacity;
-      if (cap == 0) continue;
-      if (static_cast<int>(held[t].size()) < cap) {
-        held[t].push({market.Quality(e), e});
-        ++worker_held[w];
-      } else if (held[t].top().quality < market.Quality(e)) {
-        const EdgeId evicted = held[t].top().edge;
-        held[t].pop();
-        held[t].push({market.Quality(e), e});
-        ++worker_held[w];
-        const WorkerId loser = market.EdgeWorker(evicted);
-        --worker_held[loser];
-        active.push(loser);  // the evicted worker resumes proposing
+  std::size_t proposals = 0;
+  std::size_t evictions = 0;
+  {
+    ScopedPhase phase(phases, "propose");
+    while (!active.empty()) {
+      const WorkerId w = active.front();
+      active.pop();
+      while (worker_held[w] < market.worker(w).capacity &&
+             next_proposal[w] < preference[w].size()) {
+        const EdgeId e = preference[w][next_proposal[w]++];
+        ++proposals;
+        const TaskId t = market.EdgeTask(e);
+        const int cap = market.task(t).capacity;
+        if (cap == 0) continue;
+        if (static_cast<int>(held[t].size()) < cap) {
+          held[t].push({market.Quality(e), e});
+          ++worker_held[w];
+        } else if (held[t].top().quality < market.Quality(e)) {
+          const EdgeId evicted = held[t].top().edge;
+          held[t].pop();
+          held[t].push({market.Quality(e), e});
+          ++worker_held[w];
+          ++evictions;
+          const WorkerId loser = market.EdgeWorker(evicted);
+          --worker_held[loser];
+          active.push(loser);  // the evicted worker resumes proposing
+        }
+        // else: rejected outright; try the next task on the list.
       }
-      // else: rejected outright; try the next task on the list.
     }
   }
 
   Assignment result;
-  for (TaskId t = 0; t < market.NumTasks(); ++t) {
-    auto& heap = held[t];
-    while (!heap.empty()) {
-      result.edges.push_back(heap.top().edge);
-      heap.pop();
+  {
+    ScopedPhase phase(phases, "extract");
+    for (TaskId t = 0; t < market.NumTasks(); ++t) {
+      auto& heap = held[t];
+      while (!heap.empty()) {
+        result.edges.push_back(heap.top().edge);
+        heap.pop();
+      }
     }
+    std::sort(result.edges.begin(), result.edges.end());
   }
-  std::sort(result.edges.begin(), result.edges.end());
-  if (info != nullptr) info->wall_ms = timer.ElapsedMs();
+  if (info != nullptr) {
+    info->gain_evaluations = proposals;
+    info->counters.Add("stable/proposals", proposals);
+    info->counters.Add("stable/evictions", evictions);
+    info->wall_ms = timer.ElapsedMs();
+  }
   return result;
 }
 

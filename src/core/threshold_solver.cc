@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/phase_timer.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -13,17 +14,28 @@ Assignment ThresholdSolver::Solve(const MbtaProblem& problem,
   MBTA_CHECK(problem.market != nullptr);
   MBTA_CHECK(epsilon_ > 0.0 && epsilon_ < 1.0);
   WallTimer timer;
+  PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
+  ScopedPhase solve_phase(phases, "solve");
   const MutualBenefitObjective objective = problem.MakeObjective();
   const LaborMarket& market = objective.market();
   ObjectiveState state(&objective);
   std::size_t evals = 0;
+  std::size_t rounds = 0;
+  std::size_t commits = 0;
 
   double max_weight = 0.0;
-  for (EdgeId e = 0; e < market.NumEdges(); ++e) {
-    max_weight = std::max(max_weight, objective.EdgeWeight(e));
+  {
+    ScopedPhase phase(phases, "max_weight");
+    for (EdgeId e = 0; e < market.NumEdges(); ++e) {
+      max_weight = std::max(max_weight, objective.EdgeWeight(e));
+    }
   }
   if (max_weight <= 0.0) {
-    if (info != nullptr) info->wall_ms = timer.ElapsedMs();
+    if (info != nullptr) {
+      info->counters.Add("threshold/rounds", 0);
+      info->counters.Add("threshold/edge_scans", 0);
+      info->wall_ms = timer.ElapsedMs();
+    }
     return Assignment{};
   }
 
@@ -31,28 +43,36 @@ Assignment ThresholdSolver::Solve(const MbtaProblem& problem,
   std::vector<EdgeId> alive(market.NumEdges());
   for (EdgeId e = 0; e < market.NumEdges(); ++e) alive[e] = e;
 
-  const double floor =
-      epsilon_ * max_weight / static_cast<double>(market.NumEdges() + 1);
-  for (double tau = max_weight; tau > floor && !alive.empty();
-       tau *= 1.0 - epsilon_) {
-    std::vector<EdgeId> next_alive;
-    next_alive.reserve(alive.size());
-    for (EdgeId e : alive) {
-      if (!state.CanAdd(e)) continue;  // saturated endpoint: edge is dead
-      const double gain = state.MarginalGain(e);
-      ++evals;
-      if (gain >= tau) {
-        state.Add(e);
-      } else if (gain > 0.0) {
-        next_alive.push_back(e);
+  {
+    ScopedPhase phase(phases, "sweep");
+    const double floor =
+        epsilon_ * max_weight / static_cast<double>(market.NumEdges() + 1);
+    for (double tau = max_weight; tau > floor && !alive.empty();
+         tau *= 1.0 - epsilon_) {
+      ++rounds;
+      std::vector<EdgeId> next_alive;
+      next_alive.reserve(alive.size());
+      for (EdgeId e : alive) {
+        if (!state.CanAdd(e)) continue;  // saturated endpoint: edge is dead
+        const double gain = state.MarginalGain(e);
+        ++evals;
+        if (gain >= tau) {
+          state.Add(e);
+          ++commits;
+        } else if (gain > 0.0) {
+          next_alive.push_back(e);
+        }
+        // gain <= 0: drop for good (submodularity: it never recovers).
       }
-      // gain <= 0: drop for good (submodularity: it will never recover).
+      alive.swap(next_alive);
     }
-    alive.swap(next_alive);
   }
 
   if (info != nullptr) {
     info->gain_evaluations = evals;
+    info->counters.Add("threshold/rounds", rounds);
+    info->counters.Add("threshold/edge_scans", evals);
+    info->counters.Add("threshold/commits", commits);
     info->wall_ms = timer.ElapsedMs();
   }
   return state.ToAssignment();

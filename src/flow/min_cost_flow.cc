@@ -70,6 +70,7 @@ void MinCostFlow::InitPotentials(std::size_t source) {
 }
 
 bool MinCostFlow::ShortestPath(std::size_t source, std::size_t sink) {
+  ++stats_.dijkstra_runs;
   dist_.assign(head_.size(), kInf);
   prev_arc_.assign(head_.size(), static_cast<std::size_t>(-1));
   using Item = std::pair<std::int64_t, std::size_t>;
@@ -80,6 +81,7 @@ bool MinCostFlow::ShortestPath(std::size_t source, std::size_t sink) {
     const auto [d, v] = pq.top();
     pq.pop();
     if (d > dist_[v]) continue;
+    stats_.arcs_scanned += head_[v].size();
     for (std::size_t idx : head_[v]) {
       const Arc& a = arcs_[idx];
       if (a.capacity <= 0) continue;
@@ -131,6 +133,7 @@ MinCostFlow::Result MinCostFlow::Run(std::size_t source, std::size_t sink,
     }
     result.flow += push;
     result.cost += push * path_cost;
+    ++stats_.augmenting_paths;
   }
   return result;
 }

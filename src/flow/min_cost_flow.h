@@ -26,6 +26,17 @@ class MinCostFlow {
     std::int64_t cost = 0;
   };
 
+  /// Work counters accumulated by a solve call, for observability: the
+  /// number of augmenting paths shipped (the flow solver's dominant unit
+  /// of work — one path per assignment made), Dijkstra runs (paths found
+  /// plus the final failed search), and residual arcs scanned across all
+  /// shortest-path computations (the relabel/scan total).
+  struct Stats {
+    std::uint64_t augmenting_paths = 0;
+    std::uint64_t dijkstra_runs = 0;
+    std::uint64_t arcs_scanned = 0;
+  };
+
   explicit MinCostFlow(std::size_t num_nodes);
 
   std::size_t AddNode();
@@ -44,6 +55,9 @@ class MinCostFlow {
 
   /// Flow routed on an arc after a solve call.
   std::int64_t Flow(ArcId arc) const;
+
+  /// Work counters of the last solve call (zeros before any solve).
+  const Stats& stats() const { return stats_; }
 
   std::size_t num_nodes() const { return head_.size(); }
 
@@ -72,6 +86,7 @@ class MinCostFlow {
   std::vector<std::size_t> prev_arc_;
   bool has_negative_costs_ = false;
   bool solved_ = false;
+  Stats stats_;
 };
 
 }  // namespace mbta

@@ -1,0 +1,274 @@
+#include "obs/json_value.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace mbta {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWhitespace();
+    if (!ParseValue(out, /*depth=*/0)) return false;
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool Fail(const char* what) {
+    if (error_ != nullptr) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "JSON parse error at offset %zu: %s",
+                    pos_, what);
+      *error_ = buf;
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->string_value);
+      case 't':
+        if (!Literal("true")) return Fail("bad literal");
+        out->type = JsonValue::Type::kBool;
+        out->bool_value = true;
+        return true;
+      case 'f':
+        if (!Literal("false")) return Fail("bad literal");
+        out->type = JsonValue::Type::kBool;
+        out->bool_value = false;
+        return true;
+      case 'n':
+        if (!Literal("null")) return Fail("bad literal");
+        out->type = JsonValue::Type::kNull;
+        return true;
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    out->type = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':'");
+      }
+      ++pos_;
+      SkipWhitespace();
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->object_items.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    out->type = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWhitespace();
+      JsonValue item;
+      if (!ParseValue(&item, depth + 1)) return false;
+      out->array_items.push_back(std::move(item));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case '/':
+            *out += '/';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Fail("bad \\u escape");
+              }
+            }
+            pos_ += 4;
+            // UTF-8 encode a BMP code point (surrogate halves pass
+            // through individually; the writer never emits them).
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xC0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      *out += c;
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    double value = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || ptr != last) {
+      pos_ = start;
+      return Fail("malformed number");
+    }
+    out->type = JsonValue::Type::kNumber;
+    out->number_value = value;
+    return true;
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::Parse(std::string_view text, JsonValue* out,
+                      std::string* error) {
+  *out = JsonValue();
+  return Parser(text, error).Parse(out);
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_items) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace mbta

@@ -1,0 +1,55 @@
+#ifndef MBTA_OBS_JSON_VALUE_H_
+#define MBTA_OBS_JSON_VALUE_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mbta {
+
+/// Parsed JSON document node: the read half of the obs JSON layer, used
+/// by `tools/bench_compare` to diff bench records and by the round-trip
+/// tests of JsonWriter. Objects preserve insertion order (bench records
+/// are written with deterministic key order, so order-preserving reads
+/// keep diffs stable).
+///
+/// This is deliberately a minimal parser for the records this repository
+/// writes: full JSON syntax, UTF-8 passthrough, \uXXXX escapes decoded
+/// for the BMP (surrogate pairs are not combined). Parsing is the *only*
+/// external-input path, so it returns errors instead of tripping checks.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array_items;
+  std::vector<std::pair<std::string, JsonValue>> object_items;
+
+  /// Parses `text` into `*out`. On failure returns false and, when
+  /// `error` is non-null, describes the first problem with its offset.
+  static bool Parse(std::string_view text, JsonValue* out,
+                    std::string* error = nullptr);
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Convenience accessors with fallbacks for absent/mistyped members.
+  double NumberOr(double fallback) const {
+    return is_number() ? number_value : fallback;
+  }
+  std::string_view StringOr(std::string_view fallback) const {
+    return is_string() ? std::string_view(string_value) : fallback;
+  }
+};
+
+}  // namespace mbta
+
+#endif  // MBTA_OBS_JSON_VALUE_H_

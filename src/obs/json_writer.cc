@@ -1,0 +1,174 @@
+#include "obs/json_writer.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace mbta {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Raw(std::string_view text) { out_.append(text); }
+
+void JsonWriter::Indent() {
+  out_ += '\n';
+  out_.append(2 * scopes_.size(), ' ');
+}
+
+void JsonWriter::BeginValue() {
+  if (value_expected_) {
+    // Value completes a "key": pair; separator already written by Key().
+    value_expected_ = false;
+    return;
+  }
+  if (scopes_.empty()) {
+    MBTA_CHECK_MSG(out_.empty(), "only one top-level JSON value allowed");
+    return;
+  }
+  MBTA_CHECK_MSG(scopes_.back() == Scope::kArray,
+                 "object members must be introduced with Key()");
+  if (!container_empty_) Raw(",");
+  Indent();
+  container_empty_ = false;
+}
+
+void JsonWriter::BeginObject() {
+  BeginValue();
+  scopes_.push_back(Scope::kObject);
+  Raw("{");
+  container_empty_ = true;
+}
+
+void JsonWriter::EndObject() {
+  MBTA_CHECK(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  MBTA_CHECK_MSG(!value_expected_, "dangling Key() without a value");
+  const bool empty = container_empty_;
+  scopes_.pop_back();
+  if (!empty) Indent();
+  Raw("}");
+  container_empty_ = false;
+}
+
+void JsonWriter::BeginArray() {
+  BeginValue();
+  scopes_.push_back(Scope::kArray);
+  Raw("[");
+  container_empty_ = true;
+}
+
+void JsonWriter::EndArray() {
+  MBTA_CHECK(!scopes_.empty() && scopes_.back() == Scope::kArray);
+  const bool empty = container_empty_;
+  scopes_.pop_back();
+  if (!empty) Indent();
+  Raw("]");
+  container_empty_ = false;
+}
+
+void JsonWriter::Key(std::string_view key) {
+  MBTA_CHECK(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  MBTA_CHECK_MSG(!value_expected_, "two Key() calls in a row");
+  if (!container_empty_) Raw(",");
+  Indent();
+  container_empty_ = false;
+  Raw("\"");
+  Raw(JsonEscape(key));
+  Raw("\": ");
+  value_expected_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeginValue();
+  Raw("\"");
+  Raw(JsonEscape(value));
+  Raw("\"");
+}
+
+void JsonWriter::Number(double value) {
+  BeginValue();
+  if (!std::isfinite(value)) {
+    Raw("null");
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  MBTA_CHECK(ec == std::errc());
+  Raw(std::string_view(buf, static_cast<std::size_t>(ptr - buf)));
+}
+
+void JsonWriter::Number(std::int64_t value) {
+  BeginValue();
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  MBTA_CHECK(ec == std::errc());
+  Raw(std::string_view(buf, static_cast<std::size_t>(ptr - buf)));
+}
+
+void JsonWriter::Number(std::uint64_t value) {
+  BeginValue();
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  MBTA_CHECK(ec == std::errc());
+  Raw(std::string_view(buf, static_cast<std::size_t>(ptr - buf)));
+}
+
+void JsonWriter::Bool(bool value) {
+  BeginValue();
+  Raw(value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  BeginValue();
+  Raw("null");
+}
+
+const std::string& JsonWriter::str() const {
+  MBTA_CHECK_MSG(scopes_.empty(), "unclosed JSON container");
+  return out_;
+}
+
+std::string JsonWriter::TakeString() {
+  MBTA_CHECK_MSG(scopes_.empty(), "unclosed JSON container");
+  return std::move(out_);
+}
+
+}  // namespace mbta

@@ -1,0 +1,70 @@
+#ifndef MBTA_OBS_JSON_WRITER_H_
+#define MBTA_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mbta {
+
+/// Escapes `s` for use inside a JSON string literal (quotes, backslash,
+/// control characters as \u00XX). Returns the escaped body, without the
+/// surrounding quotes.
+std::string JsonEscape(std::string_view s);
+
+/// Streaming JSON writer with no third-party dependencies. Produces
+/// pretty-printed, deterministic output (two-space indent, keys in the
+/// order they are emitted) so bench records diff cleanly in git.
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("solver"); w.String("greedy");
+///   w.Key("wall_ms"); w.Number(1.25);
+///   w.EndObject();
+///   std::string text = w.TakeString();
+///
+/// The writer checks structural validity (a value must follow every Key,
+/// arrays hold values only) with MBTA_CHECK — misuse is a programmer
+/// error, not an input error.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits an object key; the next call must produce its value.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  /// Doubles render via shortest round-trip (std::to_chars); NaN and
+  /// infinities are not valid JSON and render as null.
+  void Number(double value);
+  void Number(std::int64_t value);
+  void Number(std::uint64_t value);
+  void Number(int value) { Number(static_cast<std::int64_t>(value)); }
+  void Bool(bool value);
+  void Null();
+
+  /// The finished document. Valid once every container has been closed.
+  const std::string& str() const;
+  std::string TakeString();
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+  void BeginValue();  // comma/newline/indent bookkeeping before a value
+  void Indent();
+  void Raw(std::string_view text);
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  bool value_expected_ = false;  // a Key was just written
+  bool container_empty_ = true;  // current container has no members yet
+};
+
+}  // namespace mbta
+
+#endif  // MBTA_OBS_JSON_WRITER_H_

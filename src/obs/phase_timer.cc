@@ -1,0 +1,54 @@
+#include "obs/phase_timer.h"
+
+namespace mbta {
+
+void PhaseTimings::Record(std::string_view path, double ms) {
+  auto it = entries_.find(path);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(path), Entry{}).first;
+  }
+  it->second.total_ms += ms;
+  ++it->second.calls;
+}
+
+double PhaseTimings::TotalMs(std::string_view path) const {
+  const auto it = entries_.find(path);
+  return it == entries_.end() ? 0.0 : it->second.total_ms;
+}
+
+void PhaseTimings::Clear() {
+  entries_.clear();
+  stack_.clear();
+}
+
+void PhaseTimings::Merge(const PhaseTimings& other) {
+  for (const auto& [path, entry] : other.entries_) {
+    auto it = entries_.find(path);
+    if (it == entries_.end()) {
+      entries_.emplace(path, entry);
+    } else {
+      it->second.total_ms += entry.total_ms;
+      it->second.calls += entry.calls;
+    }
+  }
+}
+
+ScopedPhase::ScopedPhase(PhaseTimings* timings, std::string_view label)
+    : timings_(timings) {
+  if (timings_ == nullptr) return;
+  parent_len_ = timings_->stack_.size();
+  if (!timings_->stack_.empty()) timings_->stack_ += '/';
+  timings_->stack_ += label;
+  start_ = Clock::now();
+}
+
+ScopedPhase::~ScopedPhase() {
+  if (timings_ == nullptr) return;
+  const double ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start_)
+          .count();
+  timings_->Record(timings_->stack_, ms);
+  timings_->stack_.resize(parent_len_);
+}
+
+}  // namespace mbta

@@ -1,0 +1,71 @@
+#ifndef MBTA_OBS_PHASE_TIMER_H_
+#define MBTA_OBS_PHASE_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace mbta {
+
+/// Accumulated wall-clock per named phase. Phases nest: entering "solve"
+/// and then "build_heap" records under the path "solve/build_heap", so a
+/// flat key-ordered dump reconstructs the phase tree. Re-entering a path
+/// accumulates (total ms + call count), which is what loops want.
+class PhaseTimings {
+ public:
+  struct Entry {
+    double total_ms = 0.0;
+    std::uint64_t calls = 0;
+  };
+
+  /// Adds one timed call to `path` (a full nested path, "a/b/c").
+  void Record(std::string_view path, double ms);
+
+  /// Total milliseconds recorded under `path`; 0 if never entered.
+  double TotalMs(std::string_view path) const;
+
+  bool empty() const { return entries_.empty(); }
+  void Clear();
+
+  const std::map<std::string, Entry, std::less<>>& entries() const {
+    return entries_;
+  }
+
+  /// Accumulates every entry of `other` into this object.
+  void Merge(const PhaseTimings& other);
+
+ private:
+  friend class ScopedPhase;
+  std::map<std::string, Entry, std::less<>> entries_;
+  /// Path of the currently open ScopedPhase chain ("" at top level). Only
+  /// non-empty while phases are open, so copies of a quiescent object are
+  /// cheap and self-contained.
+  std::string stack_;
+};
+
+/// RAII phase timer. Construct with the PhaseTimings to record into (or
+/// nullptr to disable — then the constructor and destructor do nothing,
+/// not even a clock read) and a label; nesting scopes builds the path.
+///
+///   ScopedPhase solve(timings, "solve");
+///   { ScopedPhase p(timings, "build_heap"); ... }  // "solve/build_heap"
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimings* timings, std::string_view label);
+  ~ScopedPhase();
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  PhaseTimings* timings_;
+  std::size_t parent_len_ = 0;  // stack_ length to restore on exit
+  Clock::time_point start_;
+};
+
+}  // namespace mbta
+
+#endif  // MBTA_OBS_PHASE_TIMER_H_

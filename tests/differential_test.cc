@@ -103,7 +103,9 @@ Regime MakeRegime(int i) {
 }
 
 /// Validates `a` (with reported objective) and checks determinism by
-/// re-solving. Returns the objective value for cross-solver comparisons.
+/// re-solving — once bare and once with a SolveStats sink attached, so
+/// the suite also proves instrumentation never perturbs the result.
+/// Returns the objective value for cross-solver comparisons.
 double CheckSolver(const Solver& solver, const MbtaProblem& problem,
                    const BudgetConstraint* budget = nullptr) {
   SCOPED_TRACE("solver=" + solver.name());
@@ -117,6 +119,11 @@ double CheckSolver(const Solver& solver, const MbtaProblem& problem,
 
   const Assignment again = solver.Solve(problem);
   EXPECT_EQ(a.edges, again.edges) << "non-deterministic resolve";
+
+  SolveStats stats;
+  const Assignment instrumented = solver.Solve(problem, &stats);
+  EXPECT_EQ(a.edges, instrumented.edges)
+      << "instrumentation perturbed the assignment";
   return r.recomputed_value;
 }
 

@@ -1,0 +1,235 @@
+/// Unit tests for the dependency-free JSON layer: JsonEscape, the
+/// streaming JsonWriter, and round-trips through JsonValue::Parse —
+/// including a bench-record-shaped document like the ones JsonLog
+/// emits (see bench/bench_util.h and CONTRIBUTING.md, "Observability").
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "obs/json_value.h"
+#include "obs/json_writer.h"
+
+namespace mbta {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("greedy/heap_pushes"), "greedy/heap_pushes");
+  EXPECT_EQ(JsonEscape(""), "");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("C:\\bench"), "C:\\\\bench");
+}
+
+TEST(JsonEscapeTest, EscapesControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape("a\tb"), "a\\tb");
+  // Control characters without a short escape use \u00XX.
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(JsonEscapeTest, LeavesUtf8Alone) {
+  // Multi-byte UTF-8 passes through untouched (bytes >= 0x80).
+  EXPECT_EQ(JsonEscape("α=0.5"), "α=0.5");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  {
+    JsonWriter w;
+    w.BeginObject();
+    w.EndObject();
+    EXPECT_EQ(w.str(), "{}");
+  }
+  {
+    JsonWriter w;
+    w.BeginArray();
+    w.EndArray();
+    EXPECT_EQ(w.str(), "[]");
+  }
+}
+
+TEST(JsonWriterTest, ScalarFormatting) {
+  JsonWriter w;
+  w.BeginArray();
+  w.String("x");
+  w.Number(3);
+  w.Number(std::int64_t{-7});
+  w.Number(std::uint64_t{18446744073709551615ull});
+  w.Number(1.25);
+  w.Bool(true);
+  w.Bool(false);
+  w.Null();
+  w.EndArray();
+  EXPECT_EQ(w.str(),
+            "[\n  \"x\",\n  3,\n  -7,\n  18446744073709551615,\n  1.25,\n"
+            "  true,\n  false,\n  null\n]");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesRenderAsNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Number(std::numeric_limits<double>::quiet_NaN());
+  w.Number(std::numeric_limits<double>::infinity());
+  w.Number(-std::numeric_limits<double>::infinity());
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[\n  null,\n  null,\n  null\n]");
+}
+
+TEST(JsonWriterTest, NestedObjectsIndentTwoSpaces) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("outer");
+  w.BeginObject();
+  w.Key("inner");
+  w.Number(1);
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\n  \"outer\": {\n    \"inner\": 1\n  }\n}");
+}
+
+TEST(JsonWriterTest, KeysAreEscaped) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a\"b");
+  w.Null();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\n  \"a\\\"b\": null\n}");
+}
+
+// Round-trips: whatever the writer emits, the parser must read back.
+
+TEST(JsonRoundTripTest, EscapedStringsSurvive) {
+  const std::string original = "line1\nline2\t\"quoted\" \\ \x01 α";
+  JsonWriter w;
+  w.BeginObject();
+  w.Key(original);
+  w.String(original);
+  w.EndObject();
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(w.str(), &doc, &error)) << error;
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_EQ(doc.object_items.size(), 1u);
+  EXPECT_EQ(doc.object_items[0].first, original);
+  EXPECT_EQ(doc.object_items[0].second.StringOr(""), original);
+}
+
+TEST(JsonRoundTripTest, DoublesSurviveExactly) {
+  // to_chars shortest form must parse back to the identical double.
+  const double values[] = {0.0,  -0.0,    1.0 / 3.0, 1e-300,
+                           1e300, 0.1, 123456789.123456789};
+  JsonWriter w;
+  w.BeginArray();
+  for (double v : values) w.Number(v);
+  w.EndArray();
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonValue::Parse(w.str(), &doc));
+  ASSERT_TRUE(doc.is_array());
+  ASSERT_EQ(doc.array_items.size(), std::size(values));
+  for (std::size_t i = 0; i < std::size(values); ++i) {
+    EXPECT_EQ(doc.array_items[i].number_value, values[i]) << "index " << i;
+  }
+}
+
+TEST(JsonRoundTripTest, BenchRecordShapedDocument) {
+  // The shape JsonLog writes: schema_version + host + rows, where each
+  // row holds params (strings), metrics (numbers), counters (uint64),
+  // and phases (path -> {ms, calls}).
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Number(1);
+  w.Key("experiment");
+  w.String("smoke");
+  w.Key("rows");
+  w.BeginArray();
+  w.BeginObject();
+  w.Key("params");
+  w.BeginObject();
+  w.Key("workload");
+  w.String("mturk-300");
+  w.EndObject();
+  w.Key("solver");
+  w.String("greedy");
+  w.Key("metrics");
+  w.BeginObject();
+  w.Key("mutual_benefit");
+  w.Number(171.25);
+  w.Key("wall_ms");
+  w.Number(2.5);
+  w.EndObject();
+  w.Key("counters");
+  w.BeginObject();
+  w.Key("greedy/heap_pushes");
+  w.Number(std::uint64_t{1234});
+  w.EndObject();
+  w.Key("phases");
+  w.BeginObject();
+  w.Key("solve/lazy_loop");
+  w.BeginObject();
+  w.Key("ms");
+  w.Number(1.75);
+  w.Key("calls");
+  w.Number(std::uint64_t{1});
+  w.EndObject();
+  w.EndObject();
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(w.str(), &doc, &error)) << error;
+  EXPECT_EQ(doc.Find("schema_version")->NumberOr(0), 1.0);
+  EXPECT_EQ(doc.Find("experiment")->StringOr(""), "smoke");
+
+  const JsonValue* rows = doc.Find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_TRUE(rows->is_array());
+  ASSERT_EQ(rows->array_items.size(), 1u);
+
+  const JsonValue& row = rows->array_items[0];
+  EXPECT_EQ(row.Find("params")->Find("workload")->StringOr(""), "mturk-300");
+  EXPECT_EQ(row.Find("solver")->StringOr(""), "greedy");
+  EXPECT_EQ(row.Find("metrics")->Find("mutual_benefit")->NumberOr(0), 171.25);
+  EXPECT_EQ(row.Find("counters")->Find("greedy/heap_pushes")->NumberOr(0),
+            1234.0);
+  const JsonValue* phase = row.Find("phases")->Find("solve/lazy_loop");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->Find("ms")->NumberOr(0), 1.75);
+  EXPECT_EQ(phase->Find("calls")->NumberOr(0), 1.0);
+
+  // Object key order is preserved by the parser (deterministic diffs).
+  ASSERT_EQ(doc.object_items.size(), 3u);
+  EXPECT_EQ(doc.object_items[0].first, "schema_version");
+  EXPECT_EQ(doc.object_items[1].first, "experiment");
+  EXPECT_EQ(doc.object_items[2].first, "rows");
+}
+
+TEST(JsonValueParseTest, RejectsMalformedInput) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse("{\"a\": }", &doc, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(JsonValue::Parse("[1, 2", &doc));
+  EXPECT_FALSE(JsonValue::Parse("", &doc));
+  EXPECT_FALSE(JsonValue::Parse("{} trailing", &doc));
+}
+
+TEST(JsonValueParseTest, DecodesBmpUnicodeEscapes) {
+  JsonValue doc;
+  ASSERT_TRUE(JsonValue::Parse("\"\\u0041\\u00e9\"", &doc));
+  EXPECT_EQ(doc.StringOr(""), "Aé");
+}
+
+}  // namespace
+}  // namespace mbta

@@ -1,0 +1,135 @@
+/// Unit tests for the observability primitives: the counter/gauge
+/// registry and the nesting scoped phase timer.
+
+#include <gtest/gtest.h>
+
+#include "obs/counters.h"
+#include "obs/phase_timer.h"
+
+namespace mbta {
+namespace {
+
+TEST(CounterRegistryTest, StartsEmpty) {
+  CounterRegistry registry;
+  EXPECT_TRUE(registry.empty());
+  EXPECT_EQ(registry.Value("never/touched"), 0u);
+  EXPECT_EQ(registry.Gauge("never/touched"), 0.0);
+  EXPECT_FALSE(registry.Has("never/touched"));
+}
+
+TEST(CounterRegistryTest, AddAccumulates) {
+  CounterRegistry registry;
+  registry.Add("greedy/heap_pushes");
+  registry.Add("greedy/heap_pushes", 41);
+  EXPECT_EQ(registry.Value("greedy/heap_pushes"), 42u);
+  EXPECT_TRUE(registry.Has("greedy/heap_pushes"));
+  EXPECT_FALSE(registry.empty());
+}
+
+TEST(CounterRegistryTest, SetOverwrites) {
+  CounterRegistry registry;
+  registry.Add("flow/augmenting_paths", 10);
+  registry.Set("flow/augmenting_paths", 3);
+  EXPECT_EQ(registry.Value("flow/augmenting_paths"), 3u);
+}
+
+TEST(CounterRegistryTest, GaugesAreSeparateFromCounters) {
+  CounterRegistry registry;
+  registry.SetGauge("online/calibrated_threshold", 0.75);
+  EXPECT_EQ(registry.Gauge("online/calibrated_threshold"), 0.75);
+  EXPECT_EQ(registry.Value("online/calibrated_threshold"), 0u);
+  registry.SetGauge("online/calibrated_threshold", 0.5);
+  EXPECT_EQ(registry.Gauge("online/calibrated_threshold"), 0.5);
+}
+
+TEST(CounterRegistryTest, IterationIsKeyOrdered) {
+  CounterRegistry registry;
+  registry.Add("z/last", 1);
+  registry.Add("a/first", 2);
+  registry.Add("m/middle", 3);
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : registry.counters()) keys.push_back(key);
+  EXPECT_EQ(keys, (std::vector<std::string>{"a/first", "m/middle", "z/last"}));
+}
+
+TEST(CounterRegistryTest, MergeSumsCountersAndOverwritesGauges) {
+  CounterRegistry a, b;
+  a.Add("shared", 10);
+  a.Add("only_a", 1);
+  a.SetGauge("gauge", 1.0);
+  b.Add("shared", 5);
+  b.Add("only_b", 2);
+  b.SetGauge("gauge", 2.0);
+  a.Merge(b);
+  EXPECT_EQ(a.Value("shared"), 15u);
+  EXPECT_EQ(a.Value("only_a"), 1u);
+  EXPECT_EQ(a.Value("only_b"), 2u);
+  EXPECT_EQ(a.Gauge("gauge"), 2.0);
+}
+
+TEST(CounterRegistryTest, ClearEmpties) {
+  CounterRegistry registry;
+  registry.Add("x", 1);
+  registry.SetGauge("y", 2.0);
+  registry.Clear();
+  EXPECT_TRUE(registry.empty());
+  EXPECT_EQ(registry.Value("x"), 0u);
+}
+
+TEST(PhaseTimingsTest, RecordAccumulatesTotalAndCalls) {
+  PhaseTimings timings;
+  timings.Record("solve", 1.5);
+  timings.Record("solve", 2.5);
+  EXPECT_DOUBLE_EQ(timings.TotalMs("solve"), 4.0);
+  EXPECT_EQ(timings.entries().at("solve").calls, 2u);
+  EXPECT_EQ(timings.TotalMs("never"), 0.0);
+}
+
+TEST(PhaseTimingsTest, ScopedPhaseNestsIntoSlashPaths) {
+  PhaseTimings timings;
+  {
+    ScopedPhase solve(&timings, "solve");
+    { ScopedPhase inner(&timings, "build_heap"); }
+    { ScopedPhase inner(&timings, "lazy_loop"); }
+    { ScopedPhase inner(&timings, "lazy_loop"); }
+  }
+  EXPECT_EQ(timings.entries().count("solve"), 1u);
+  EXPECT_EQ(timings.entries().count("solve/build_heap"), 1u);
+  EXPECT_EQ(timings.entries().count("solve/lazy_loop"), 1u);
+  EXPECT_EQ(timings.entries().at("solve/lazy_loop").calls, 2u);
+  // The outer phase's wall time covers its children.
+  EXPECT_GE(timings.TotalMs("solve"),
+            timings.TotalMs("solve/build_heap"));
+}
+
+TEST(PhaseTimingsTest, SiblingAfterNestedScopeGetsCleanPath) {
+  PhaseTimings timings;
+  {
+    ScopedPhase a(&timings, "a");
+    { ScopedPhase b(&timings, "b"); }
+  }
+  { ScopedPhase c(&timings, "c"); }
+  EXPECT_EQ(timings.entries().count("a/b"), 1u);
+  EXPECT_EQ(timings.entries().count("c"), 1u);
+  EXPECT_EQ(timings.entries().count("a/c"), 0u);
+}
+
+TEST(PhaseTimingsTest, NullTimingsIsANoOp) {
+  // Must not crash or record anywhere; this is the disabled fast path.
+  ScopedPhase phase(nullptr, "solve");
+  ScopedPhase nested(nullptr, "inner");
+}
+
+TEST(PhaseTimingsTest, MergeAccumulates) {
+  PhaseTimings a, b;
+  a.Record("solve", 1.0);
+  b.Record("solve", 2.0);
+  b.Record("extract", 0.5);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.TotalMs("solve"), 3.0);
+  EXPECT_EQ(a.entries().at("solve").calls, 2u);
+  EXPECT_DOUBLE_EQ(a.TotalMs("extract"), 0.5);
+}
+
+}  // namespace
+}  // namespace mbta

@@ -5,9 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
+#include "core/brute_force_solver.h"
 #include "core/budgeted_greedy_solver.h"
+#include "core/exact_flow_solver.h"
 #include "core/greedy_solver.h"
 #include "core/local_search_solver.h"
+#include "core/online_solvers.h"
+#include "core/solver.h"
 #include "core/threshold_solver.h"
 #include "gen/market_generator.h"
 
@@ -61,6 +68,60 @@ TEST(SolveInfoTest, LazyGreedyStrictlyCheaperThanPlain) {
         << "seed " << seed;
     EXPECT_GT(lazy.gain_evaluations, 0u);
   }
+}
+
+/// Asserts the instrumentation contract from core/problem.h: a solve
+/// with a SolveStats sink attached reports a positive dominant work
+/// counter, at least one solver-specific named counter, and at least one
+/// phase timing.
+void ExpectInstrumented(const Solver& solver, const MbtaProblem& problem) {
+  SCOPED_TRACE("solver=" + solver.name());
+  SolveInfo info;
+  solver.Solve(problem, &info);
+  EXPECT_GT(info.gain_evaluations, 0u) << "dominant work counter unset";
+  EXPECT_FALSE(info.counters.counters().empty()) << "no named counters";
+  EXPECT_FALSE(info.phases.entries().empty()) << "no phase timings";
+}
+
+TEST(SolveInfoTest, EveryStandardSolverPublishesCountersAndPhases) {
+  const LaborMarket m = GenerateMarket(MTurkLikeConfig(90, 11));
+  ASSERT_GT(m.NumEdges(), 0u);
+  const MbtaProblem sub = SubmodularProblem(m);
+
+  for (const auto& solver :
+       MakeStandardSolvers(/*seed=*/11, /*include_exact_flow=*/false)) {
+    ExpectInstrumented(*solver, sub);
+  }
+  ExpectInstrumented(GreedySolver(GreedySolver::Mode::kPlain), sub);
+  ExpectInstrumented(OnlineGreedySolver(11), sub);
+  ExpectInstrumented(TaskArrivalGreedySolver(11), sub);
+  ExpectInstrumented(TwoPhaseOnlineSolver(11), sub);
+  ExpectInstrumented(BudgetedGreedySolver(ProportionalBudgets(m, 0.5)), sub);
+
+  // Exact flow requires the modular objective; brute force a tiny market.
+  const MbtaProblem modular{&m,
+                            {.alpha = 0.5, .kind = ObjectiveKind::kModular}};
+  ExpectInstrumented(ExactFlowSolver(), modular);
+
+  const LaborMarket tiny = GenerateMarket(UniformConfig(4, 4, 11));
+  if (tiny.NumEdges() > 0 && tiny.NumEdges() <= 16) {
+    ExpectInstrumented(BruteForceSolver(), SubmodularProblem(tiny));
+  }
+}
+
+TEST(SolveInfoTest, FlowBackedSolversReportFlowCounters) {
+  // Satellite fix: the flow-backed paths used to leave gain_evaluations
+  // at zero. They now report augmenting paths plus the min-cost-flow
+  // core's own counters under the "flow/" prefix.
+  const LaborMarket m = GenerateMarket(UniformConfig(40, 40, 13));
+  ASSERT_GT(m.NumEdges(), 0u);
+  const MbtaProblem modular{&m,
+                            {.alpha = 0.5, .kind = ObjectiveKind::kModular}};
+  SolveInfo info;
+  ExactFlowSolver().Solve(modular, &info);
+  EXPECT_GT(info.gain_evaluations, 0u);
+  EXPECT_GT(info.counters.Value("flow/augmenting_paths"), 0u);
+  EXPECT_GT(info.counters.Value("flow/arcs_scanned"), 0u);
 }
 
 TEST(SolveInfoTest, WallTimeIsPopulated) {

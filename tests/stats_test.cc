@@ -69,6 +69,41 @@ TEST(PercentileTest, SingletonAnyP) {
   }
 }
 
+TEST(PercentileTest, ExactRankHasNoInterpolation) {
+  // Sorted: 10, 20, 30, 40, 50. p=25 -> rank 1.0 exactly -> 20.
+  const std::vector<double> xs = {50.0, 10.0, 40.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25), 20.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 75), 40.0);
+}
+
+TEST(PercentileTest, DuplicatesCollapseInterpolation) {
+  // Any percentile between two equal neighbours is that value.
+  const std::vector<double> xs = {2.0, 2.0, 2.0, 9.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 10), 2.0);
+}
+
+TEST(PercentileTest, TwoElementsInterpolateLinearly) {
+  EXPECT_DOUBLE_EQ(Percentile({0.0, 10.0}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({0.0, 10.0}, 37), 3.7);
+  EXPECT_DOUBLE_EQ(Percentile({0.0, 10.0}, 100), 10.0);
+}
+
+TEST(PercentileTest, HundredthPercentileDoesNotReadPastEnd) {
+  // p=100 makes rank land exactly on the last index; the hi neighbour
+  // must clamp instead of indexing one past the end.
+  std::vector<double> xs;
+  for (int i = 1; i <= 1000; ++i) xs.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 1000.0);
+  // rank = 0.999 * 999 = 998.001 -> 999 + 0.001.
+  EXPECT_NEAR(Percentile(xs, 99.9), 999.001, 1e-9);
+}
+
+TEST(PercentileTest, NegativeValuesSortCorrectly) {
+  EXPECT_DOUBLE_EQ(Percentile({3.0, -7.0, 0.0}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({3.0, -7.0, 0.0}, 0), -7.0);
+}
+
 TEST(JainFairnessTest, PerfectEqualityIsOne) {
   EXPECT_DOUBLE_EQ(JainFairnessIndex({3.0, 3.0, 3.0, 3.0}), 1.0);
 }

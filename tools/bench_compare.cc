@@ -1,0 +1,203 @@
+/// Diffs two structured bench records written by `--json` (see
+/// bench/bench_util.h for the schema) and reports per-row wall-clock
+/// ratios and counter drift. Exit status is the perf-regression gate:
+///
+///   0  every matched row is within the threshold
+///   1  a regression: wall time beyond threshold, counter drift, or rows
+///      present in the baseline but missing from the candidate
+///   2  usage / file / parse error
+///
+/// Usage:
+///   bench_compare <baseline.json> <candidate.json>
+///       [--threshold 0.5] [--min-ms 0.5]
+///
+/// `--threshold f` flags a row whose candidate wall time exceeds the
+/// baseline by more than a factor of (1 + f). The default is deliberately
+/// generous: the smoke workloads are small, so wall times carry scheduler
+/// noise. `--min-ms m` skips the wall comparison entirely for rows whose
+/// baseline time is below m milliseconds (noise floor) — their counters
+/// are still compared, and counters are exact: any drift is flagged,
+/// because the solvers are deterministic and a counter change that did
+/// not come with a code change means the build differs in behavior, not
+/// speed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json_value.h"
+#include "util/table.h"
+
+namespace mbta {
+namespace {
+
+struct Row {
+  std::string key;  // experiment + params + solver, the match identity
+  double wall_ms = -1.0;
+  std::map<std::string, double> counters;
+};
+
+/// Flattens one record's rows into match-keyed entries. Returns false on
+/// schema mismatch.
+bool LoadRecord(const char* path, std::vector<Row>* rows,
+                std::string* error) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    *error = std::string("cannot open ") + path;
+    return false;
+  }
+  std::string text;
+  char buffer[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof buffer, f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+
+  JsonValue doc;
+  if (!JsonValue::Parse(text, &doc, error)) {
+    *error = std::string(path) + ": " + *error;
+    return false;
+  }
+  const JsonValue* version = doc.Find("schema_version");
+  if (version == nullptr || !version->is_number()) {
+    *error = std::string(path) + ": missing schema_version";
+    return false;
+  }
+  if (version->number_value != 1) {
+    *error = std::string(path) + ": unsupported schema_version";
+    return false;
+  }
+  const std::string experiment(
+      doc.Find("experiment") != nullptr
+          ? doc.Find("experiment")->StringOr("?")
+          : "?");
+  const JsonValue* json_rows = doc.Find("rows");
+  if (json_rows == nullptr || !json_rows->is_array()) {
+    *error = std::string(path) + ": missing rows array";
+    return false;
+  }
+
+  for (const JsonValue& json_row : json_rows->array_items) {
+    Row row;
+    row.key = experiment;
+    if (const JsonValue* params = json_row.Find("params")) {
+      for (const auto& [key, value] : params->object_items) {
+        row.key += " " + key + "=" + std::string(value.StringOr("?"));
+      }
+    }
+    if (const JsonValue* solver = json_row.Find("solver")) {
+      row.key += " solver=" + std::string(solver->StringOr("?"));
+    }
+    if (const JsonValue* metrics = json_row.Find("metrics")) {
+      if (const JsonValue* wall = metrics->Find("wall_ms")) {
+        row.wall_ms = wall->NumberOr(-1.0);
+      }
+    }
+    if (const JsonValue* counters = json_row.Find("counters")) {
+      for (const auto& [key, value] : counters->object_items) {
+        row.counters[key] = value.NumberOr(0.0);
+      }
+    }
+    rows->push_back(std::move(row));
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace mbta
+
+int main(int argc, char** argv) {
+  using namespace mbta;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <baseline.json> <candidate.json> "
+                 "[--threshold f] [--min-ms m]\n",
+                 argv[0]);
+    return 2;
+  }
+  double threshold = 0.5;
+  double min_ms = 0.5;
+  for (int i = 3; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (flag == "--threshold") {
+      threshold = std::atof(argv[i + 1]);
+    } else if (flag == "--min-ms") {
+      min_ms = std::atof(argv[i + 1]);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<Row> baseline, candidate;
+  std::string error;
+  if (!LoadRecord(argv[1], &baseline, &error) ||
+      !LoadRecord(argv[2], &candidate, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+
+  std::map<std::string, const Row*> candidate_by_key;
+  for (const Row& row : candidate) candidate_by_key[row.key] = &row;
+
+  int regressions = 0;
+  int compared = 0;
+  int skipped_noise = 0;
+  Table table({"row", "base ms", "cand ms", "ratio", "verdict"});
+  for (const Row& base : baseline) {
+    const auto it = candidate_by_key.find(base.key);
+    if (it == candidate_by_key.end()) {
+      table.AddRow({base.key, Table::Num(base.wall_ms), "-", "-", "MISSING"});
+      ++regressions;
+      continue;
+    }
+    const Row& cand = *it->second;
+
+    // Counters are deterministic: any drift means the two builds do
+    // different work, which is a finding regardless of wall time.
+    std::string counter_drift;
+    for (const auto& [key, base_value] : base.counters) {
+      const auto cit = cand.counters.find(key);
+      const double cand_value =
+          cit != cand.counters.end() ? cit->second : -1.0;
+      if (cand_value != base_value) {
+        counter_drift = key;
+        break;
+      }
+    }
+    if (counter_drift.empty() &&
+        cand.counters.size() != base.counters.size()) {
+      counter_drift = "(counter set differs)";
+    }
+    if (!counter_drift.empty()) {
+      table.AddRow({base.key, Table::Num(base.wall_ms),
+                    Table::Num(cand.wall_ms), "-",
+                    "COUNTER DRIFT: " + counter_drift});
+      ++regressions;
+      continue;
+    }
+
+    if (base.wall_ms < 0.0 || cand.wall_ms < 0.0) continue;
+    if (base.wall_ms < min_ms) {
+      ++skipped_noise;
+      continue;
+    }
+    ++compared;
+    const double ratio = cand.wall_ms / base.wall_ms;
+    const bool slow = ratio > 1.0 + threshold;
+    if (slow) ++regressions;
+    table.AddRow({base.key, Table::Num(base.wall_ms),
+                  Table::Num(cand.wall_ms), Table::Num(ratio),
+                  slow ? "REGRESSION" : "ok"});
+  }
+
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "compared %d rows (threshold %.0f%%, %d below %.2fms noise floor "
+      "skipped), %d regression(s)\n",
+      compared, threshold * 100.0, skipped_noise, min_ms, regressions);
+  return regressions == 0 ? 0 : 1;
+}

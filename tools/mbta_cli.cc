@@ -19,6 +19,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/baseline_solvers.h"
 #include "core/exact_flow_solver.h"
@@ -56,6 +58,9 @@ struct Args {
                : static_cast<std::uint64_t>(
                      std::strtoull(it->second.c_str(), nullptr, 10));
   }
+  bool GetBool(const std::string& key) const {
+    return flags.find(key) != flags.end();
+  }
   bool Require(const std::string& key, std::string* out) const {
     const auto it = flags.find(key);
     if (it == flags.end()) {
@@ -68,6 +73,30 @@ struct Args {
   }
 };
 
+/// Dumps a solve's instrumentation: counters, gauges, and the phase
+/// timing tree (paths are slash-nested, so indentation follows depth).
+void PrintSolveStats(const SolveInfo& info) {
+  if (!info.counters.empty()) {
+    Table counters({"counter", "value"});
+    for (const auto& [key, value] : info.counters.counters()) {
+      counters.AddRow(
+          {key, Table::Num(static_cast<std::int64_t>(value))});
+    }
+    for (const auto& [key, value] : info.counters.gauges()) {
+      counters.AddRow({key, Table::Num(value)});
+    }
+    std::printf("%s", counters.ToString().c_str());
+  }
+  if (!info.phases.entries().empty()) {
+    Table phases({"phase", "ms", "calls"});
+    for (const auto& [path, entry] : info.phases.entries()) {
+      phases.AddRow({path, Table::Num(entry.total_ms),
+                     Table::Num(static_cast<std::int64_t>(entry.calls))});
+    }
+    std::printf("%s", phases.ToString().c_str());
+  }
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -77,10 +106,12 @@ int Usage() {
       "           [--tasks N] [--seed S] --out FILE\n"
       "  stats    --market FILE\n"
       "  solve    --market FILE [--solver greedy] [--alpha 0.5]\n"
-      "           [--objective submodular|modular] [--seed S] --out FILE\n"
+      "           [--objective submodular|modular] [--seed S] [--stats]\n"
+      "           --out FILE\n"
       "  evaluate --market FILE --assignment FILE [--alpha 0.5]\n"
       "           [--objective submodular|modular]\n"
-      "  compare  --market FILE [--alpha 0.5]\n");
+      "  compare  --market FILE [--alpha 0.5] [--stats]\n"
+      "--stats prints the solver's work counters and phase timings\n");
   return 2;
 }
 
@@ -209,6 +240,10 @@ int Solve(const Args& args) {
               solver->name().c_str(), metrics.mutual_benefit,
               metrics.requester_benefit, metrics.worker_benefit,
               metrics.num_assignments, info.wall_ms);
+  if (args.GetBool("stats")) {
+    std::printf("gain evaluations: %zu\n", info.gain_evaluations);
+    PrintSolveStats(info);
+  }
   std::printf("wrote %s\n", out.c_str());
   return 0;
 }
@@ -260,7 +295,9 @@ int Compare(const Args& args) {
     return 1;
   }
   const MbtaProblem problem{&*market, MakeObjectiveParams(args)};
+  const bool show_stats = args.GetBool("stats");
   Table table({"solver", "MB", "RB", "WB", "pairs", "time(ms)"});
+  std::vector<std::pair<std::string, SolveInfo>> all_stats;
   for (const auto& solver :
        MakeStandardSolvers(args.GetUint("seed", 1),
                            problem.objective.kind ==
@@ -273,8 +310,14 @@ int Compare(const Args& args) {
                   Table::Num(m.worker_benefit),
                   Table::Num(static_cast<std::int64_t>(m.num_assignments)),
                   Table::Num(info.wall_ms)});
+    if (show_stats) all_stats.emplace_back(solver->name(), std::move(info));
   }
   std::printf("%s", table.ToString().c_str());
+  for (const auto& [name, info] : all_stats) {
+    std::printf("\n--- %s (gain evaluations: %zu) ---\n", name.c_str(),
+                info.gain_evaluations);
+    PrintSolveStats(info);
+  }
   return 0;
 }
 
@@ -282,9 +325,17 @@ int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   Args args;
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc;) {
     if (std::strncmp(argv[i], "--", 2) != 0) return Usage();
-    args.flags[argv[i] + 2] = argv[i + 1];
+    // A flag followed by another flag (or by nothing) is boolean, e.g.
+    // `--stats`; otherwise the next token is its value.
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.flags[argv[i] + 2] = argv[i + 1];
+      i += 2;
+    } else {
+      args.flags[argv[i] + 2] = "1";
+      i += 1;
+    }
   }
   if (command == "generate") return Generate(args);
   if (command == "stats") return Stats(args);
