@@ -1,23 +1,61 @@
 #!/usr/bin/env bash
 # Full correctness matrix: the tier-1 suite under the plain build, then
-# under ASan and UBSan instrumentation (-DMBTA_SANITIZE presets).
+# under ASan and UBSan instrumentation (-DMBTA_SANITIZE presets), then
+# the obs tests under TSan with the thread-safe registries
+# (-DMBTA_SANITIZE=thread -DMBTA_OBS_THREADSAFE=ON).
 #
-# Usage: scripts/check.sh [--fast] [jobs]
-#   --fast   plain build runs only `ctest -L unit` (skips the differential
-#            harness); sanitizer builds always run everything.
-#   jobs     parallelism for build and ctest (default: nproc).
+# Usage: scripts/check.sh [--fast] [--skip-unsupported] [jobs]
+#   --fast               plain build runs only `ctest -L unit` (skips the
+#                        differential harness); sanitizer builds always
+#                        run everything.
+#   --skip-unsupported   downgrade "this compiler cannot build sanitizer
+#                        X" from an error to a warning and skip that leg.
+#   jobs                 parallelism for build and ctest (default: nproc).
 #
-# Build trees land in build/, build-asan/, build-ubsan/ (all gitignored)
-# and are reused across runs, so incremental invocations are cheap.
+# Build trees land in build/, build-asan/, build-ubsan/, build-tsan/
+# (all gitignored) and are reused across runs, so incremental
+# invocations are cheap.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
-if [ "${1:-}" = "--fast" ]; then
-  FAST=1
-  shift
-fi
+SKIP_UNSUPPORTED=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --fast) FAST=1; shift ;;
+    --skip-unsupported) SKIP_UNSUPPORTED=1; shift ;;
+    *) break ;;
+  esac
+done
 JOBS="${1:-$(nproc)}"
+
+CXX_BIN="${CXX:-c++}"
+
+# Probe the compiler once per sanitizer instead of letting an
+# unsupported combo surface as an opaque CMake/link error mid-matrix.
+sanitizer_supported() {
+  local flag="$1"
+  echo 'int main(){return 0;}' | \
+    "${CXX_BIN}" -x c++ "-fsanitize=${flag}" -o /dev/null - \
+      >/dev/null 2>&1
+}
+
+require_sanitizer() {
+  local flag="$1"
+  if sanitizer_supported "${flag}"; then
+    return 0
+  fi
+  if [ "${SKIP_UNSUPPORTED}" = "1" ]; then
+    echo "check.sh: WARNING: ${CXX_BIN} cannot build -fsanitize=${flag};" \
+         "skipping that leg (--skip-unsupported)" >&2
+    return 1
+  fi
+  echo "check.sh: ERROR: ${CXX_BIN} cannot compile with" \
+       "-fsanitize=${flag}." >&2
+  echo "  Install a toolchain with ${flag} sanitizer runtime support," \
+       "or re-run with --skip-unsupported to omit this leg." >&2
+  exit 2
+}
 
 run_suite() {
   local dir="$1" sanitize="$2" label_args="$3"
@@ -33,7 +71,25 @@ if [ "${FAST}" = "1" ]; then
 else
   run_suite build "" ""
 fi
-run_suite build-asan address ""
-run_suite build-ubsan undefined ""
+if require_sanitizer address; then
+  run_suite build-asan address ""
+fi
+if require_sanitizer undefined; then
+  run_suite build-ubsan undefined ""
+fi
 
-echo "check.sh: all suites green (plain, asan, ubsan)"
+# TSan leg: the concurrent obs registries only. Building the binaries
+# directly keeps this leg minutes-cheap while still racing every locked
+# path (tests/obs_threads_test.cc hammers one registry from N threads).
+if require_sanitizer thread; then
+  echo "=== build-tsan (MBTA_SANITIZE='thread' MBTA_OBS_THREADSAFE=ON) ==="
+  cmake -B build-tsan -S . -DMBTA_SANITIZE=thread \
+        -DMBTA_OBS_THREADSAFE=ON >/dev/null
+  cmake --build build-tsan -j "${JOBS}" \
+        --target obs_threads_test obs_test json_writer_test
+  build-tsan/tests/obs_threads_test
+  build-tsan/tests/obs_test
+  build-tsan/tests/json_writer_test
+fi
+
+echo "check.sh: all requested suites green"

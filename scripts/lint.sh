@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Static-analysis entry point: always runs mbta_lint (the repo's
+# determinism & safety linter, see CONTRIBUTING.md "Static analysis"),
+# and runs clang-tidy over the library .cc files when it is installed
+# (compile_commands.json is exported by the top-level CMakeLists).
+#
+# Usage: scripts/lint.sh [build-dir] [jobs]
+#   build-dir  CMake build tree to (re)use (default: build)
+#   jobs       build parallelism (default: nproc)
+#
+# Exit nonzero on any mbta_lint violation or clang-tidy diagnostic.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+JOBS="${2:-$(nproc)}"
+
+cmake -B "${BUILD}" -S . >/dev/null
+cmake --build "${BUILD}" -j "${JOBS}" --target mbta_lint
+
+echo "=== mbta_lint ==="
+"${BUILD}/tools/mbta_lint" src tools bench tests
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== clang-tidy ==="
+  if [ ! -f "${BUILD}/compile_commands.json" ]; then
+    echo "lint.sh: ${BUILD}/compile_commands.json missing; re-run cmake" >&2
+    exit 2
+  fi
+  # Library sources only: benches and tests inherit the important checks
+  # through the headers they include (HeaderFilterRegex covers src/).
+  mapfile -t SOURCES < <(find src -name '*.cc' | sort)
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p "${BUILD}" -quiet -j "${JOBS}" "${SOURCES[@]}"
+  else
+    clang-tidy -p "${BUILD}" --quiet "${SOURCES[@]}"
+  fi
+else
+  echo "lint.sh: clang-tidy not installed; skipped (mbta_lint ran)" >&2
+fi
+
+echo "lint.sh: clean"

@@ -2,6 +2,7 @@
 #define MBTA_CORE_BASELINE_SOLVERS_H_
 
 #include <cstdint>
+#include <string>
 
 #include "core/solver.h"
 

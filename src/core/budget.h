@@ -1,6 +1,7 @@
 #ifndef MBTA_CORE_BUDGET_H_
 #define MBTA_CORE_BUDGET_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "market/assignment.h"

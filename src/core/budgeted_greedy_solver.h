@@ -1,6 +1,8 @@
 #ifndef MBTA_CORE_BUDGETED_GREEDY_SOLVER_H_
 #define MBTA_CORE_BUDGETED_GREEDY_SOLVER_H_
 
+#include <string>
+
 #include "core/budget.h"
 #include "core/solver.h"
 

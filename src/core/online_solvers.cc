@@ -190,7 +190,6 @@ Assignment TwoPhaseOnlineSolver::SolveWithOrder(
   PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
   ScopedPhase solve_phase(phases, "solve");
   const MutualBenefitObjective objective = problem.MakeObjective();
-  const LaborMarket& market = objective.market();
   ObjectiveState state(&objective);
   OnlineTally tally;
 

@@ -1,7 +1,9 @@
 #ifndef MBTA_CORE_ONLINE_SOLVERS_H_
 #define MBTA_CORE_ONLINE_SOLVERS_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/solver.h"

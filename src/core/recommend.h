@@ -1,6 +1,7 @@
 #ifndef MBTA_CORE_RECOMMEND_H_
 #define MBTA_CORE_RECOMMEND_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "market/objective.h"

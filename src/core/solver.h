@@ -1,6 +1,7 @@
 #ifndef MBTA_CORE_SOLVER_H_
 #define MBTA_CORE_SOLVER_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

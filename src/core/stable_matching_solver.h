@@ -1,6 +1,9 @@
 #ifndef MBTA_CORE_STABLE_MATCHING_SOLVER_H_
 #define MBTA_CORE_STABLE_MATCHING_SOLVER_H_
 
+#include <cstddef>
+#include <string>
+
 #include "core/solver.h"
 
 namespace mbta {

@@ -1,6 +1,8 @@
 #ifndef MBTA_CORE_THRESHOLD_SOLVER_H_
 #define MBTA_CORE_THRESHOLD_SOLVER_H_
 
+#include <string>
+
 #include "core/solver.h"
 
 namespace mbta {

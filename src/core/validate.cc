@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
-#include <unordered_set>
+#include <utility>
 
 #include "util/check.h"
 
@@ -129,15 +130,16 @@ ValidationResult ValidateAssignment(const MbtaProblem& problem,
   // a phantom id cannot be dereferenced at all.
   std::vector<EdgeId> sound;
   sound.reserve(assignment.edges.size());
-  std::unordered_set<EdgeId> seen;
-  seen.reserve(assignment.edges.size() * 2);
+  // Dense seen-bitmap (ids are range-checked first), so duplicate
+  // detection involves no hash container at all.
+  std::vector<std::uint8_t> seen(m.NumEdges(), 0);
   for (EdgeId e : assignment.edges) {
     if (e >= m.NumEdges()) {
       fail(ValidationErrorKind::kPhantomEdge,
            Format("edge %u not in market (|E| = %zu)", e, m.NumEdges()));
       continue;
     }
-    if (!seen.insert(e).second) {
+    if (std::exchange(seen[e], std::uint8_t{1}) != 0) {
       fail(ValidationErrorKind::kDuplicateEdge,
            Format("edge %u chosen more than once", e));
       continue;

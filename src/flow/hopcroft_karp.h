@@ -1,6 +1,7 @@
 #ifndef MBTA_FLOW_HOPCROFT_KARP_H_
 #define MBTA_FLOW_HOPCROFT_KARP_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "graph/bipartite_graph.h"

@@ -1,6 +1,7 @@
 #ifndef MBTA_FLOW_HUNGARIAN_H_
 #define MBTA_FLOW_HUNGARIAN_H_
 
+#include <cstddef>
 #include <vector>
 
 namespace mbta {

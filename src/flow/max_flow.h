@@ -1,6 +1,7 @@
 #ifndef MBTA_FLOW_MAX_FLOW_H_
 #define MBTA_FLOW_MAX_FLOW_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -115,6 +115,8 @@ LaborMarket DrawMarketForPopulation(const GeneratorConfig& config,
   ZipfSampler popularity(config.num_tasks, config.task_popularity_skew);
 
   for (std::size_t w = 0; w < workers.size(); ++w) {
+    // Edge order comes from the sampling loop, never from this set.
+    // mbta-lint: unordered-ok(membership-only rejection filter)
     std::unordered_set<std::size_t> chosen;
     std::size_t attempts = 0;
     const std::size_t max_attempts = 20 * k + 50;

@@ -1,6 +1,7 @@
 #ifndef MBTA_GEN_MARKET_GENERATOR_H_
 #define MBTA_GEN_MARKET_GENERATOR_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

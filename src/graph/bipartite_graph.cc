@@ -1,7 +1,8 @@
 #include "graph/bipartite_graph.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <cstdint>
+#include <vector>
 
 #include "util/check.h"
 
@@ -47,16 +48,18 @@ EdgeId BipartiteGraphBuilder::AddEdge(VertexId left, VertexId right) {
 }
 
 BipartiteGraph BipartiteGraphBuilder::Build() {
-  // Reject duplicates: hash (left, right) pairs.
+  // Reject duplicates: sort packed (left, right) keys and look for an
+  // adjacent repeat — O(E log E), no hash container involved.
   {
-    std::unordered_set<std::uint64_t> seen;
-    seen.reserve(lefts_.size() * 2);
+    std::vector<std::uint64_t> keys(lefts_.size());
     for (std::size_t e = 0; e < lefts_.size(); ++e) {
-      const std::uint64_t key =
-          (static_cast<std::uint64_t>(lefts_[e]) << 32) | rights_[e];
-      MBTA_CHECK_MSG(seen.insert(key).second,
-                     "duplicate edge (%u, %u)", lefts_[e], rights_[e]);
+      keys[e] = (static_cast<std::uint64_t>(lefts_[e]) << 32) | rights_[e];
     }
+    std::sort(keys.begin(), keys.end());
+    const auto dup = std::adjacent_find(keys.begin(), keys.end());
+    MBTA_CHECK_MSG(dup == keys.end(), "duplicate edge (%u, %u)",
+                   static_cast<VertexId>(*dup >> 32),
+                   static_cast<VertexId>(*dup & 0xffffffffu));
   }
 
   BipartiteGraph g;

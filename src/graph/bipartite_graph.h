@@ -1,6 +1,7 @@
 #ifndef MBTA_GRAPH_BIPARTITE_GRAPH_H_
 #define MBTA_GRAPH_BIPARTITE_GRAPH_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

@@ -143,6 +143,7 @@ std::optional<LaborMarket> ReadMarket(std::istream& in, std::string* error) {
 
   std::size_t num_edges = 0;
   if (!ExpectCount(in, "edges", &num_edges, error)) return std::nullopt;
+  // mbta-lint: unordered-ok(membership-only duplicate probe, never iterated)
   std::unordered_set<std::uint64_t> seen_pairs;
   // Cap the speculative reservation: the declared count is untrusted
   // input and parsing fails fast on the first missing line anyway.

@@ -1,6 +1,7 @@
 #include "market/assignment.h"
 
-#include <unordered_set>
+#include <algorithm>
+#include <cstdint>
 
 #include "util/check.h"
 
@@ -9,11 +10,14 @@ namespace mbta {
 bool IsFeasible(const LaborMarket& market, const Assignment& a) {
   std::vector<int> worker_load(market.NumWorkers(), 0);
   std::vector<int> task_load(market.NumTasks(), 0);
-  std::unordered_set<EdgeId> seen;
-  seen.reserve(a.edges.size() * 2);
+  // Duplicate detection via a dense seen-bitmap: ids are validated
+  // against NumEdges() first, so direct indexing is safe (and, unlike a
+  // hash set, has no nondeterministic behavior to leak anywhere).
+  std::vector<std::uint8_t> seen(market.NumEdges(), 0);
   for (EdgeId e : a.edges) {
     if (e >= market.NumEdges()) return false;
-    if (!seen.insert(e).second) return false;  // duplicate edge
+    if (seen[e] != 0) return false;  // duplicate edge
+    seen[e] = 1;
     const WorkerId w = market.EdgeWorker(e);
     const TaskId t = market.EdgeTask(e);
     if (++worker_load[w] > market.worker(w).capacity) return false;
@@ -49,19 +53,33 @@ std::vector<std::vector<EdgeId>> EdgesByWorker(const LaborMarket& market,
 }
 
 AssignmentDiff DiffAssignments(const Assignment& a, const Assignment& b) {
-  const std::unordered_set<EdgeId> in_a(a.edges.begin(), a.edges.end());
-  const std::unordered_set<EdgeId> in_b(b.edges.begin(), b.edges.end());
+  // Sorted-merge set intersection: deterministic and cache-friendly,
+  // where the former hash-set version iterated in nondeterministic order.
+  std::vector<EdgeId> in_a = a.edges;
+  std::vector<EdgeId> in_b = b.edges;
+  std::sort(in_a.begin(), in_a.end());
+  in_a.erase(std::unique(in_a.begin(), in_a.end()), in_a.end());
+  std::sort(in_b.begin(), in_b.end());
+  in_b.erase(std::unique(in_b.begin(), in_b.end()), in_b.end());
+
   AssignmentDiff diff;
-  for (EdgeId e : in_a) {
-    if (in_b.count(e)) {
+  std::size_t i = 0, j = 0;
+  while (i < in_a.size() && j < in_b.size()) {
+    if (in_a[i] == in_b[j]) {
       ++diff.common;
-    } else {
+      ++i;
+      ++j;
+    } else if (in_a[i] < in_b[j]) {
       ++diff.only_in_a;
+      ++i;
+    } else {
+      ++diff.only_in_b;
+      ++j;
     }
   }
-  for (EdgeId e : in_b) {
-    if (!in_a.count(e)) ++diff.only_in_b;
-  }
+  diff.only_in_a += in_a.size() - i;
+  diff.only_in_b += in_b.size() - j;
+
   const std::size_t unioned =
       diff.common + diff.only_in_a + diff.only_in_b;
   diff.jaccard = unioned == 0

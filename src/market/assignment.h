@@ -1,6 +1,7 @@
 #ifndef MBTA_MARKET_ASSIGNMENT_H_
 #define MBTA_MARKET_ASSIGNMENT_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "market/labor_market.h"

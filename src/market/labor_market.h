@@ -1,6 +1,8 @@
 #ifndef MBTA_MARKET_LABOR_MARKET_H_
 #define MBTA_MARKET_LABOR_MARKET_H_
 
+#include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 

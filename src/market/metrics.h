@@ -1,6 +1,7 @@
 #ifndef MBTA_MARKET_METRICS_H_
 #define MBTA_MARKET_METRICS_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "market/objective.h"

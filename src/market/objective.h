@@ -1,6 +1,7 @@
 #ifndef MBTA_MARKET_OBJECTIVE_H_
 #define MBTA_MARKET_OBJECTIVE_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "market/assignment.h"

@@ -17,6 +17,7 @@ double SkillMatch(const SkillVector& a, const SkillVector& b) {
     na += a[i] * a[i];
     nb += b[i] * b[i];
   }
+  // mbta-lint: float-eq-ok(exact-zero guard against division by zero)
   if (na == 0.0 || nb == 0.0) return 0.0;
   const double sim = dot / (std::sqrt(na) * std::sqrt(nb));
   return std::clamp(sim, 0.0, 1.0);

@@ -2,10 +2,13 @@
 #define MBTA_OBS_PHASE_TIMER_H_
 
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
+
+#include "obs/threading.h"
 
 namespace mbta {
 
@@ -13,6 +16,13 @@ namespace mbta {
 /// and then "build_heap" records under the path "solve/build_heap", so a
 /// flat key-ordered dump reconstructs the phase tree. Re-entering a path
 /// accumulates (total ms + call count), which is what loops want.
+///
+/// Built with -DMBTA_OBS_THREADSAFE=ON, Record/TotalMs/Clear/Merge are
+/// safe to call concurrently (internal mbta::Mutex). The nesting *stack*
+/// stays a single chain, though: interleaving ScopedPhase scopes from
+/// several threads on one PhaseTimings produces garbled paths — give
+/// each worker thread its own PhaseTimings and Merge after join. The raw
+/// `entries()` view requires quiescence, like CounterRegistry's.
 class PhaseTimings {
  public:
   struct Entry {
@@ -20,29 +30,52 @@ class PhaseTimings {
     std::uint64_t calls = 0;
   };
 
+#if MBTA_OBS_THREADSAFE
+  PhaseTimings() = default;
+  PhaseTimings(const PhaseTimings& other);
+  PhaseTimings& operator=(const PhaseTimings& other);
+#endif
+
   /// Adds one timed call to `path` (a full nested path, "a/b/c").
   void Record(std::string_view path, double ms);
 
   /// Total milliseconds recorded under `path`; 0 if never entered.
   double TotalMs(std::string_view path) const;
 
-  bool empty() const { return entries_.empty(); }
+  bool empty() const {
+    MBTA_OBS_LOCK(mu_);
+    return entries_.empty();
+  }
   void Clear();
 
-  const std::map<std::string, Entry, std::less<>>& entries() const {
+  const std::map<std::string, Entry, std::less<>>& entries() const
+      MBTA_OBS_NO_TSA {
     return entries_;
   }
 
-  /// Accumulates every entry of `other` into this object.
+  /// Accumulates every entry of `other` into this object. Thread-safe
+  /// builds lock both objects in address order.
   void Merge(const PhaseTimings& other);
 
  private:
   friend class ScopedPhase;
-  std::map<std::string, Entry, std::less<>> entries_;
+
+  /// Appends `label` to the open-phase chain and returns the previous
+  /// chain length (for the matching PopAndRecord).
+  std::size_t PushLabel(std::string_view label);
+  /// Records `ms` against the full current path, then truncates the chain
+  /// back to `parent_len`.
+  void PopAndRecord(std::size_t parent_len, double ms);
+
+#if MBTA_OBS_THREADSAFE
+  mutable Mutex mu_;
+#endif
+  std::map<std::string, Entry, std::less<>> entries_
+      MBTA_OBS_GUARDED_BY(mu_);
   /// Path of the currently open ScopedPhase chain ("" at top level). Only
   /// non-empty while phases are open, so copies of a quiescent object are
   /// cheap and self-contained.
-  std::string stack_;
+  std::string stack_ MBTA_OBS_GUARDED_BY(mu_);
 };
 
 /// RAII phase timer. Construct with the PhaseTimings to record into (or

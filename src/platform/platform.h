@@ -1,6 +1,7 @@
 #ifndef MBTA_PLATFORM_PLATFORM_H_
 #define MBTA_PLATFORM_PLATFORM_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -1,6 +1,7 @@
 #ifndef MBTA_SIM_AGGREGATION_H_
 #define MBTA_SIM_AGGREGATION_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

@@ -1,6 +1,7 @@
 #ifndef MBTA_SIM_ANSWERS_H_
 #define MBTA_SIM_ANSWERS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -36,6 +36,7 @@ std::vector<std::size_t> SampleDistinct(Rng& rng, std::size_t n,
                                         std::size_t k) {
   MBTA_CHECK(k <= n);
   // Floyd's sampling: for j in [n-k, n), pick t in [0, j]; insert t or j.
+  // mbta-lint: unordered-ok(membership-only; output order is the draw order)
   std::unordered_set<std::size_t> chosen;
   chosen.reserve(k * 2);
   std::vector<std::size_t> out;

@@ -1,6 +1,7 @@
 #ifndef MBTA_UTIL_DISTRIBUTION_H_
 #define MBTA_UTIL_DISTRIBUTION_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -1,6 +1,8 @@
 #ifndef MBTA_UTIL_TABLE_H_
 #define MBTA_UTIL_TABLE_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -123,7 +123,9 @@ TEST(GreedySolverTest, InfoPopulated) {
   SolveInfo info;
   GreedySolver().Solve(p, &info);
   EXPECT_GE(info.wall_ms, 0.0);
-  if (m.NumEdges() > 0) EXPECT_GT(info.gain_evaluations, 0u);
+  if (m.NumEdges() > 0) {
+    EXPECT_GT(info.gain_evaluations, 0u);
+  }
 }
 
 }  // namespace

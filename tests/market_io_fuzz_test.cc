@@ -125,7 +125,9 @@ TEST(IoFuzzTest, AssignmentParserSurvivesGarbage) {
     std::stringstream in(mutated);
     std::string error;
     const auto parsed = ReadAssignment(m, in, &error);
-    if (!parsed.has_value()) EXPECT_FALSE(error.empty());
+    if (!parsed.has_value()) {
+      EXPECT_FALSE(error.empty());
+    }
   }
 }
 

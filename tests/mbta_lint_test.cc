@@ -1,0 +1,388 @@
+// Exercises the mbta_lint rule engine (tools/lint_engine.h) on embedded
+// snippets: every rule R1-R6 must fire on a violating snippet with the
+// right rule id and line, stay silent on a conforming one, and honor the
+// waiver syntax. A final test walks the real tree under MBTA_SOURCE_DIR
+// and asserts the repository itself is clean at head — the same gate
+// `build/tools/mbta_lint` enforces in CI.
+
+#include "tools/lint_engine.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace mbta::lint {
+namespace {
+
+std::vector<Violation> LintAs(const std::string& path,
+                              const std::string& code) {
+  return LintFile(path, code);
+}
+
+/// True iff exactly one violation of `rule` exists, at `line`.
+testing::AssertionResult FiresOnce(const std::vector<Violation>& vs,
+                                   const std::string& rule, int line) {
+  int hits = 0;
+  for (const Violation& v : vs) {
+    if (v.rule == rule && v.line == line) ++hits;
+  }
+  if (hits == 1) return testing::AssertionSuccess();
+  auto result = testing::AssertionFailure();
+  result << "wanted exactly one " << rule << " at line " << line << ", got "
+         << hits << "; all violations:";
+  for (const Violation& v : vs) {
+    result << "\n  " << v.file << ":" << v.line << ": " << v.rule << ": "
+           << v.message;
+  }
+  return result;
+}
+
+testing::AssertionResult Clean(const std::vector<Violation>& vs) {
+  if (vs.empty()) return testing::AssertionSuccess();
+  auto result = testing::AssertionFailure();
+  result << vs.size() << " unexpected violation(s):";
+  for (const Violation& v : vs) {
+    result << "\n  " << v.file << ":" << v.line << ": " << v.rule << ": "
+           << v.message;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Scoping.
+// ---------------------------------------------------------------------------
+
+TEST(ClassifyPath, RecognizesLibraryAndSubsystem) {
+  EXPECT_TRUE(ClassifyPath("src/core/solver.cc").library);
+  EXPECT_EQ(ClassifyPath("src/core/solver.cc").subsystem, "core");
+  EXPECT_EQ(ClassifyPath("/abs/repo/src/flow/max_flow.h").subsystem, "flow");
+  EXPECT_TRUE(ClassifyPath("src/flow/max_flow.h").header);
+  EXPECT_FALSE(ClassifyPath("tools/mbta_cli.cc").library);
+  EXPECT_FALSE(ClassifyPath("bench/fig9.cc").library);
+  EXPECT_FALSE(ClassifyPath("tests/foo_test.cc").library);
+}
+
+TEST(Scoping, NonLibraryFilesAreExempt) {
+  const std::string bad =
+      "#include <unordered_map>\n"
+      "void f() { std::unordered_map<int, int> m; std::cout << 1; }\n";
+  EXPECT_TRUE(Clean(LintAs("tools/scratch.cc", bad)));
+  EXPECT_TRUE(Clean(LintAs("tests/scratch_test.cc", bad)));
+  EXPECT_TRUE(Clean(LintAs("bench/scratch.cc", bad)));
+}
+
+// ---------------------------------------------------------------------------
+// R1 — unordered containers.
+// ---------------------------------------------------------------------------
+
+TEST(R1Unordered, FiresOnDeclaration) {
+  const auto vs = LintAs("src/core/x.cc",
+                         "void f() {\n"
+                         "  std::unordered_map<int, int> m;\n"
+                         "}\n");
+  EXPECT_TRUE(FiresOnce(vs, "R1", 2));
+}
+
+TEST(R1Unordered, FiresOnRangeForEvenWhenDeclIsWaived) {
+  const auto vs = LintAs(
+      "src/core/x.cc",
+      "void f() {\n"
+      "  // mbta-lint: unordered-ok(membership probe only)\n"
+      "  std::unordered_set<int> seen;\n"
+      "  for (int v : seen) { (void)v; }\n"
+      "}\n");
+  EXPECT_TRUE(FiresOnce(vs, "R1", 4));
+}
+
+TEST(R1Unordered, FiresOnExplicitIterators) {
+  const auto vs = LintAs(
+      "src/market/x.cc",
+      "void f() {\n"
+      "  // mbta-lint: unordered-ok(lookup table)\n"
+      "  std::unordered_map<int, int> m;\n"
+      "  auto it = m.begin();\n"
+      "  (void)it;\n"
+      "}\n");
+  EXPECT_TRUE(FiresOnce(vs, "R1", 4));
+}
+
+TEST(R1Unordered, WaiverSilencesDeclaration) {
+  EXPECT_TRUE(Clean(LintAs(
+      "src/gen/x.cc",
+      "void f() {\n"
+      "  // mbta-lint: unordered-ok(membership-only, never iterated)\n"
+      "  std::unordered_set<int> seen;\n"
+      "  seen.insert(3);\n"
+      "  if (seen.count(3)) { }\n"
+      "}\n")));
+}
+
+TEST(R1Unordered, SameLineWaiverWorks) {
+  EXPECT_TRUE(Clean(LintAs(
+      "src/flow/x.cc",
+      "void f() {\n"
+      "  std::unordered_set<int> s;  // mbta-lint: unordered-ok(probe)\n"
+      "}\n")));
+}
+
+TEST(R1Unordered, WaiverWithoutReasonDoesNotCount) {
+  const auto vs = LintAs(
+      "src/core/x.cc",
+      "void f() {\n"
+      "  // mbta-lint: unordered-ok()\n"
+      "  std::unordered_set<int> s;\n"
+      "}\n");
+  EXPECT_TRUE(FiresOnce(vs, "R1", 3));
+}
+
+TEST(R1Unordered, OrderedContainersAreFine) {
+  EXPECT_TRUE(Clean(LintAs("src/core/x.cc",
+                           "void f() {\n"
+                           "  std::map<int, int> m;\n"
+                           "  for (const auto& [k, v] : m) { (void)k; }\n"
+                           "}\n")));
+}
+
+// ---------------------------------------------------------------------------
+// R2 — nondeterminism sources.
+// ---------------------------------------------------------------------------
+
+TEST(R2Nondeterminism, FiresOnRandAndRandomDevice) {
+  const auto vs = LintAs("src/core/x.cc",
+                         "int f() {\n"
+                         "  std::random_device rd;\n"
+                         "  return rand() + static_cast<int>(rd());\n"
+                         "}\n");
+  EXPECT_TRUE(FiresOnce(vs, "R2", 2));
+  EXPECT_TRUE(FiresOnce(vs, "R2", 3));
+}
+
+TEST(R2Nondeterminism, FiresOnWallClock) {
+  const auto vs = LintAs("src/gen/x.cc",
+                         "long f() { return time(nullptr); }\n");
+  EXPECT_TRUE(FiresOnce(vs, "R2", 1));
+  const auto vs2 = LintAs(
+      "src/market/x.cc",
+      "auto f() { return std::chrono::system_clock::now(); }\n");
+  EXPECT_TRUE(FiresOnce(vs2, "R2", 1));
+}
+
+TEST(R2Nondeterminism, SeededRngAndMemberTimeAreFine) {
+  EXPECT_TRUE(Clean(LintAs(
+      "src/core/x.cc",
+      "double f(mbta::Rng& rng, const Row& row) {\n"
+      "  return rng.NextDouble() + row.time();\n"  // member, not ::time
+      "}\n")));
+}
+
+TEST(R2Nondeterminism, UtilAndObsAreExempt) {
+  EXPECT_TRUE(Clean(LintAs(
+      "src/util/x.cc", "unsigned f() { std::random_device rd; "
+                       "return rd(); }\n")));
+  EXPECT_TRUE(Clean(LintAs(
+      "src/obs/x.cc",
+      "auto f() { return std::chrono::system_clock::now(); }\n")));
+}
+
+TEST(R2Nondeterminism, WaiverSilences) {
+  EXPECT_TRUE(Clean(LintAs(
+      "src/core/x.cc",
+      "// mbta-lint: nondet-ok(one-shot seed pickup behind a flag)\n"
+      "unsigned f() { std::random_device rd; return rd(); }\n")));
+}
+
+// ---------------------------------------------------------------------------
+// R3 — float equality.
+// ---------------------------------------------------------------------------
+
+TEST(R3FloatEq, FiresOnLiteralComparisons) {
+  const auto vs = LintAs("src/core/x.cc",
+                         "bool f(double x) { return x == 1.0; }\n");
+  EXPECT_TRUE(FiresOnce(vs, "R3", 1));
+  const auto vs2 = LintAs("src/market/x.cc",
+                          "bool g(double x) { return 0.5f != x; }\n");
+  EXPECT_TRUE(FiresOnce(vs2, "R3", 1));
+  const auto vs3 = LintAs("src/market/x.cc",
+                          "bool h(double x) { return x == 1e-6; }\n");
+  EXPECT_TRUE(FiresOnce(vs3, "R3", 1));
+}
+
+TEST(R3FloatEq, IntegerComparisonsAreFine) {
+  EXPECT_TRUE(Clean(LintAs("src/core/x.cc",
+                           "bool f(int x) { return x == 10; }\n")));
+}
+
+TEST(R3FloatEq, ToleranceComparisonsAreFine) {
+  EXPECT_TRUE(Clean(LintAs(
+      "src/core/x.cc",
+      "bool f(double a, double b) { return std::abs(a - b) <= 1e-9; }\n")));
+}
+
+TEST(R3FloatEq, UtilIsExemptAndWaiverSilences) {
+  EXPECT_TRUE(Clean(LintAs("src/util/x.cc",
+                           "bool f(double x) { return x == 0.0; }\n")));
+  EXPECT_TRUE(Clean(LintAs(
+      "src/market/x.cc",
+      "bool f(double x) {\n"
+      "  return x == 0.0;  // mbta-lint: float-eq-ok(exact zero guard)\n"
+      "}\n")));
+}
+
+// ---------------------------------------------------------------------------
+// R4 — stdout in library code.
+// ---------------------------------------------------------------------------
+
+TEST(R4Stdout, FiresOnCoutAndPrintfFamily) {
+  EXPECT_TRUE(FiresOnce(
+      LintAs("src/core/x.cc", "void f() { std::cout << 1; }\n"), "R4", 1));
+  EXPECT_TRUE(FiresOnce(
+      LintAs("src/io/x.cc", "void f() { printf(\"%d\", 1); }\n"), "R4", 1));
+  EXPECT_TRUE(FiresOnce(
+      LintAs("src/io/x.cc", "void f() { fprintf(stdout, \"x\"); }\n"),
+      "R4", 1));
+}
+
+TEST(R4Stdout, StderrAndSnprintfAreFine) {
+  EXPECT_TRUE(Clean(LintAs(
+      "src/util/x.cc",
+      "void f() {\n"
+      "  std::fprintf(stderr, \"oops\\n\");\n"
+      "  char buf[8];\n"
+      "  std::snprintf(buf, sizeof(buf), \"%d\", 1);\n"
+      "}\n")));
+}
+
+TEST(R4Stdout, CommentsAndStringsDoNotTrip) {
+  EXPECT_TRUE(Clean(LintAs(
+      "src/util/x.h",
+      "#ifndef X_H_\n#define X_H_\n"
+      "/// Usage: std::cout << t.ToString();  (caller's choice of stream)\n"
+      "const char* kHelp = \"printf(fmt) like\";\n"
+      "#endif\n")));
+}
+
+// ---------------------------------------------------------------------------
+// R5 — observability name grammar.
+// ---------------------------------------------------------------------------
+
+TEST(R5Names, FiresOnBadCounterKey) {
+  const auto vs = LintAs(
+      "src/core/x.cc",
+      "void f(CounterRegistry& c) { c.Add(\"Greedy/HeapPushes\"); }\n");
+  EXPECT_TRUE(FiresOnce(vs, "R5", 1));
+  const auto vs2 = LintAs(
+      "src/core/x.cc",
+      "void f(CounterRegistry& c) { c.Set(\"greedy//pushes\", 1); }\n");
+  EXPECT_TRUE(FiresOnce(vs2, "R5", 1));
+}
+
+TEST(R5Names, FiresOnSlashInScopedPhaseLabel) {
+  const auto vs = LintAs(
+      "src/core/x.cc",
+      "void f(PhaseTimings* t) { ScopedPhase p(t, \"solve/inner\"); }\n");
+  EXPECT_TRUE(FiresOnce(vs, "R5", 1));
+}
+
+TEST(R5Names, ConformingKeysAreFine) {
+  EXPECT_TRUE(Clean(LintAs(
+      "src/core/x.cc",
+      "void f(CounterRegistry& c, PhaseTimings* t) {\n"
+      "  c.Add(\"greedy/heap_pushes\", 3);\n"
+      "  c.SetGauge(\"threshold/calibrated_tau\", 0.5);\n"
+      "  ScopedPhase p(t, \"lazy_loop\");\n"
+      "}\n")));
+}
+
+TEST(R5Names, GrammarHelpers) {
+  EXPECT_TRUE(IsValidCounterKey("greedy/heap_pushes"));
+  EXPECT_TRUE(IsValidCounterKey("a/b2/c_d"));
+  EXPECT_FALSE(IsValidCounterKey(""));
+  EXPECT_FALSE(IsValidCounterKey("/lead"));
+  EXPECT_FALSE(IsValidCounterKey("trail/"));
+  EXPECT_FALSE(IsValidCounterKey("UpperCase"));
+  EXPECT_FALSE(IsValidCounterKey("dot.path"));
+  EXPECT_TRUE(IsValidPhaseLabel("build_heap"));
+  EXPECT_FALSE(IsValidPhaseLabel("a/b"));
+}
+
+// ---------------------------------------------------------------------------
+// R6 — header hygiene.
+// ---------------------------------------------------------------------------
+
+TEST(R6Headers, FiresOnMissingGuard) {
+  const auto vs = LintAs("src/core/x.h", "inline int f() { return 1; }\n");
+  EXPECT_TRUE(FiresOnce(vs, "R6", 1));
+}
+
+TEST(R6Headers, GuardOrPragmaOnceIsFine) {
+  EXPECT_TRUE(Clean(LintAs("src/core/x.h",
+                           "#ifndef MBTA_CORE_X_H_\n"
+                           "#define MBTA_CORE_X_H_\n"
+                           "inline int f() { return 1; }\n"
+                           "#endif  // MBTA_CORE_X_H_\n")));
+  EXPECT_TRUE(Clean(LintAs("src/core/x.h",
+                           "#pragma once\n"
+                           "inline int f() { return 1; }\n")));
+}
+
+TEST(R6Headers, FiresOnMissingStdInclude) {
+  const auto vs = LintAs("src/core/x.h",
+                         "#ifndef X_H_\n"
+                         "#define X_H_\n"
+                         "#include <string>\n"
+                         "std::vector<int> f(std::string s);\n"
+                         "#endif\n");
+  EXPECT_TRUE(FiresOnce(vs, "R6", 4));  // <vector> missing, <string> not
+}
+
+TEST(R6Headers, SelfContainedHeaderIsClean) {
+  EXPECT_TRUE(Clean(LintAs("src/core/x.h",
+                           "#ifndef X_H_\n"
+                           "#define X_H_\n"
+                           "#include <cstdint>\n"
+                           "#include <string>\n"
+                           "#include <vector>\n"
+                           "std::vector<std::uint64_t> f(std::string s);\n"
+                           "#endif\n")));
+}
+
+TEST(R6Headers, SourceFilesAreNotChecked) {
+  EXPECT_TRUE(Clean(LintAs("src/core/x.cc",
+                           "std::vector<int> f() { return {}; }\n")));
+}
+
+// ---------------------------------------------------------------------------
+// The repository itself must be clean at head.
+// ---------------------------------------------------------------------------
+
+TEST(Repository, SrcToolsBenchTestsAreCleanAtHead) {
+  const std::vector<std::string> roots = {
+      std::string(MBTA_SOURCE_DIR) + "/src",
+      std::string(MBTA_SOURCE_DIR) + "/tools",
+      std::string(MBTA_SOURCE_DIR) + "/bench",
+      std::string(MBTA_SOURCE_DIR) + "/tests"};
+  std::vector<std::string> errors;
+  const std::vector<std::string> files = CollectFiles(roots, &errors);
+  ASSERT_TRUE(errors.empty()) << errors.front();
+  ASSERT_GT(files.size(), 100u);  // sanity: the walker found the tree
+  std::vector<Violation> all;
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    ASSERT_TRUE(in) << file;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    // Report violations relative to the repo root for readable output.
+    std::string rel = file;
+    const std::string prefix = std::string(MBTA_SOURCE_DIR) + "/";
+    if (rel.rfind(prefix, 0) == 0) rel = rel.substr(prefix.size());
+    std::vector<Violation> vs = LintFile(rel, buf.str());
+    all.insert(all.end(), vs.begin(), vs.end());
+  }
+  EXPECT_TRUE(Clean(all));
+}
+
+}  // namespace
+}  // namespace mbta::lint

@@ -1,0 +1,129 @@
+// Concurrency contract of the obs registries (see obs/threading.h).
+//
+// Built with -DMBTA_OBS_THREADSAFE=ON these tests hammer one
+// CounterRegistry / PhaseTimings from N threads and assert no update is
+// lost; scripts/check.sh runs them under -DMBTA_SANITIZE=thread, where
+// any missing lock is a hard TSan failure. In the default
+// (single-threaded, lock-free) build the same bodies run on one thread,
+// so the file compiles and passes everywhere.
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/counters.h"
+#include "obs/phase_timer.h"
+
+namespace mbta {
+namespace {
+
+#if MBTA_OBS_THREADSAFE
+constexpr int kThreads = 8;
+#else
+constexpr int kThreads = 1;
+#endif
+constexpr int kItersPerThread = 20000;
+
+/// Runs `body(thread_index)` on kThreads threads (or inline when the
+/// build is single-threaded) and joins.
+template <typename Body>
+void RunConcurrently(const Body& body) {
+  if (kThreads == 1) {
+    body(0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&body, t] { body(t); });
+  }
+  for (std::thread& th : threads) th.join();
+}
+
+TEST(CounterRegistryThreads, ConcurrentAddsLoseNothing) {
+  CounterRegistry reg;
+  RunConcurrently([&reg](int t) {
+    const std::string own = "stress/thread_" + std::to_string(t);
+    for (int i = 0; i < kItersPerThread; ++i) {
+      reg.Add("stress/shared");
+      reg.Add(own, 2);
+    }
+  });
+  EXPECT_EQ(reg.Value("stress/shared"),
+            static_cast<std::uint64_t>(kThreads) * kItersPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.Value("stress/thread_" + std::to_string(t)),
+              2u * kItersPerThread);
+  }
+}
+
+TEST(CounterRegistryThreads, ConcurrentMixedOpsStayConsistent) {
+  CounterRegistry reg;
+  RunConcurrently([&reg](int t) {
+    const std::string gauge = "stress/gauge_" + std::to_string(t);
+    for (int i = 0; i < kItersPerThread / 10; ++i) {
+      reg.Add("stress/mixed");
+      reg.SetGauge(gauge, static_cast<double>(i));
+      (void)reg.Value("stress/mixed");
+      (void)reg.Has(gauge);
+    }
+  });
+  EXPECT_EQ(reg.Value("stress/mixed"),
+            static_cast<std::uint64_t>(kThreads) * (kItersPerThread / 10));
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_DOUBLE_EQ(reg.Gauge("stress/gauge_" + std::to_string(t)),
+                     static_cast<double>(kItersPerThread / 10 - 1));
+  }
+}
+
+TEST(CounterRegistryThreads, ConcurrentMergeIntoTotal) {
+  // The parallel-solver shape: each worker fills a private registry,
+  // then merges it into the shared total while others are doing the same.
+  CounterRegistry total;
+  RunConcurrently([&total](int t) {
+    CounterRegistry local;
+    local.Add("merge/work", static_cast<std::uint64_t>(t) + 1);
+    local.SetGauge("merge/gauge_" + std::to_string(t), 1.0);
+    total.Merge(local);
+  });
+  std::uint64_t want = 0;
+  for (int t = 0; t < kThreads; ++t) want += static_cast<std::uint64_t>(t) + 1;
+  EXPECT_EQ(total.Value("merge/work"), want);
+}
+
+TEST(PhaseTimingsThreads, ConcurrentRecordsAccumulate) {
+  PhaseTimings timings;
+  RunConcurrently([&timings](int t) {
+    const std::string own = "solve/worker_" + std::to_string(t);
+    for (int i = 0; i < kItersPerThread / 10; ++i) {
+      timings.Record("solve", 0.001);
+      timings.Record(own, 0.002);
+    }
+  });
+  const auto it = timings.entries().find("solve");
+  ASSERT_NE(it, timings.entries().end());
+  EXPECT_EQ(it->second.calls,
+            static_cast<std::uint64_t>(kThreads) * (kItersPerThread / 10));
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_GT(timings.TotalMs("solve/worker_" + std::to_string(t)), 0.0);
+  }
+}
+
+TEST(PhaseTimingsThreads, PerThreadTimingsMergeAfterJoin) {
+  // The documented pattern for nested phases under concurrency: one
+  // PhaseTimings per worker, merged after join.
+  PhaseTimings total;
+  std::vector<PhaseTimings> per_thread(kThreads);
+  RunConcurrently([&per_thread](int t) {
+    ScopedPhase solve(&per_thread[static_cast<std::size_t>(t)], "solve");
+    ScopedPhase inner(&per_thread[static_cast<std::size_t>(t)], "scan");
+  });
+  for (const PhaseTimings& pt : per_thread) total.Merge(pt);
+  const auto it = total.entries().find("solve/scan");
+  ASSERT_NE(it, total.entries().end());
+  EXPECT_EQ(it->second.calls, static_cast<std::uint64_t>(kThreads));
+}
+
+}  // namespace
+}  // namespace mbta

@@ -1,0 +1,727 @@
+#include "tools/lint_engine.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace mbta::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexing. A deliberately small token model: identifiers, numbers, string
+// and char literals (contents preserved for R5), and punctuation. Comments
+// are consumed but their text is kept per line so waivers can be found;
+// preprocessor directives are collected separately (guards + includes for
+// R6) and do not produce tokens.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kChar, kPunct };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct Waiver {
+  std::string tag;
+  bool has_reason = false;
+};
+
+struct PpDirective {
+  int line;
+  std::string text;  // full directive, continuations joined, no comments
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::map<int, std::vector<Waiver>> waivers;  // by line
+  std::vector<PpDirective> directives;
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Parses every `mbta-lint: tag(reason)` occurrence inside a comment.
+void ParseWaivers(std::string_view comment, int line, LexResult* out) {
+  static constexpr std::string_view kMarker = "mbta-lint:";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kMarker, pos)) != std::string_view::npos) {
+    pos += kMarker.size();
+    while (pos < comment.size() && comment[pos] == ' ') ++pos;
+    std::size_t tag_end = pos;
+    while (tag_end < comment.size() &&
+           (std::isalnum(static_cast<unsigned char>(comment[tag_end])) ||
+            comment[tag_end] == '-')) {
+      ++tag_end;
+    }
+    if (tag_end == pos) continue;
+    Waiver w;
+    w.tag = std::string(comment.substr(pos, tag_end - pos));
+    if (tag_end < comment.size() && comment[tag_end] == '(') {
+      const std::size_t close = comment.find(')', tag_end);
+      if (close != std::string_view::npos && close > tag_end + 1) {
+        w.has_reason = true;
+      }
+    }
+    out->waivers[line].push_back(std::move(w));
+    pos = tag_end;
+  }
+}
+
+LexResult Lex(std::string_view src) {
+  LexResult out;
+  std::size_t i = 0;
+  int line = 1;
+  const std::size_t n = src.size();
+
+  auto push = [&out](Token::Kind kind, std::string text, int at) {
+    out.tokens.push_back(Token{kind, std::move(text), at});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t end = src.find('\n', i);
+      const std::size_t stop = end == std::string_view::npos ? n : end;
+      ParseWaivers(src.substr(i + 2, stop - i - 2), line, &out);
+      i = stop;
+      continue;
+    }
+    // Block comment (may span lines; waivers attach to the line each
+    // fragment sits on).
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t j = i + 2;
+      std::size_t frag = j;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') {
+          ParseWaivers(src.substr(frag, j - frag), line, &out);
+          ++line;
+          frag = j + 1;
+        }
+        ++j;
+      }
+      ParseWaivers(src.substr(frag, std::min(j, n) - frag), line, &out);
+      i = j + 1 < n ? j + 2 : n;
+      continue;
+    }
+    // Preprocessor directive (only at start of line, but a simple
+    // "previous non-blank was a newline" test is enough for this repo).
+    if (c == '#') {
+      bool at_line_start = true;
+      for (std::size_t k = i; k-- > 0;) {
+        if (src[k] == '\n') break;
+        if (src[k] != ' ' && src[k] != '\t') {
+          at_line_start = false;
+          break;
+        }
+      }
+      if (at_line_start) {
+        const int start_line = line;
+        std::string text;
+        while (i < n) {
+          const std::size_t end = src.find('\n', i);
+          const std::size_t stop = end == std::string_view::npos ? n : end;
+          std::string_view piece = src.substr(i, stop - i);
+          // Strip a trailing line comment from the directive text.
+          if (const std::size_t cpos = piece.find("//");
+              cpos != std::string_view::npos) {
+            ParseWaivers(piece.substr(cpos + 2), line, &out);
+            piece = piece.substr(0, cpos);
+          }
+          const bool continued =
+              !piece.empty() && piece.back() == '\\';
+          if (continued) piece.remove_suffix(1);
+          text.append(piece);
+          i = stop;
+          if (stop < n) {
+            ++line;
+            ++i;
+          }
+          if (!continued) break;
+          text.push_back(' ');
+        }
+        out.directives.push_back(PpDirective{start_line, std::move(text)});
+        continue;
+      }
+    }
+    // Raw string literal.
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim += src[j++];
+      const std::string close = ")" + delim + "\"";
+      const std::size_t end = src.find(close, j);
+      const std::size_t stop =
+          end == std::string_view::npos ? n : end + close.size();
+      const int at = line;
+      std::string body(src.substr(std::min(j + 1, n),
+                                  end == std::string_view::npos
+                                      ? 0
+                                      : end - j - 1));
+      line += static_cast<int>(
+          std::count(src.begin() + static_cast<std::ptrdiff_t>(i),
+                     src.begin() + static_cast<std::ptrdiff_t>(stop), '\n'));
+      push(Token::Kind::kString, std::move(body), at);
+      i = stop;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::string body;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) {
+          body += src[j];
+          body += src[j + 1];
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') break;  // unterminated; bail at EOL
+        body += src[j];
+        ++j;
+      }
+      push(quote == '"' ? Token::Kind::kString : Token::Kind::kChar,
+           std::move(body), line);
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    // Identifier.
+    if (IsIdentStart(c)) {
+      std::size_t j = i + 1;
+      while (j < n && IsIdentChar(src[j])) ++j;
+      push(Token::Kind::kIdent, std::string(src.substr(i, j - i)), line);
+      i = j;
+      continue;
+    }
+    // Number (including 1.5e-3, suffixes; '.' leading handled below).
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(src[i + 1]))) {
+      std::size_t j = i;
+      bool seen_exp = false;
+      while (j < n) {
+        const char d = src[j];
+        if (IsIdentChar(d) || d == '.') {
+          if ((d == 'e' || d == 'E') && j + 1 < n &&
+              (src[j + 1] == '+' || src[j + 1] == '-')) {
+            seen_exp = true;
+            j += 2;
+            continue;
+          }
+          ++j;
+          continue;
+        }
+        break;
+      }
+      (void)seen_exp;
+      push(Token::Kind::kNumber, std::string(src.substr(i, j - i)), line);
+      i = j;
+      continue;
+    }
+    // Multi-char operators the rules care about; everything else is a
+    // single punctuation char (so >> closing templates stays two '>').
+    if (i + 1 < n) {
+      const std::string_view two = src.substr(i, 2);
+      if (two == "==" || two == "!=" || two == "::" || two == "->") {
+        push(Token::Kind::kPunct, std::string(two), line);
+        i += 2;
+        continue;
+      }
+    }
+    push(Token::Kind::kPunct, std::string(1, c), line);
+    ++i;
+  }
+  return out;
+}
+
+bool IsFloatLiteral(const Token& t) {
+  if (t.kind != Token::Kind::kNumber) return false;
+  if (t.text.size() > 1 && (t.text[1] == 'x' || t.text[1] == 'X')) {
+    return t.text.find('p') != std::string::npos ||
+           t.text.find('P') != std::string::npos;
+  }
+  return t.text.find('.') != std::string::npos ||
+         t.text.find('e') != std::string::npos ||
+         t.text.find('E') != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// The rule engine proper.
+// ---------------------------------------------------------------------------
+
+class Linter {
+ public:
+  Linter(std::string_view path, std::string_view content)
+      : path_(path), scope_(ClassifyPath(path)), lex_(Lex(content)) {}
+
+  std::vector<Violation> Run() {
+    if (scope_.library) {
+      RuleUnordered();
+      if (scope_.subsystem != "util" && scope_.subsystem != "obs") {
+        RuleNondeterminism();
+      }
+      if (scope_.subsystem != "util") RuleFloatEq();
+      RuleStdout();
+      RuleObservabilityNames();
+      if (scope_.header) RuleHeaderHygiene();
+    }
+    std::sort(violations_.begin(), violations_.end(),
+              [](const Violation& a, const Violation& b) {
+                return std::tie(a.line, a.rule, a.message) <
+                       std::tie(b.line, b.rule, b.message);
+              });
+    return std::move(violations_);
+  }
+
+ private:
+  bool Waived(int line, std::string_view tag) const {
+    for (const int l : {line, line - 1}) {
+      const auto it = lex_.waivers.find(l);
+      if (it == lex_.waivers.end()) continue;
+      for (const Waiver& w : it->second) {
+        if (w.tag == tag && w.has_reason) return true;
+      }
+    }
+    return false;
+  }
+
+  void Report(int line, std::string rule, std::string_view tag,
+              std::string message) {
+    if (Waived(line, tag)) return;
+    violations_.push_back(
+        Violation{std::string(path_), line, std::move(rule),
+                  std::move(message)});
+  }
+
+  const Token& Tok(std::size_t i) const { return lex_.tokens[i]; }
+  std::size_t Size() const { return lex_.tokens.size(); }
+  bool IsPunct(std::size_t i, std::string_view p) const {
+    return i < Size() && Tok(i).kind == Token::Kind::kPunct &&
+           Tok(i).text == p;
+  }
+  bool IsIdent(std::size_t i, std::string_view name) const {
+    return i < Size() && Tok(i).kind == Token::Kind::kIdent &&
+           Tok(i).text == name;
+  }
+
+  /// Skips a balanced <...> starting at `i` (which must point at '<').
+  /// Returns the index one past the closing '>'.
+  std::size_t SkipTemplateArgs(std::size_t i) const {
+    int depth = 0;
+    while (i < Size()) {
+      if (IsPunct(i, "<")) ++depth;
+      if (IsPunct(i, ">")) {
+        --depth;
+        if (depth == 0) return i + 1;
+      }
+      // Give up on stray comparisons: a template argument list in a
+      // declaration never contains ';'.
+      if (IsPunct(i, ";")) return i;
+      ++i;
+    }
+    return i;
+  }
+
+  // R1 — unordered containers in library code.
+  void RuleUnordered() {
+    std::set<std::string> unordered_vars;
+    for (std::size_t i = 0; i < Size(); ++i) {
+      const Token& t = Tok(i);
+      if (t.kind != Token::Kind::kIdent) continue;
+      if (t.text == "unordered_map" || t.text == "unordered_set" ||
+          t.text == "unordered_multimap" || t.text == "unordered_multiset") {
+        if (!IsPunct(i + 1, "<")) continue;  // e.g. a bare mention
+        Report(t.line, "R1", "unordered-ok",
+               "std::" + t.text +
+                   " in library code: iteration order is nondeterministic; "
+                   "use std::map/std::set, sorted extraction, or a vector "
+                   "scan, or waive a genuinely order-blind use with "
+                   "// mbta-lint: unordered-ok(reason)");
+        // Track the declared variable name, if any, so iteration over it
+        // can be flagged even when the declaration itself is waived.
+        std::size_t j = SkipTemplateArgs(i + 1);
+        if (j < Size() && Tok(j).kind == Token::Kind::kIdent) {
+          unordered_vars.insert(Tok(j).text);
+        }
+        continue;
+      }
+      // Range-for whose range expression names a tracked variable.
+      if (t.text == "for" && IsPunct(i + 1, "(")) {
+        int depth = 0;
+        std::size_t colon = 0;
+        for (std::size_t j = i + 1; j < Size(); ++j) {
+          if (IsPunct(j, "(")) ++depth;
+          if (IsPunct(j, ")")) {
+            --depth;
+            if (depth == 0) break;
+          }
+          if (depth == 1 && IsPunct(j, ";")) break;  // classic for
+          if (depth == 1 && IsPunct(j, ":")) {
+            colon = j;
+            break;
+          }
+        }
+        if (colon == 0) continue;
+        int depth2 = 1;
+        for (std::size_t j = colon + 1; j < Size() && depth2 > 0; ++j) {
+          if (IsPunct(j, "(")) ++depth2;
+          if (IsPunct(j, ")")) --depth2;
+          if (Tok(j).kind == Token::Kind::kIdent &&
+              unordered_vars.count(Tok(j).text) &&
+              !IsPunct(j - 1, ".") && !IsPunct(j - 1, "->")) {
+            Report(Tok(j).line, "R1", "unordered-ok",
+                   "range-for over unordered container '" + Tok(j).text +
+                       "': iteration order is nondeterministic");
+            break;
+          }
+        }
+        continue;
+      }
+      // Explicit iteration (begin/cbegin/rbegin) on a tracked variable.
+      if (unordered_vars.count(t.text) && IsPunct(i + 1, ".") &&
+          i + 2 < Size() &&
+          (IsIdent(i + 2, "begin") || IsIdent(i + 2, "cbegin") ||
+           IsIdent(i + 2, "rbegin"))) {
+        Report(t.line, "R1", "unordered-ok",
+               "iterator over unordered container '" + t.text +
+                   "': iteration order is nondeterministic");
+      }
+    }
+  }
+
+  // R2 — nondeterminism sources in solver code.
+  void RuleNondeterminism() {
+    static const std::set<std::string> kBannedTypes = {
+        "random_device", "system_clock"};
+    static const std::set<std::string> kBannedCalls = {
+        "rand", "srand", "drand48", "gettimeofday", "localtime", "gmtime",
+        "time", "clock"};
+    for (std::size_t i = 0; i < Size(); ++i) {
+      const Token& t = Tok(i);
+      if (t.kind != Token::Kind::kIdent) continue;
+      const bool member = i > 0 && (IsPunct(i - 1, ".") ||
+                                    IsPunct(i - 1, "->"));
+      if (kBannedTypes.count(t.text) && !member) {
+        Report(t.line, "R2", "nondet-ok",
+               "std::" + t.text +
+                   " in solver code: all randomness/time must flow through "
+                   "seeded mbta::Rng or the obs timers (waive with "
+                   "// mbta-lint: nondet-ok(reason))");
+        continue;
+      }
+      if (kBannedCalls.count(t.text) && IsPunct(i + 1, "(") && !member) {
+        Report(t.line, "R2", "nondet-ok",
+               t.text +
+                   "() in solver code: wall-clock/global-RNG reads make "
+                   "runs irreproducible; use seeded mbta::Rng "
+                   "(src/util/rng.h) or a ScopedPhase timer");
+      }
+    }
+  }
+
+  // R3 — float equality against literals.
+  void RuleFloatEq() {
+    for (std::size_t i = 0; i < Size(); ++i) {
+      if (Tok(i).kind != Token::Kind::kPunct) continue;
+      if (Tok(i).text != "==" && Tok(i).text != "!=") continue;
+      const bool lhs = i > 0 && IsFloatLiteral(Tok(i - 1));
+      const bool rhs = i + 1 < Size() && IsFloatLiteral(Tok(i + 1));
+      if (lhs || rhs) {
+        Report(Tok(i).line, "R3", "float-eq-ok",
+               "floating-point " + Tok(i).text +
+                   " comparison: use a tolerance (std::abs(a - b) <= eps) "
+                   "or waive an exact sentinel check with "
+                   "// mbta-lint: float-eq-ok(reason)");
+      }
+    }
+  }
+
+  // R4 — stdout writes in library code.
+  void RuleStdout() {
+    for (std::size_t i = 0; i < Size(); ++i) {
+      const Token& t = Tok(i);
+      if (t.kind != Token::Kind::kIdent) continue;
+      const bool member = i > 0 && (IsPunct(i - 1, ".") ||
+                                    IsPunct(i - 1, "->"));
+      if (member) continue;
+      const bool call = IsPunct(i + 1, "(");
+      if (t.text == "cout" ||
+          (call && (t.text == "printf" || t.text == "puts" ||
+                    t.text == "putchar")) ||
+          (call && t.text == "fprintf" && IsIdent(i + 2, "stdout"))) {
+        Report(t.line, "R4", "stdout-ok",
+               t.text +
+                   " in library code: libraries report through return "
+                   "values, SolveStats, or caller-supplied streams; only "
+                   "CLI/bench/tools binaries may write to stdout");
+      }
+    }
+  }
+
+  // R5 — observability key grammar.
+  void RuleObservabilityNames() {
+    static const std::set<std::string> kKeyApis = {
+        "Add", "Set", "SetGauge", "Value", "Gauge", "Has",
+        "Record", "TotalMs"};
+    for (std::size_t i = 0; i + 2 < Size(); ++i) {
+      const Token& t = Tok(i);
+      if (t.kind != Token::Kind::kIdent) continue;
+      if (t.text == "ScopedPhase") {
+        // First string literal inside the constructor parens.
+        std::size_t j = i + 1;
+        while (j < Size() && !IsPunct(j, "(")) ++j;
+        int depth = 0;
+        for (; j < Size(); ++j) {
+          if (IsPunct(j, "(")) ++depth;
+          if (IsPunct(j, ")") && --depth == 0) break;
+          if (Tok(j).kind == Token::Kind::kString) {
+            if (!IsValidPhaseLabel(Tok(j).text)) {
+              Report(Tok(j).line, "R5", "name-ok",
+                     "phase label \"" + Tok(j).text +
+                         "\" is not a lower_snake_case segment "
+                         "([a-z0-9_]+); nesting builds slash paths, do not "
+                         "embed '/' in a label");
+            }
+            break;
+          }
+        }
+        continue;
+      }
+      if (!kKeyApis.count(t.text)) continue;
+      if (!(IsPunct(i - 1, ".") || IsPunct(i - 1, "->"))) continue;
+      if (!IsPunct(i + 1, "(")) continue;
+      if (Tok(i + 2).kind != Token::Kind::kString) continue;
+      if (!IsValidCounterKey(Tok(i + 2).text)) {
+        Report(Tok(i + 2).line, "R5", "name-ok",
+               "counter/phase key \"" + Tok(i + 2).text +
+                   "\" does not match the slash-path grammar "
+                   "[a-z0-9_]+(/[a-z0-9_]+)* from CONTRIBUTING.md");
+      }
+    }
+  }
+
+  // R6 — header hygiene: guard + curated IWYU.
+  void RuleHeaderHygiene() {
+    // Include guard: #pragma once anywhere, or the first directive pair
+    // being #ifndef X / #define X.
+    bool guarded = false;
+    for (const PpDirective& d : lex_.directives) {
+      if (d.text.find("pragma") != std::string::npos &&
+          d.text.find("once") != std::string::npos) {
+        guarded = true;
+        break;
+      }
+    }
+    if (!guarded && lex_.directives.size() >= 2) {
+      const std::string& first = lex_.directives[0].text;
+      const std::string& second = lex_.directives[1].text;
+      const std::size_t ifndef = first.find("ifndef");
+      if (ifndef != std::string::npos &&
+          second.find("define") != std::string::npos) {
+        std::string macro = first.substr(ifndef + 6);
+        macro.erase(0, macro.find_first_not_of(" \t"));
+        macro.erase(macro.find_last_not_of(" \t") + 1);
+        guarded = !macro.empty() &&
+                  second.find(macro) != std::string::npos;
+      }
+    }
+    if (!guarded) {
+      Report(1, "R6", "include-ok",
+             "header has no include guard: use "
+             "#ifndef MBTA_<PATH>_<FILE>_H_ / #define ... or #pragma once");
+    }
+
+    // Curated IWYU: std name -> acceptable providing headers.
+    static const std::map<std::string, std::vector<std::string>> kProviders =
+        {
+            {"vector", {"vector"}},
+            {"string", {"string"}},
+            {"to_string", {"string"}},
+            {"string_view", {"string_view"}},
+            {"map", {"map"}},
+            {"multimap", {"map"}},
+            {"set", {"set"}},
+            {"multiset", {"set"}},
+            {"unordered_map", {"unordered_map"}},
+            {"unordered_set", {"unordered_set"}},
+            {"optional", {"optional"}},
+            {"nullopt", {"optional"}},
+            {"span", {"span"}},
+            {"unique_ptr", {"memory"}},
+            {"shared_ptr", {"memory"}},
+            {"weak_ptr", {"memory"}},
+            {"make_unique", {"memory"}},
+            {"make_shared", {"memory"}},
+            {"function", {"functional"}},
+            {"pair", {"utility"}},
+            {"make_pair", {"utility"}},
+            {"tuple", {"tuple"}},
+            {"array", {"array"}},
+            {"mt19937", {"random"}},
+            {"mt19937_64", {"random"}},
+            {"thread", {"thread"}},
+            {"mutex", {"mutex"}},
+            {"lock_guard", {"mutex"}},
+            {"scoped_lock", {"mutex"}},
+            {"unique_lock", {"mutex"}},
+            {"atomic", {"atomic"}},
+            {"numeric_limits", {"limits"}},
+            {"size_t", {"cstddef", "cstdio", "cstdlib", "cstring"}},
+            {"ptrdiff_t", {"cstddef"}},
+            {"int8_t", {"cstdint"}},
+            {"int16_t", {"cstdint"}},
+            {"int32_t", {"cstdint"}},
+            {"int64_t", {"cstdint"}},
+            {"uint8_t", {"cstdint"}},
+            {"uint16_t", {"cstdint"}},
+            {"uint32_t", {"cstdint"}},
+            {"uint64_t", {"cstdint"}},
+        };
+    std::set<std::string> included;
+    for (const PpDirective& d : lex_.directives) {
+      const std::size_t inc = d.text.find("include");
+      if (inc == std::string::npos) continue;
+      const std::size_t open = d.text.find('<', inc);
+      const std::size_t close = d.text.find('>', open);
+      if (open == std::string::npos || close == std::string::npos) continue;
+      included.insert(d.text.substr(open + 1, close - open - 1));
+    }
+    std::set<std::string> reported;
+    for (std::size_t i = 0; i + 2 < Size(); ++i) {
+      if (!IsIdent(i, "std") || !IsPunct(i + 1, "::")) continue;
+      const Token& name = Tok(i + 2);
+      if (name.kind != Token::Kind::kIdent) continue;
+      const auto it = kProviders.find(name.text);
+      if (it == kProviders.end()) continue;
+      bool satisfied = false;
+      for (const std::string& h : it->second) {
+        if (included.count(h)) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied || !reported.insert(name.text).second) continue;
+      Report(name.line, "R6", "include-ok",
+             "uses std::" + name.text + " but does not include <" +
+                 it->second.front() +
+                 ">: headers must be self-contained (include what you use)");
+    }
+  }
+
+  std::string_view path_;
+  FileScope scope_;
+  LexResult lex_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace
+
+FileScope ClassifyPath(std::string_view path) {
+  FileScope scope;
+  scope.header = path.size() >= 2 && path.substr(path.size() - 2) == ".h";
+  std::vector<std::string> parts;
+  std::string cur;
+  for (const char c : path) {
+    if (c == '/' || c == '\\') {
+      if (!cur.empty()) parts.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) parts.push_back(std::move(cur));
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i] == "src") {
+      scope.library = true;
+      if (i + 1 < parts.size() &&
+          parts[i + 1].find('.') == std::string::npos) {
+        scope.subsystem = parts[i + 1];
+      }
+      break;
+    }
+    if (parts[i] == "tools" || parts[i] == "bench" || parts[i] == "tests" ||
+        parts[i] == "examples") {
+      break;
+    }
+  }
+  return scope;
+}
+
+std::vector<Violation> LintFile(std::string_view path,
+                                std::string_view content) {
+  return Linter(path, content).Run();
+}
+
+bool IsValidCounterKey(std::string_view key) {
+  if (key.empty() || key.front() == '/' || key.back() == '/') return false;
+  bool segment_empty = true;
+  for (const char c : key) {
+    if (c == '/') {
+      if (segment_empty) return false;
+      segment_empty = true;
+      continue;
+    }
+    if (!(std::islower(static_cast<unsigned char>(c)) ||
+          std::isdigit(static_cast<unsigned char>(c)) || c == '_')) {
+      return false;
+    }
+    segment_empty = false;
+  }
+  return !segment_empty;
+}
+
+bool IsValidPhaseLabel(std::string_view label) {
+  return IsValidCounterKey(label) &&
+         label.find('/') == std::string_view::npos;
+}
+
+std::vector<std::string> CollectFiles(const std::vector<std::string>& paths,
+                                      std::vector<std::string>* errors) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  auto want = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".cc";
+  };
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec) && want(it->path())) {
+          files.push_back(it->path().generic_string());
+        }
+      }
+      if (ec && errors != nullptr) {
+        errors->push_back(p + ": " + ec.message());
+      }
+    } else if (errors != nullptr) {
+      errors->push_back(p + ": not a file or directory");
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+}  // namespace mbta::lint

@@ -1,0 +1,78 @@
+#ifndef MBTA_TOOLS_LINT_ENGINE_H_
+#define MBTA_TOOLS_LINT_ENGINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mbta::lint {
+
+/// One rule violation, formatted by the driver as
+/// `file:line: rule-id: message`.
+struct Violation {
+  std::string file;
+  int line = 0;
+  std::string rule;     // "R1" .. "R6"
+  std::string message;  // human-readable, names the waiver tag
+};
+
+/// Rule catalog (see CONTRIBUTING.md, "Static analysis"):
+///
+///   R1  no std::unordered_map / std::unordered_set in library code (and no
+///       range-for / .begin() iteration over one) — iteration order is
+///       nondeterministic and silently changes tie-breaking-sensitive
+///       greedy results. Waiver: unordered-ok.
+///   R2  no nondeterminism sources in solver code: rand/srand/drand48,
+///       std::random_device, time()/clock()/gettimeofday/localtime/gmtime,
+///       std::chrono::system_clock. All randomness flows through seeded
+///       mbta::Rng (src/util/rng.h); src/util and src/obs are exempt
+///       (that is where the RNG and the timers live). Waiver: nondet-ok.
+///   R3  no ==/!= against floating-point literals outside src/util's
+///       tolerance helpers. Waiver: float-eq-ok.
+///   R4  no std::cout / printf / puts / fprintf(stdout, ...) in library
+///       code (src/); CLI, bench, tools and tests are exempt.
+///       Waiver: stdout-ok.
+///   R5  counter/gauge keys and phase paths passed as string literals to
+///       CounterRegistry / PhaseTimings APIs must match the slash-path
+///       grammar segment(/segment)* with segment = [a-z0-9_]+; ScopedPhase
+///       labels are single segments (nesting builds the path).
+///       Waiver: name-ok.
+///   R6  every .h under src/ carries an include guard (or #pragma once)
+///       and directly includes the std headers for the std types it names
+///       (lightweight IWYU over a curated type list). Waiver: include-ok.
+///
+/// A waiver is a comment `// mbta-lint: <tag>(<reason>)` on the violating
+/// line or the line directly above it; the reason must be non-empty.
+
+/// How a path is scoped for rule selection. Derived from the first
+/// recognized component: src/<subsystem>/... is library code; tools/,
+/// bench/, tests/, examples/ are exempt from the library-only rules.
+struct FileScope {
+  bool library = false;      // under src/
+  bool header = false;       // ends in .h
+  std::string subsystem;     // "core", "flow", ... ("" outside src/)
+};
+
+FileScope ClassifyPath(std::string_view path);
+
+/// Lints one file's contents. `path` is used for scoping and reporting
+/// only; no filesystem access happens here, so tests can feed snippets.
+std::vector<Violation> LintFile(std::string_view path,
+                                std::string_view content);
+
+/// True iff `key` matches the observability slash-path grammar
+/// `[a-z0-9_]+(/[a-z0-9_]+)*` (CONTRIBUTING.md, "Observability").
+bool IsValidCounterKey(std::string_view key);
+
+/// True iff `label` is a single lower_snake_case path segment.
+bool IsValidPhaseLabel(std::string_view label);
+
+/// Recursively collects .h/.cc files under each of `paths` (a path may
+/// also name a single file). Returns a deterministically sorted list;
+/// unknown paths are reported in `errors`.
+std::vector<std::string> CollectFiles(const std::vector<std::string>& paths,
+                                      std::vector<std::string>* errors);
+
+}  // namespace mbta::lint
+
+#endif  // MBTA_TOOLS_LINT_ENGINE_H_

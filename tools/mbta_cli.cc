@@ -4,7 +4,7 @@
 ///
 ///   mbta_cli generate --dataset mturk --workers 500 --seed 7 --out m.market
 ///   mbta_cli stats    --market m.market
-///   mbta_cli solve    --market m.market --solver greedy --alpha 0.5 \
+///   mbta_cli solve    --market m.market --solver greedy --alpha 0.5
 ///                     --out a.assignment
 ///   mbta_cli evaluate --market m.market --assignment a.assignment
 ///   mbta_cli compare  --market m.market --alpha 0.5

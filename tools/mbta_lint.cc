@@ -1,0 +1,128 @@
+// mbta_lint — the repository's determinism & safety linter.
+//
+// A dependency-free, token-level checker for repo-specific invariants the
+// compiler cannot see (rule catalog in tools/lint_engine.h and
+// CONTRIBUTING.md, "Static analysis"). Intended use:
+//
+//   build/tools/mbta_lint                      # lints src tools bench tests
+//   build/tools/mbta_lint src/core foo.cc     # explicit files/dirs
+//   build/tools/mbta_lint --json lint.json    # machine-readable report
+//
+// Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json_writer.h"
+#include "tools/lint_engine.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: mbta_lint [--json <path>] [paths...]\n"
+    "  Lints .h/.cc files under each path (default: src tools bench "
+    "tests).\n"
+    "  --json <path>  also write a structured report\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::cerr << "mbta_lint: --json needs a path\n" << kUsage;
+        return 2;
+      }
+      json_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "mbta_lint: unknown flag '" << arg << "'\n" << kUsage;
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src", "tools", "bench", "tests"};
+
+  std::vector<std::string> errors;
+  const std::vector<std::string> files =
+      mbta::lint::CollectFiles(paths, &errors);
+  for (const std::string& e : errors) {
+    std::cerr << "mbta_lint: " << e << "\n";
+  }
+  if (!errors.empty()) return 2;
+  if (files.empty()) {
+    std::cerr << "mbta_lint: no .h/.cc files found under given paths\n";
+    return 2;
+  }
+
+  std::vector<mbta::lint::Violation> all;
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "mbta_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::vector<mbta::lint::Violation> v =
+        mbta::lint::LintFile(file, buf.str());
+    all.insert(all.end(), v.begin(), v.end());
+  }
+
+  for (const mbta::lint::Violation& v : all) {
+    std::cout << v.file << ":" << v.line << ": " << v.rule << ": "
+              << v.message << "\n";
+  }
+
+  if (!json_path.empty()) {
+    mbta::JsonWriter w;
+    w.BeginObject();
+    w.Key("schema_version");
+    w.Number(std::int64_t{1});
+    w.Key("tool");
+    w.String("mbta_lint");
+    w.Key("files_scanned");
+    w.Number(static_cast<std::uint64_t>(files.size()));
+    w.Key("violation_count");
+    w.Number(static_cast<std::uint64_t>(all.size()));
+    w.Key("violations");
+    w.BeginArray();
+    for (const mbta::lint::Violation& v : all) {
+      w.BeginObject();
+      w.Key("file");
+      w.String(v.file);
+      w.Key("line");
+      w.Number(std::int64_t{v.line});
+      w.Key("rule");
+      w.String(v.rule);
+      w.Key("message");
+      w.String(v.message);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "mbta_lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << w.str() << "\n";
+  }
+
+  if (!all.empty()) {
+    std::cerr << "mbta_lint: " << all.size() << " violation(s) in "
+              << files.size() << " file(s)\n";
+    return 1;
+  }
+  return 0;
+}
