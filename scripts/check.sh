@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
 # Full correctness matrix: the tier-1 suite under the plain build, then
 # under ASan and UBSan instrumentation (-DMBTA_SANITIZE presets), then
-# the obs tests under TSan with the thread-safe registries
-# (-DMBTA_SANITIZE=thread -DMBTA_OBS_THREADSAFE=ON).
+# the obs tests AND the robustness suite (deadline / fault-injection /
+# fallback / cancellation, `ctest -L robustness`) under TSan with the
+# thread-safe registries (-DMBTA_SANITIZE=thread -DMBTA_OBS_THREADSAFE=ON).
+# The TSan leg is what exercises cancellation from a second thread with
+# both threads writing shared counters. A CLI smoke step checks the
+# mbta_cli exit-code taxonomy (0 ok / 1 usage / 2 bad input / 3 degraded)
+# end-to-end against the plain build.
 #
 # Usage: scripts/check.sh [--fast] [--skip-unsupported] [jobs]
-#   --fast               plain build runs only `ctest -L unit` (skips the
-#                        differential harness); sanitizer builds always
-#                        run everything.
+#   --fast               plain build runs only `ctest -L 'unit|robustness'`
+#                        (skips the differential harness); sanitizer
+#                        builds always run everything.
 #   --skip-unsupported   downgrade "this compiler cannot build sanitizer
 #                        X" from an error to a warning and skip that leg.
 #   jobs                 parallelism for build and ctest (default: nproc).
@@ -66,11 +71,57 @@ run_suite() {
   (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" ${label_args})
 }
 
+# Runs a command, swallowing its output, and asserts its exit status.
+# The mbta_cli exit codes are a documented contract (see CONTRIBUTING.md
+# "Robustness"); this catches a refactor that silently collapses them.
+expect_exit() {
+  local want="$1"; shift
+  local got=0
+  "$@" >/dev/null 2>&1 || got=$?
+  if [ "${got}" -ne "${want}" ]; then
+    echo "check.sh: ERROR: '$*' exited ${got}, want ${want}" >&2
+    exit 1
+  fi
+}
+
+cli_smoke() {
+  echo "=== mbta_cli exit-code smoke (build/) ==="
+  cmake --build build -j "${JOBS}" --target mbta_cli
+  local cli=build/tools/mbta_cli
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+
+  # 0: a normal generate + solve round trip succeeds.
+  expect_exit 0 "${cli}" generate --dataset uniform --workers 30 \
+      --tasks 30 --seed 7 --out "${tmp}/m.market"
+  expect_exit 0 "${cli}" solve --market "${tmp}/m.market" \
+      --solver greedy --out "${tmp}/a.assignment"
+  # 1: usage errors — unknown command, unknown solver.
+  expect_exit 1 "${cli}" frobnicate
+  expect_exit 1 "${cli}" solve --market "${tmp}/m.market" \
+      --solver no-such-solver --out "${tmp}/x.assignment"
+  # 2: bad input — a corrupt market file parses to a clean error.
+  printf 'mbta-market v1\nname x\nworkers nan\n' > "${tmp}/bad.market"
+  expect_exit 2 "${cli}" stats --market "${tmp}/bad.market"
+  # 3: degraded — a zero work budget still writes a best-effort answer.
+  expect_exit 3 "${cli}" solve --market "${tmp}/m.market" \
+      --solver greedy --work-budget 0 --out "${tmp}/d.assignment"
+  # The degraded run must still have produced a loadable assignment.
+  expect_exit 0 "${cli}" evaluate --market "${tmp}/m.market" \
+      --assignment "${tmp}/d.assignment"
+  echo "check.sh: mbta_cli exit codes 0/1/2/3 verified"
+}
+
 if [ "${FAST}" = "1" ]; then
-  run_suite build "" "-L unit"
+  run_suite build "" "-L unit|robustness"
 else
   run_suite build "" ""
 fi
+cli_smoke
+# The sanitizer legs run the whole registered suite, which includes the
+# `robustness` label — so the deadline/fault-injection/fallback tests get
+# an ASan and UBSan pass here, not just the plain build above.
 if require_sanitizer address; then
   run_suite build-asan address ""
 fi
@@ -78,18 +129,26 @@ if require_sanitizer undefined; then
   run_suite build-ubsan undefined ""
 fi
 
-# TSan leg: the concurrent obs registries only. Building the binaries
-# directly keeps this leg minutes-cheap while still racing every locked
-# path (tests/obs_threads_test.cc hammers one registry from N threads).
+# TSan leg: the concurrent obs registries plus the robustness suite.
+# MBTA_OBS_THREADSAFE=ON makes the counter registries lockable, which the
+# cancellation tests rely on to write counters from a watchdog thread
+# while the solver thread runs — TSan then proves the whole
+# budget/cancel/fallback path race-free. Building targets directly keeps
+# this leg minutes-cheap; `ctest -L robustness` only matches tests whose
+# binaries were built (unbuilt targets surface as unlabeled NOT_BUILT
+# placeholders and are skipped by the label filter).
 if require_sanitizer thread; then
   echo "=== build-tsan (MBTA_SANITIZE='thread' MBTA_OBS_THREADSAFE=ON) ==="
   cmake -B build-tsan -S . -DMBTA_SANITIZE=thread \
         -DMBTA_OBS_THREADSAFE=ON >/dev/null
   cmake --build build-tsan -j "${JOBS}" \
-        --target obs_threads_test obs_test json_writer_test
+        --target obs_threads_test obs_test json_writer_test \
+                 deadline_test fault_injection_test fallback_solver_test \
+                 cancellation_test
   build-tsan/tests/obs_threads_test
   build-tsan/tests/obs_test
   build-tsan/tests/json_writer_test
+  (cd build-tsan && ctest --output-on-failure -j "${JOBS}" -L robustness)
 fi
 
 echo "check.sh: all requested suites green"

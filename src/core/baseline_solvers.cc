@@ -4,9 +4,11 @@
 #include <cmath>
 #include <vector>
 
+#include "core/solve_options.h"
 #include "flow/min_cost_flow.h"
 #include "obs/phase_timer.h"
 #include "util/check.h"
+#include "util/deadline.h"
 #include "util/distribution.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -14,11 +16,15 @@
 namespace mbta {
 
 Assignment RandomSolver::Solve(const MbtaProblem& problem,
+                               const SolveOptions& options,
                                SolveInfo* info) const {
   MBTA_CHECK(problem.market != nullptr);
   WallTimer timer;
   PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
   ScopedPhase solve_phase(phases, "solve");
+  DeadlineGate local_gate = MakeGate(options);
+  DeadlineGate* gate =
+      options.shared_gate != nullptr ? options.shared_gate : &local_gate;
   const MutualBenefitObjective objective = problem.MakeObjective();
   const LaborMarket& market = objective.market();
   ObjectiveState state(&objective);
@@ -34,7 +40,9 @@ Assignment RandomSolver::Solve(const MbtaProblem& problem,
   std::size_t accepted = 0;
   {
     ScopedPhase phase(phases, "fill");
+    // Budget checkpoint: one charge per candidate edge scanned.
     for (EdgeId e : order) {
+      if (gate->Charge()) break;
       ++scanned;
       if (state.CanAdd(e)) {
         state.Add(e);
@@ -49,24 +57,31 @@ Assignment RandomSolver::Solve(const MbtaProblem& problem,
     info->counters.Add("random/edges_accepted", accepted);
     info->wall_ms = timer.ElapsedMs();
   }
+  PublishBudgetOutcome(*gate, info);
   return state.ToAssignment();
 }
 
 Assignment WorkerCentricSolver::Solve(const MbtaProblem& problem,
+                                      const SolveOptions& options,
                                       SolveInfo* info) const {
   MBTA_CHECK(problem.market != nullptr);
   WallTimer timer;
   PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
   ScopedPhase solve_phase(phases, "solve");
+  DeadlineGate local_gate = MakeGate(options);
+  DeadlineGate* gate =
+      options.shared_gate != nullptr ? options.shared_gate : &local_gate;
   const MutualBenefitObjective objective = problem.MakeObjective();
   const LaborMarket& market = objective.market();
   ObjectiveState state(&objective);
 
   std::size_t scanned = 0;
   std::size_t accepted = 0;
+  bool expired = false;
   {
     ScopedPhase phase(phases, "assign_workers");
-    for (WorkerId w = 0; w < market.NumWorkers(); ++w) {
+    // Budget checkpoint: one charge per candidate edge scanned.
+    for (WorkerId w = 0; w < market.NumWorkers() && !expired; ++w) {
       auto edges = market.WorkerEdges(w);
       std::vector<EdgeId> sorted;
       sorted.reserve(edges.size());
@@ -76,6 +91,10 @@ Assignment WorkerCentricSolver::Solve(const MbtaProblem& problem,
       });
       for (EdgeId e : sorted) {
         if (state.WorkerLoad(w) >= market.worker(w).capacity) break;
+        if (gate->Charge()) {
+          expired = true;
+          break;
+        }
         ++scanned;
         if (state.CanAdd(e)) {
           state.Add(e);
@@ -91,24 +110,31 @@ Assignment WorkerCentricSolver::Solve(const MbtaProblem& problem,
     info->counters.Add("baseline/edges_accepted", accepted);
     info->wall_ms = timer.ElapsedMs();
   }
+  PublishBudgetOutcome(*gate, info);
   return state.ToAssignment();
 }
 
 Assignment RequesterCentricSolver::Solve(const MbtaProblem& problem,
+                                         const SolveOptions& options,
                                          SolveInfo* info) const {
   MBTA_CHECK(problem.market != nullptr);
   WallTimer timer;
   PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
   ScopedPhase solve_phase(phases, "solve");
+  DeadlineGate local_gate = MakeGate(options);
+  DeadlineGate* gate =
+      options.shared_gate != nullptr ? options.shared_gate : &local_gate;
   const MutualBenefitObjective objective = problem.MakeObjective();
   const LaborMarket& market = objective.market();
   ObjectiveState state(&objective);
 
   std::size_t scanned = 0;
   std::size_t accepted = 0;
+  bool expired = false;
   {
     ScopedPhase phase(phases, "assign_tasks");
-    for (TaskId t = 0; t < market.NumTasks(); ++t) {
+    // Budget checkpoint: one charge per candidate edge scanned.
+    for (TaskId t = 0; t < market.NumTasks() && !expired; ++t) {
       auto edges = market.TaskEdges(t);
       std::vector<EdgeId> sorted;
       sorted.reserve(edges.size());
@@ -118,6 +144,10 @@ Assignment RequesterCentricSolver::Solve(const MbtaProblem& problem,
       });
       for (EdgeId e : sorted) {
         if (state.TaskLoad(t) >= market.task(t).capacity) break;
+        if (gate->Charge()) {
+          expired = true;
+          break;
+        }
         ++scanned;
         if (state.CanAdd(e)) {
           state.Add(e);
@@ -133,15 +163,20 @@ Assignment RequesterCentricSolver::Solve(const MbtaProblem& problem,
     info->counters.Add("baseline/edges_accepted", accepted);
     info->wall_ms = timer.ElapsedMs();
   }
+  PublishBudgetOutcome(*gate, info);
   return state.ToAssignment();
 }
 
 Assignment MatchingSolver::Solve(const MbtaProblem& problem,
+                                 const SolveOptions& options,
                                  SolveInfo* info) const {
   MBTA_CHECK(problem.market != nullptr);
   WallTimer timer;
   PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
   ScopedPhase flow_phase(phases, "flow");
+  DeadlineGate local_gate = MakeGate(options);
+  DeadlineGate* gate =
+      options.shared_gate != nullptr ? options.shared_gate : &local_gate;
   const MutualBenefitObjective objective = problem.MakeObjective();
   const LaborMarket& market = objective.market();
 
@@ -149,6 +184,7 @@ Assignment MatchingSolver::Solve(const MbtaProblem& problem,
   const std::size_t num_workers = market.NumWorkers();
   const std::size_t num_tasks = market.NumTasks();
   MinCostFlow mcf(num_workers + num_tasks + 2);
+  mcf.SetDeadlineGate(gate);
   const std::size_t source = 0;
   const std::size_t sink = num_workers + num_tasks + 1;
   std::vector<MinCostFlow::ArcId> edge_arcs(market.NumEdges());
@@ -186,6 +222,7 @@ Assignment MatchingSolver::Solve(const MbtaProblem& problem,
     info->counters.Add("flow/arcs_scanned", fs.arcs_scanned);
     info->wall_ms = timer.ElapsedMs();
   }
+  PublishBudgetOutcome(*gate, info);
   return result;
 }
 

@@ -17,7 +17,10 @@ class RandomSolver : public Solver {
 
   std::string name() const override { return "random"; }
 
+  using Solver::Solve;
+  /// Budget granularity: one work unit per candidate edge scanned.
   Assignment Solve(const MbtaProblem& problem,
+                   const SolveOptions& options = {},
                    SolveInfo* info = nullptr) const override;
 
  private:
@@ -34,7 +37,10 @@ class WorkerCentricSolver : public Solver {
 
   std::string name() const override { return "worker-centric"; }
 
+  using Solver::Solve;
+  /// Budget granularity: one work unit per candidate edge scanned.
   Assignment Solve(const MbtaProblem& problem,
+                   const SolveOptions& options = {},
                    SolveInfo* info = nullptr) const override;
 };
 
@@ -48,7 +54,10 @@ class RequesterCentricSolver : public Solver {
 
   std::string name() const override { return "requester-centric"; }
 
+  using Solver::Solve;
+  /// Budget granularity: one work unit per candidate edge scanned.
   Assignment Solve(const MbtaProblem& problem,
+                   const SolveOptions& options = {},
                    SolveInfo* info = nullptr) const override;
 };
 
@@ -63,7 +72,11 @@ class MatchingSolver : public Solver {
 
   std::string name() const override { return "matching"; }
 
+  using Solver::Solve;
+  /// Budget granularity: one work unit per augmenting-path attempt in
+  /// the unit-capacity min-cost flow; the partial matching is feasible.
   Assignment Solve(const MbtaProblem& problem,
+                   const SolveOptions& options = {},
                    SolveInfo* info = nullptr) const override;
 };
 

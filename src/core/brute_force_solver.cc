@@ -2,8 +2,10 @@
 
 #include <vector>
 
+#include "core/solve_options.h"
 #include "obs/phase_timer.h"
 #include "util/check.h"
+#include "util/deadline.h"
 #include "util/timer.h"
 
 namespace mbta {
@@ -13,6 +15,7 @@ namespace {
 struct SearchContext {
   const MutualBenefitObjective& objective;
   ObjectiveState state;
+  DeadlineGate* gate;
   /// suffix_bound[i] = Σ_{e >= i} EdgeWeight(e): an additive upper bound on
   /// any gain obtainable from edges i.. (valid since per-edge marginal
   /// gains never exceed the empty-set marginal, i.e. the edge weight).
@@ -21,11 +24,19 @@ struct SearchContext {
   Assignment best;
   std::size_t nodes = 0;
   std::size_t pruned = 0;
+  bool stopped = false;
 
-  explicit SearchContext(const MutualBenefitObjective& obj)
-      : objective(obj), state(&obj) {}
+  SearchContext(const MutualBenefitObjective& obj, DeadlineGate* g)
+      : objective(obj), state(&obj), gate(g) {}
 
   void Search(EdgeId e) {
+    // Budget checkpoint: one charge per search-tree node. The incumbent
+    // `best` is always a complete feasible subset, so an early stop just
+    // returns the best answer proven so far.
+    if (stopped || gate->Charge()) {
+      stopped = true;
+      return;
+    }
     const std::size_t num_edges = objective.market().NumEdges();
     ++nodes;
     if (state.value() > best_value) {
@@ -50,6 +61,7 @@ struct SearchContext {
 }  // namespace
 
 Assignment BruteForceSolver::Solve(const MbtaProblem& problem,
+                                   const SolveOptions& options,
                                    SolveInfo* info) const {
   MBTA_CHECK(problem.market != nullptr);
   MBTA_CHECK_MSG(problem.market->NumEdges() <= max_edges_,
@@ -58,8 +70,11 @@ Assignment BruteForceSolver::Solve(const MbtaProblem& problem,
   WallTimer timer;
   PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
   ScopedPhase solve_phase(phases, "solve");
+  DeadlineGate local_gate = MakeGate(options);
+  DeadlineGate* gate =
+      options.shared_gate != nullptr ? options.shared_gate : &local_gate;
   const MutualBenefitObjective objective = problem.MakeObjective();
-  SearchContext ctx(objective);
+  SearchContext ctx(objective, gate);
 
   const std::size_t num_edges = problem.market->NumEdges();
   ctx.suffix_bound.assign(num_edges + 1, 0.0);
@@ -78,6 +93,7 @@ Assignment BruteForceSolver::Solve(const MbtaProblem& problem,
     info->counters.Add("brute_force/pruned", ctx.pruned);
     info->wall_ms = timer.ElapsedMs();
   }
+  PublishBudgetOutcome(*gate, info);
   return ctx.best;
 }
 

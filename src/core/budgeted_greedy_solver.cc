@@ -3,8 +3,10 @@
 #include <queue>
 #include <vector>
 
+#include "core/solve_options.h"
 #include "obs/phase_timer.h"
 #include "util/check.h"
+#include "util/deadline.h"
 #include "util/timer.h"
 
 namespace mbta {
@@ -26,7 +28,7 @@ struct PassTally {
 /// stale heap keys valid upper bounds.
 Assignment GreedyPass(const MutualBenefitObjective& objective,
                       const BudgetConstraint& budget, bool by_density,
-                      PassTally& tally) {
+                      DeadlineGate& gate, PassTally& tally) {
   const LaborMarket& market = objective.market();
   ObjectiveState state(&objective);
   std::vector<double> remaining = budget.budgets;
@@ -55,7 +57,9 @@ Assignment GreedyPass(const MutualBenefitObjective& objective,
     ++tally.heap_pushes;
   }
 
+  // Budget checkpoint: one charge per heap pop (marginal re-evaluation).
   while (!heap.empty()) {
+    if (gate.Charge()) break;
     const Entry top = heap.top();
     heap.pop();
     if (top.gain <= kGainEpsilon) break;
@@ -84,24 +88,30 @@ Assignment GreedyPass(const MutualBenefitObjective& objective,
 }  // namespace
 
 Assignment BudgetedGreedySolver::Solve(const MbtaProblem& problem,
+                                       const SolveOptions& options,
                                        SolveInfo* info) const {
   MBTA_CHECK(problem.market != nullptr);
   MBTA_CHECK(budget_.budgets.size() >= NumRequesters(*problem.market));
   WallTimer timer;
   PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
   ScopedPhase solve_phase(phases, "solve");
+  DeadlineGate local_gate = MakeGate(options);
+  DeadlineGate* gate =
+      options.shared_gate != nullptr ? options.shared_gate : &local_gate;
   const MutualBenefitObjective objective = problem.MakeObjective();
   PassTally tally;
 
   Assignment by_gain;
   {
     ScopedPhase phase(phases, "pass_gain");
-    by_gain = GreedyPass(objective, budget_, /*by_density=*/false, tally);
+    by_gain =
+        GreedyPass(objective, budget_, /*by_density=*/false, *gate, tally);
   }
   Assignment by_density;
-  {
+  if (!gate->expired()) {
     ScopedPhase phase(phases, "pass_density");
-    by_density = GreedyPass(objective, budget_, /*by_density=*/true, tally);
+    by_density =
+        GreedyPass(objective, budget_, /*by_density=*/true, *gate, tally);
   }
 
   const Assignment& better =
@@ -114,6 +124,7 @@ Assignment BudgetedGreedySolver::Solve(const MbtaProblem& problem,
     info->counters.Add("budgeted/commits", tally.commits);
     info->wall_ms = timer.ElapsedMs();
   }
+  PublishBudgetOutcome(*gate, info);
   return better;
 }
 

@@ -3,14 +3,18 @@
 #include <cmath>
 #include <vector>
 
+#include "core/solve_options.h"
 #include "flow/min_cost_flow.h"
 #include "obs/phase_timer.h"
 #include "util/check.h"
+#include "util/deadline.h"
+#include "util/fault_injector.h"
 #include "util/timer.h"
 
 namespace mbta {
 
 Assignment ExactFlowSolver::Solve(const MbtaProblem& problem,
+                                  const SolveOptions& options,
                                   SolveInfo* info) const {
   MBTA_CHECK(problem.market != nullptr);
   MBTA_CHECK_MSG(problem.objective.kind == ObjectiveKind::kModular,
@@ -18,6 +22,9 @@ Assignment ExactFlowSolver::Solve(const MbtaProblem& problem,
   WallTimer timer;
   PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
   ScopedPhase flow_phase(phases, "flow");
+  DeadlineGate local_gate = MakeGate(options);
+  DeadlineGate* gate =
+      options.shared_gate != nullptr ? options.shared_gate : &local_gate;
   const MutualBenefitObjective objective = problem.MakeObjective();
   const LaborMarket& market = objective.market();
 
@@ -25,6 +32,7 @@ Assignment ExactFlowSolver::Solve(const MbtaProblem& problem,
   const std::size_t num_workers = market.NumWorkers();
   const std::size_t num_tasks = market.NumTasks();
   MinCostFlow mcf(num_workers + num_tasks + 2);
+  mcf.SetDeadlineGate(gate);
   const std::size_t source = 0;
   const std::size_t sink = num_workers + num_tasks + 1;
   auto worker_node = [&](WorkerId w) { return 1 + w; };
@@ -34,12 +42,15 @@ Assignment ExactFlowSolver::Solve(const MbtaProblem& problem,
   {
     ScopedPhase phase(phases, "build_graph");
     for (WorkerId w = 0; w < num_workers; ++w) {
+      MaybeFail(options.faults, "flow/build_arc");
       mcf.AddArc(source, worker_node(w), market.worker(w).capacity, 0);
     }
     for (TaskId t = 0; t < num_tasks; ++t) {
+      MaybeFail(options.faults, "flow/build_arc");
       mcf.AddArc(task_node(t), sink, market.task(t).capacity, 0);
     }
     for (EdgeId e = 0; e < market.NumEdges(); ++e) {
+      MaybeFail(options.faults, "flow/build_arc");
       const std::int64_t cost = -static_cast<std::int64_t>(
           std::llround(objective.EdgeWeight(e) * kScale));
       edge_arcs[e] = mcf.AddArc(worker_node(market.EdgeWorker(e)),
@@ -68,6 +79,7 @@ Assignment ExactFlowSolver::Solve(const MbtaProblem& problem,
     info->counters.Add("flow/arcs_scanned", fs.arcs_scanned);
     info->wall_ms = timer.ElapsedMs();
   }
+  PublishBudgetOutcome(*gate, info);
   return result;
 }
 

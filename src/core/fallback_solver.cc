@@ -1,0 +1,156 @@
+#include "core/fallback_solver.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "core/baseline_solvers.h"
+#include "core/exact_flow_solver.h"
+#include "core/greedy_solver.h"
+#include "obs/phase_timer.h"
+#include "util/check.h"
+#include "util/deadline.h"
+#include "util/fault_injector.h"
+#include "util/timer.h"
+
+namespace mbta {
+
+namespace {
+
+DeadlineBudget ShrunkBudget(DeadlineBudget budget, double factor) {
+  if (budget.max_work != DeadlineBudget::kUnlimitedWork) {
+    const double shrunk =
+        static_cast<double>(budget.max_work) * factor;
+    budget.max_work =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(shrunk));
+  }
+  if (budget.max_wall_ms > 0.0) budget.max_wall_ms *= factor;
+  return budget;
+}
+
+}  // namespace
+
+FallbackSolver::FallbackSolver(std::vector<Stage> stages, Options options)
+    : stages_(std::move(stages)), chain_options_(options) {
+  MBTA_CHECK(!stages_.empty());
+  for (const Stage& stage : stages_) {
+    MBTA_CHECK(stage.solver != nullptr);
+  }
+  MBTA_CHECK(chain_options_.max_retries >= 0);
+  MBTA_CHECK(chain_options_.retry_budget_factor > 0.0 &&
+             chain_options_.retry_budget_factor <= 1.0);
+}
+
+Assignment FallbackSolver::Solve(const MbtaProblem& problem,
+                                 const SolveOptions& options,
+                                 SolveInfo* info) const {
+  MBTA_CHECK(problem.market != nullptr);
+  WallTimer timer;
+  PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
+  ScopedPhase solve_phase(phases, "fallback");
+  const MutualBenefitObjective objective = problem.MakeObjective();
+
+  // Chain-level gate: the caller's budget bounds the *whole* chain, one
+  // charge per stage attempt (per-stage work is bounded by the stage
+  // budgets, so this coarse unit is enough to honor wall deadlines at
+  // stage boundaries). Faults and cancellation are threaded into the
+  // stages themselves, where they are observed at fine granularity.
+  DeadlineGate local_gate(options.budget);
+  DeadlineGate* chain_gate =
+      options.shared_gate != nullptr ? options.shared_gate : &local_gate;
+
+  Assignment best;
+  double best_value = objective.Value(best);
+  std::size_t transitions = 0;
+  std::size_t retries = 0;
+  bool completed = false;
+  bool cancelled = false;
+  StopReason chain_reason = StopReason::kNone;
+
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    if (chain_gate->Charge()) {
+      chain_reason = chain_gate->reason();
+      break;
+    }
+    const std::string stage_label = "stage_" + std::to_string(s);
+    DeadlineBudget stage_budget = stages_[s].budget;
+    int attempts_left = 1 + chain_options_.max_retries;
+    while (attempts_left-- > 0) {
+      SolveOptions stage_options;
+      stage_options.budget = stage_budget;
+      stage_options.faults = options.faults;
+      stage_options.cancel = options.cancel;
+      SolveStats stage_stats;
+      try {
+        ScopedPhase stage_phase(phases, stage_label);
+        const Assignment result = stages_[s].solver->Solve(
+            problem, stage_options, &stage_stats);
+        if (info != nullptr) {
+          info->gain_evaluations += stage_stats.gain_evaluations;
+          info->counters.Merge(stage_stats.counters);
+          info->phases.Merge(stage_stats.phases);
+        }
+        const double value = objective.Value(result);
+        if (value > best_value) {
+          best = result;
+          best_value = value;
+        }
+        if (stage_stats.stop_reason == StopReason::kCancelled) {
+          cancelled = true;
+        } else if (!stage_stats.deadline_hit) {
+          completed = true;
+        } else {
+          chain_reason = stage_stats.stop_reason;
+        }
+        break;  // stage attempt resolved (no transient fault)
+      } catch (const FaultInjectedError&) {
+        if (info != nullptr) {
+          // Keep whatever instrumentation the dead attempt accumulated:
+          // the phase record of a killed stage is exactly what an
+          // incident investigation wants to see.
+          info->counters.Merge(stage_stats.counters);
+          info->phases.Merge(stage_stats.phases);
+        }
+        if (attempts_left > 0) {
+          ++retries;
+          stage_budget = ShrunkBudget(stage_budget,
+                                      chain_options_.retry_budget_factor);
+          continue;
+        }
+        // Retries exhausted: give up on this stage, downgrade.
+      }
+    }
+    if (completed || cancelled) break;
+    if (s + 1 < stages_.size()) ++transitions;
+  }
+
+  if (info != nullptr) {
+    info->counters.Add("solve/fallback/stage", transitions);
+    info->counters.Add("solve/fallback/retry", retries);
+    if (cancelled) {
+      info->deadline_hit = true;
+      info->stop_reason = StopReason::kCancelled;
+    } else if (!completed) {
+      info->deadline_hit = true;
+      info->stop_reason = chain_reason != StopReason::kNone
+                              ? chain_reason
+                              : StopReason::kWorkBudget;
+    }
+    info->wall_ms = timer.ElapsedMs();
+  }
+  return best;
+}
+
+std::unique_ptr<FallbackSolver> MakeStandardFallbackChain(
+    const DeadlineBudget& stage_budget) {
+  std::vector<FallbackSolver::Stage> stages;
+  stages.push_back({std::make_shared<ExactFlowSolver>(), stage_budget});
+  stages.push_back({std::make_shared<GreedySolver>(), stage_budget});
+  // The floor runs unbudgeted: worker-centric is linear-ish in the edge
+  // count and must always deliver a complete feasible assignment.
+  stages.push_back({std::make_shared<WorkerCentricSolver>(),
+                    DeadlineBudget{}});
+  return std::make_unique<FallbackSolver>(std::move(stages));
+}
+
+}  // namespace mbta

@@ -3,8 +3,10 @@
 #include <queue>
 #include <vector>
 
+#include "core/solve_options.h"
 #include "obs/phase_timer.h"
 #include "util/check.h"
+#include "util/deadline.h"
 #include "util/timer.h"
 
 namespace mbta {
@@ -14,7 +16,7 @@ namespace {
 constexpr double kGainEpsilon = 1e-12;
 
 Assignment SolveLazy(const MutualBenefitObjective& objective,
-                     SolveStats* info) {
+                     DeadlineGate* gate, SolveStats* info) {
   const LaborMarket& market = objective.market();
   ObjectiveState state(&objective);
   PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
@@ -42,7 +44,10 @@ Assignment SolveLazy(const MutualBenefitObjective& objective,
 
   {
     ScopedPhase phase(phases, "lazy_loop");
+    // Budget checkpoint: one charge per heap pop. Stopping between pops
+    // leaves the committed prefix — a feasible greedy assignment.
     while (!heap.empty()) {
+      if (gate->Charge()) break;
       const Entry top = heap.top();
       heap.pop();
       ++pops;
@@ -75,7 +80,7 @@ Assignment SolveLazy(const MutualBenefitObjective& objective,
 }
 
 Assignment SolvePlain(const MutualBenefitObjective& objective,
-                      SolveStats* info) {
+                      DeadlineGate* gate, SolveStats* info) {
   const LaborMarket& market = objective.market();
   ObjectiveState state(&objective);
   PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
@@ -85,6 +90,10 @@ Assignment SolvePlain(const MutualBenefitObjective& objective,
   std::vector<bool> dead(market.NumEdges(), false);
 
   ScopedPhase phase(phases, "scan_rounds");
+  // Budget checkpoint: one charge per marginal-gain evaluation. An
+  // expiry mid-scan abandons the incomplete round (no commit from a
+  // partial argmax scan), keeping the result a pure greedy prefix.
+  bool expired = false;
   for (;;) {
     ++rounds;
     double best_gain = kGainEpsilon;
@@ -95,6 +104,10 @@ Assignment SolvePlain(const MutualBenefitObjective& objective,
         if (state.Contains(e)) dead[e] = true;
         continue;
       }
+      if (gate->Charge()) {
+        expired = true;
+        break;
+      }
       const double gain = state.MarginalGain(e);
       ++evals;
       if (gain > best_gain) {
@@ -102,7 +115,7 @@ Assignment SolvePlain(const MutualBenefitObjective& objective,
         best_edge = e;
       }
     }
-    if (best_edge == kInvalidEdge) break;
+    if (expired || best_edge == kInvalidEdge) break;
     state.Add(best_edge);
     ++commits;
   }
@@ -119,14 +132,20 @@ Assignment SolvePlain(const MutualBenefitObjective& objective,
 }  // namespace
 
 Assignment GreedySolver::Solve(const MbtaProblem& problem,
+                               const SolveOptions& options,
                                SolveInfo* info) const {
   MBTA_CHECK(problem.market != nullptr);
   WallTimer timer;
   ScopedPhase solve_phase(info != nullptr ? &info->phases : nullptr,
                           "solve");
+  DeadlineGate local_gate = MakeGate(options);
+  DeadlineGate* gate =
+      options.shared_gate != nullptr ? options.shared_gate : &local_gate;
   const MutualBenefitObjective objective = problem.MakeObjective();
-  Assignment result = mode_ == Mode::kLazy ? SolveLazy(objective, info)
-                                           : SolvePlain(objective, info);
+  Assignment result = mode_ == Mode::kLazy
+                          ? SolveLazy(objective, gate, info)
+                          : SolvePlain(objective, gate, info);
+  PublishBudgetOutcome(*gate, info);
   if (info != nullptr) info->wall_ms = timer.ElapsedMs();
   return result;
 }

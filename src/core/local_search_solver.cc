@@ -3,8 +3,10 @@
 #include <vector>
 
 #include "core/greedy_solver.h"
+#include "core/solve_options.h"
 #include "obs/phase_timer.h"
 #include "util/check.h"
+#include "util/deadline.h"
 #include "util/timer.h"
 
 namespace mbta {
@@ -151,11 +153,15 @@ bool TryAdmit(ObjectiveState& state, EdgeId e, double min_gain,
 }  // namespace
 
 Assignment LocalSearchSolver::Solve(const MbtaProblem& problem,
+                                    const SolveOptions& options,
                                     SolveInfo* info) const {
   MBTA_CHECK(problem.market != nullptr);
   WallTimer timer;
   PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
   ScopedPhase solve_phase(phases, "solve");
+  DeadlineGate local_gate = MakeGate(options);
+  DeadlineGate* gate =
+      options.shared_gate != nullptr ? options.shared_gate : &local_gate;
   const MutualBenefitObjective objective = problem.MakeObjective();
   const LaborMarket& market = objective.market();
 
@@ -168,20 +174,32 @@ Assignment LocalSearchSolver::Solve(const MbtaProblem& problem,
   if (options_.greedy_init) {
     ScopedPhase phase(phases, "greedy_init");
     SolveInfo greedy_info;
-    const Assignment start =
-        GreedySolver(GreedySolver::Mode::kLazy).Solve(problem, &greedy_info);
+    // The seed solve draws from *this* solve's gate, so the overall
+    // budget covers initialization + improvement together.
+    SolveOptions seed_options = options;
+    seed_options.shared_gate = gate;
+    const Assignment start = GreedySolver(GreedySolver::Mode::kLazy)
+                                 .Solve(problem, seed_options, &greedy_info);
     evals += greedy_info.gain_evaluations;
     for (EdgeId e : start.edges) state.Add(e);
   }
 
   {
     ScopedPhase phase(phases, "improve_passes");
-    for (int pass = 0; pass < options_.max_passes; ++pass) {
+    // Budget checkpoint: one charge per attempted move, placed *between*
+    // TryAdmit calls — every move either commits or fully reverts, so
+    // stopping here always leaves a consistent feasible assignment.
+    bool expired = false;
+    for (int pass = 0; pass < options_.max_passes && !expired; ++pass) {
       ++passes;
       bool improved = false;
       const double scale = std::max(state.value(), 1.0);
       const double min_gain = options_.min_relative_gain * scale;
       for (EdgeId e = 0; e < market.NumEdges(); ++e) {
+        if (gate->Charge()) {
+          expired = true;
+          break;
+        }
         if (TryAdmit(state, e, min_gain, &evals)) {
           improved = true;
           ++accepted;
@@ -200,6 +218,7 @@ Assignment LocalSearchSolver::Solve(const MbtaProblem& problem,
     info->counters.Add("local_search/moves_rejected", rejected);
     info->wall_ms = timer.ElapsedMs();
   }
+  PublishBudgetOutcome(*gate, info);
   return state.ToAssignment();
 }
 

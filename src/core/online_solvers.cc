@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/solve_options.h"
 #include "obs/phase_timer.h"
 #include "util/check.h"
+#include "util/deadline.h"
 #include "util/distribution.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -26,8 +28,10 @@ struct OnlineTally {
 /// Greedily fills one arrived worker: repeatedly adds its best feasible
 /// edge with marginal gain above `min_gain` until capacity runs out.
 /// Accepted gains are appended to `accepted_gains` when non-null.
-void FillWorker(ObjectiveState& state, WorkerId w, double min_gain,
-                OnlineTally& tally,
+/// Budget checkpoint: one charge per marginal-gain evaluation; returns
+/// false when the gate expired (commitments made so far stand).
+bool FillWorker(ObjectiveState& state, WorkerId w, double min_gain,
+                DeadlineGate& gate, OnlineTally& tally,
                 std::vector<double>* accepted_gains = nullptr) {
   const LaborMarket& market = state.objective().market();
   while (state.WorkerLoad(w) < market.worker(w).capacity) {
@@ -36,6 +40,7 @@ void FillWorker(ObjectiveState& state, WorkerId w, double min_gain,
     EdgeId best_edge = kInvalidEdge;
     for (const Incidence& inc : market.WorkerEdges(w)) {
       if (!state.CanAdd(inc.edge)) continue;
+      if (gate.Charge()) return false;
       const double gain = state.MarginalGain(inc.edge);
       ++tally.evals;
       best_any_gain = std::max(best_any_gain, gain);
@@ -54,6 +59,7 @@ void FillWorker(ObjectiveState& state, WorkerId w, double min_gain,
     state.Add(best_edge);
     ++tally.matches;
   }
+  return true;
 }
 
 }  // namespace
@@ -70,28 +76,34 @@ std::vector<WorkerId> RandomArrivalOrder(std::size_t num_workers,
 }
 
 Assignment OnlineGreedySolver::Solve(const MbtaProblem& problem,
+                                     const SolveOptions& options,
                                      SolveInfo* info) const {
   MBTA_CHECK(problem.market != nullptr);
   return SolveWithOrder(
       problem, RandomArrivalOrder(problem.market->NumWorkers(), seed_),
-      info);
+      options, info);
 }
 
 Assignment OnlineGreedySolver::SolveWithOrder(
     const MbtaProblem& problem, const std::vector<WorkerId>& order,
-    SolveInfo* info) const {
+    const SolveOptions& options, SolveInfo* info) const {
   MBTA_CHECK(problem.market != nullptr);
   MBTA_CHECK(order.size() == problem.market->NumWorkers());
   WallTimer timer;
   PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
   ScopedPhase solve_phase(phases, "solve");
+  DeadlineGate local_gate = MakeGate(options);
+  DeadlineGate* gate =
+      options.shared_gate != nullptr ? options.shared_gate : &local_gate;
   const MutualBenefitObjective objective = problem.MakeObjective();
   ObjectiveState state(&objective);
   OnlineTally tally;
 
   {
     ScopedPhase phase(phases, "arrivals");
-    for (WorkerId w : order) FillWorker(state, w, 0.0, tally);
+    for (WorkerId w : order) {
+      if (!FillWorker(state, w, 0.0, *gate, tally)) break;
+    }
   }
 
   if (info != nullptr) {
@@ -100,6 +112,7 @@ Assignment OnlineGreedySolver::SolveWithOrder(
     info->counters.Add("online/matches", tally.matches);
     info->wall_ms = timer.ElapsedMs();
   }
+  PublishBudgetOutcome(*gate, info);
   return state.ToAssignment();
 }
 
@@ -117,21 +130,25 @@ std::vector<TaskId> RandomTaskArrivalOrder(std::size_t num_tasks,
 }
 
 Assignment TaskArrivalGreedySolver::Solve(const MbtaProblem& problem,
+                                          const SolveOptions& options,
                                           SolveInfo* info) const {
   MBTA_CHECK(problem.market != nullptr);
   return SolveWithOrder(
       problem, RandomTaskArrivalOrder(problem.market->NumTasks(), seed_),
-      info);
+      options, info);
 }
 
 Assignment TaskArrivalGreedySolver::SolveWithOrder(
     const MbtaProblem& problem, const std::vector<TaskId>& order,
-    SolveInfo* info) const {
+    const SolveOptions& options, SolveInfo* info) const {
   MBTA_CHECK(problem.market != nullptr);
   MBTA_CHECK(order.size() == problem.market->NumTasks());
   WallTimer timer;
   PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
   ScopedPhase solve_phase(phases, "solve");
+  DeadlineGate local_gate = MakeGate(options);
+  DeadlineGate* gate =
+      options.shared_gate != nullptr ? options.shared_gate : &local_gate;
   const MutualBenefitObjective objective = problem.MakeObjective();
   const LaborMarket& market = objective.market();
   ObjectiveState state(&objective);
@@ -140,12 +157,19 @@ Assignment TaskArrivalGreedySolver::SolveWithOrder(
 
   {
     ScopedPhase phase(phases, "arrivals");
+    // Budget checkpoint: one charge per marginal-gain evaluation.
+    bool expired = false;
     for (TaskId t : order) {
+      if (expired) break;
       while (state.TaskLoad(t) < market.task(t).capacity) {
         double best_gain = 0.0;
         EdgeId best_edge = kInvalidEdge;
         for (const Incidence& inc : market.TaskEdges(t)) {
           if (!state.CanAdd(inc.edge)) continue;
+          if (gate->Charge()) {
+            expired = true;
+            break;
+          }
           const double gain = state.MarginalGain(inc.edge);
           ++evals;
           if (gain > best_gain) {
@@ -153,7 +177,7 @@ Assignment TaskArrivalGreedySolver::SolveWithOrder(
             best_edge = inc.edge;
           }
         }
-        if (best_edge == kInvalidEdge) break;
+        if (expired || best_edge == kInvalidEdge) break;
         state.Add(best_edge);
         ++matches;
       }
@@ -166,20 +190,22 @@ Assignment TaskArrivalGreedySolver::SolveWithOrder(
     info->counters.Add("online/matches", matches);
     info->wall_ms = timer.ElapsedMs();
   }
+  PublishBudgetOutcome(*gate, info);
   return state.ToAssignment();
 }
 
 Assignment TwoPhaseOnlineSolver::Solve(const MbtaProblem& problem,
+                                       const SolveOptions& options,
                                        SolveInfo* info) const {
   MBTA_CHECK(problem.market != nullptr);
   return SolveWithOrder(
       problem, RandomArrivalOrder(problem.market->NumWorkers(), seed_),
-      info);
+      options, info);
 }
 
 Assignment TwoPhaseOnlineSolver::SolveWithOrder(
     const MbtaProblem& problem, const std::vector<WorkerId>& order,
-    SolveInfo* info) const {
+    const SolveOptions& solve_options, SolveInfo* info) const {
   MBTA_CHECK(problem.market != nullptr);
   MBTA_CHECK(order.size() == problem.market->NumWorkers());
   MBTA_CHECK(options_.sample_fraction >= 0.0 &&
@@ -189,6 +215,10 @@ Assignment TwoPhaseOnlineSolver::SolveWithOrder(
   WallTimer timer;
   PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
   ScopedPhase solve_phase(phases, "solve");
+  DeadlineGate local_gate = MakeGate(solve_options);
+  DeadlineGate* gate = solve_options.shared_gate != nullptr
+                           ? solve_options.shared_gate
+                           : &local_gate;
   const MutualBenefitObjective objective = problem.MakeObjective();
   ObjectiveState state(&objective);
   OnlineTally tally;
@@ -204,10 +234,12 @@ Assignment TwoPhaseOnlineSolver::SolveWithOrder(
   // match is worth in this market.
   std::vector<double> sampled_gains;
   double threshold = 0.0;
+  bool expired = false;
   {
     ScopedPhase phase(phases, "sample");
-    for (std::size_t i = 0; i < sample_end; ++i) {
-      FillWorker(state, order[i], 0.0, tally, &sampled_gains);
+    for (std::size_t i = 0; i < sample_end && !expired; ++i) {
+      expired = !FillWorker(state, order[i], 0.0, *gate, tally,
+                            &sampled_gains);
     }
     threshold = sampled_gains.empty()
                     ? 0.0
@@ -221,9 +253,9 @@ Assignment TwoPhaseOnlineSolver::SolveWithOrder(
   // stranded.
   {
     ScopedPhase phase(phases, "thresholded_arrivals");
-    for (std::size_t i = sample_end; i < n; ++i) {
+    for (std::size_t i = sample_end; i < n && !expired; ++i) {
       const double min_gain = i >= endgame_start ? 0.0 : threshold;
-      FillWorker(state, order[i], min_gain, tally);
+      expired = !FillWorker(state, order[i], min_gain, *gate, tally);
     }
   }
 
@@ -235,6 +267,7 @@ Assignment TwoPhaseOnlineSolver::SolveWithOrder(
     info->counters.SetGauge("online/calibrated_threshold", threshold);
     info->wall_ms = timer.ElapsedMs();
   }
+  PublishBudgetOutcome(*gate, info);
   return state.ToAssignment();
 }
 

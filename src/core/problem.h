@@ -6,6 +6,7 @@
 #include "market/objective.h"
 #include "obs/counters.h"
 #include "obs/phase_timer.h"
+#include "util/deadline.h"
 
 namespace mbta {
 
@@ -53,6 +54,16 @@ struct SolveStats {
   /// Nested wall-clock phase breakdown (e.g. "solve/build_heap",
   /// "flow/augment"). Every standard solver records at least one phase.
   PhaseTimings phases;
+
+  /// True when the solve stopped early — DeadlineBudget exhausted (work
+  /// units or wall clock) or cooperative cancellation observed. The
+  /// returned assignment is still feasible and validator-clean; it is
+  /// the solver's best answer found within the budget, not its full-run
+  /// answer.
+  bool deadline_hit = false;
+
+  /// Why the solve stopped early; StopReason::kNone on a full run.
+  StopReason stop_reason = StopReason::kNone;
 };
 
 /// Historic name of SolveStats, kept as an alias so pre-instrumentation

@@ -1,0 +1,16 @@
+#include "core/solve_options.h"
+
+namespace mbta {
+
+void PublishBudgetOutcome(const DeadlineGate& gate, SolveStats* info) {
+  if (info == nullptr || !gate.expired()) return;
+  info->deadline_hit = true;
+  info->stop_reason = gate.reason();
+  if (gate.reason() == StopReason::kCancelled) {
+    info->counters.Add("cancel/observed", 1);
+  } else {
+    info->counters.Add("deadline/hit", 1);
+  }
+}
+
+}  // namespace mbta

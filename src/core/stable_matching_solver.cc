@@ -4,8 +4,10 @@
 #include <queue>
 #include <vector>
 
+#include "core/solve_options.h"
 #include "obs/phase_timer.h"
 #include "util/check.h"
+#include "util/deadline.h"
 #include "util/timer.h"
 
 namespace mbta {
@@ -25,11 +27,15 @@ struct Held {
 }  // namespace
 
 Assignment StableMatchingSolver::Solve(const MbtaProblem& problem,
+                                       const SolveOptions& options,
                                        SolveInfo* info) const {
   MBTA_CHECK(problem.market != nullptr);
   WallTimer timer;
   PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
   ScopedPhase solve_phase(phases, "solve");
+  DeadlineGate local_gate = MakeGate(options);
+  DeadlineGate* gate =
+      options.shared_gate != nullptr ? options.shared_gate : &local_gate;
   const LaborMarket& market = *problem.market;
 
   // Each worker's proposal list: its edges sorted by worker benefit,
@@ -64,13 +70,21 @@ Assignment StableMatchingSolver::Solve(const MbtaProblem& problem,
 
   std::size_t proposals = 0;
   std::size_t evictions = 0;
+  bool expired = false;
   {
     ScopedPhase phase(phases, "propose");
-    while (!active.empty()) {
+    // Budget checkpoint: one charge per proposal. The held-sets respect
+    // both sides' capacities after every proposal, so stopping here
+    // extracts a feasible (possibly not yet stable) assignment.
+    while (!active.empty() && !expired) {
       const WorkerId w = active.front();
       active.pop();
       while (worker_held[w] < market.worker(w).capacity &&
              next_proposal[w] < preference[w].size()) {
+        if (gate->Charge()) {
+          expired = true;
+          break;
+        }
         const EdgeId e = preference[w][next_proposal[w]++];
         ++proposals;
         const TaskId t = market.EdgeTask(e);
@@ -112,6 +126,7 @@ Assignment StableMatchingSolver::Solve(const MbtaProblem& problem,
     info->counters.Add("stable/evictions", evictions);
     info->wall_ms = timer.ElapsedMs();
   }
+  PublishBudgetOutcome(*gate, info);
   return result;
 }
 

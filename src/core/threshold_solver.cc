@@ -3,19 +3,25 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/solve_options.h"
 #include "obs/phase_timer.h"
 #include "util/check.h"
+#include "util/deadline.h"
 #include "util/timer.h"
 
 namespace mbta {
 
 Assignment ThresholdSolver::Solve(const MbtaProblem& problem,
+                                  const SolveOptions& options,
                                   SolveInfo* info) const {
   MBTA_CHECK(problem.market != nullptr);
   MBTA_CHECK(epsilon_ > 0.0 && epsilon_ < 1.0);
   WallTimer timer;
   PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
   ScopedPhase solve_phase(phases, "solve");
+  DeadlineGate local_gate = MakeGate(options);
+  DeadlineGate* gate =
+      options.shared_gate != nullptr ? options.shared_gate : &local_gate;
   const MutualBenefitObjective objective = problem.MakeObjective();
   const LaborMarket& market = objective.market();
   ObjectiveState state(&objective);
@@ -47,13 +53,21 @@ Assignment ThresholdSolver::Solve(const MbtaProblem& problem,
     ScopedPhase phase(phases, "sweep");
     const double floor =
         epsilon_ * max_weight / static_cast<double>(market.NumEdges() + 1);
-    for (double tau = max_weight; tau > floor && !alive.empty();
+    // Budget checkpoint: one charge per marginal-gain evaluation in the
+    // sweep. Edges admitted before expiry stand; the rest of the sweep
+    // is abandoned.
+    bool expired = false;
+    for (double tau = max_weight; tau > floor && !alive.empty() && !expired;
          tau *= 1.0 - epsilon_) {
       ++rounds;
       std::vector<EdgeId> next_alive;
       next_alive.reserve(alive.size());
       for (EdgeId e : alive) {
         if (!state.CanAdd(e)) continue;  // saturated endpoint: edge is dead
+        if (gate->Charge()) {
+          expired = true;
+          break;
+        }
         const double gain = state.MarginalGain(e);
         ++evals;
         if (gain >= tau) {
@@ -75,6 +89,7 @@ Assignment ThresholdSolver::Solve(const MbtaProblem& problem,
     info->counters.Add("threshold/commits", commits);
     info->wall_ms = timer.ElapsedMs();
   }
+  PublishBudgetOutcome(*gate, info);
   return state.ToAssignment();
 }
 

@@ -8,7 +8,8 @@
 namespace mbta {
 
 AssignmentResult MinCostAssignment(const std::vector<double>& cost,
-                                   std::size_t n, std::size_t m) {
+                                   std::size_t n, std::size_t m,
+                                   DeadlineGate* gate) {
   MBTA_CHECK(n <= m);
   MBTA_CHECK(cost.size() == n * m);
   constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -18,7 +19,15 @@ AssignmentResult MinCostAssignment(const std::vector<double>& cost,
   std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
   std::vector<std::size_t> p(m + 1, 0), way(m + 1, 0);
 
+  // Budget checkpoint: one charge per row augmentation. Each completed
+  // row leaves a consistent partial matching, so tripping mid-solve
+  // keeps the processed rows matched and the rest unassigned.
+  std::size_t rows_done = n;
   for (std::size_t i = 1; i <= n; ++i) {
+    if (gate != nullptr && gate->Charge()) {
+      rows_done = i - 1;
+      break;
+    }
     p[0] = i;
     std::size_t j0 = 0;
     std::vector<double> minv(m + 1, kInf);
@@ -64,14 +73,20 @@ AssignmentResult MinCostAssignment(const std::vector<double>& cost,
     if (p[j] != 0) result.row_to_col[p[j] - 1] = static_cast<int>(j - 1);
   }
   for (std::size_t i = 0; i < n; ++i) {
-    MBTA_CHECK(result.row_to_col[i] >= 0);
+    // Rows past the deadline cut stay unmatched; all processed rows must
+    // have found a column.
+    if (result.row_to_col[i] < 0) {
+      MBTA_CHECK(i >= rows_done);
+      continue;
+    }
     result.total += cost[i * m + static_cast<std::size_t>(result.row_to_col[i])];
   }
   return result;
 }
 
 AssignmentResult MaxWeightMatching(const std::vector<double>& weight,
-                                   std::size_t n, std::size_t m) {
+                                   std::size_t n, std::size_t m,
+                                   DeadlineGate* gate) {
   MBTA_CHECK(weight.size() == n * m);
   // Square k x k matrix of costs = -weight, padded with zeros. A zero pad
   // cell behaves like "leave unmatched at zero gain", so free disposal
@@ -86,7 +101,7 @@ AssignmentResult MaxWeightMatching(const std::vector<double>& weight,
       cost[i * k + j] = -std::max(weight[i * m + j], 0.0);
     }
   }
-  const AssignmentResult inner = MinCostAssignment(cost, k, k);
+  const AssignmentResult inner = MinCostAssignment(cost, k, k, gate);
   for (std::size_t i = 0; i < n; ++i) {
     const int j = inner.row_to_col[i];
     if (j >= 0 && static_cast<std::size_t>(j) < m &&

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/deadline.h"
+
 namespace mbta {
 
 /// Result of an assignment-problem solve: row_to_col[i] is the column
@@ -18,15 +20,22 @@ struct AssignmentResult {
 /// is matched to a distinct column so total cost is minimized.
 ///
 /// `cost` is row-major, cost[i*m + j].
+///
+/// `gate`, when non-null, is charged once per row augmentation; if it
+/// trips, the remaining rows are left unassigned (row_to_col = -1) and
+/// the partial matching — valid for the rows processed so far — is
+/// returned. A full run matches every row.
 AssignmentResult MinCostAssignment(const std::vector<double>& cost,
-                                   std::size_t n, std::size_t m);
+                                   std::size_t n, std::size_t m,
+                                   DeadlineGate* gate = nullptr);
 
 /// Maximum-weight bipartite matching with free disposal: any subset of
 /// rows/columns may stay unmatched, and pairs with weight <= 0 are never
 /// used. Works for any n, m. Weight matrix is row-major weight[i*m + j];
-/// use 0 (or negative) for non-edges.
+/// use 0 (or negative) for non-edges. `gate` as in MinCostAssignment.
 AssignmentResult MaxWeightMatching(const std::vector<double>& weight,
-                                   std::size_t n, std::size_t m);
+                                   std::size_t n, std::size_t m,
+                                   DeadlineGate* gate = nullptr);
 
 }  // namespace mbta
 

@@ -108,7 +108,9 @@ MinCostFlow::Result MinCostFlow::Run(std::size_t source, std::size_t sink,
   solved_ = true;
   InitPotentials(source);
   Result result;
-  while (result.flow < flow_limit && ShortestPath(source, sink)) {
+  while (result.flow < flow_limit &&
+         (gate_ == nullptr || !gate_->Charge()) &&
+         ShortestPath(source, sink)) {
     // True path cost = reduced-path length adjusted by potentials.
     const std::int64_t path_cost =
         dist_[sink] - potential_[source] + potential_[sink];

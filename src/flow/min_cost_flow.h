@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/deadline.h"
+
 namespace mbta {
 
 /// Min-cost max-flow via successive shortest augmenting paths with Johnson
@@ -54,6 +56,14 @@ class MinCostFlow {
   /// Returns the flow shipped and its (negative or zero) total cost.
   Result SolveNegativeOnly(std::size_t source, std::size_t sink);
 
+  /// Attaches a cooperative stop check, charged once per augmenting-path
+  /// attempt (before each shortest-path search). When the gate trips the
+  /// solve stops early and returns the flow shipped so far — every full
+  /// augmentation keeps the flow integral and capacity-feasible, so the
+  /// partial result decomposes into a valid (suboptimal) assignment.
+  /// Null (the default) disables the check. Must be set before solving.
+  void SetDeadlineGate(DeadlineGate* gate) { gate_ = gate; }
+
   /// Flow routed on an arc after a solve call.
   std::int64_t Flow(ArcId arc) const;
 
@@ -87,6 +97,7 @@ class MinCostFlow {
   std::vector<std::size_t> prev_arc_;
   bool has_negative_costs_ = false;
   bool solved_ = false;
+  DeadlineGate* gate_ = nullptr;
   Stats stats_;
 };
 

@@ -1,12 +1,17 @@
 #include "io/market_io.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <fstream>
+#include <initializer_list>
 #include <iomanip>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <unordered_set>
+
+#include "util/fault_injector.h"
 
 namespace mbta {
 
@@ -14,6 +19,27 @@ namespace {
 
 constexpr char kMarketHeader[] = "mbta-market v1";
 constexpr char kAssignmentHeader[] = "mbta-assignment v1";
+
+/// Hard ceilings on untrusted section counts. A hostile header like
+/// "workers 99999999999999999999" must fail validation, not drive a
+/// pre-allocation: strtoll-style extraction already rejects values that
+/// overflow long long, and these caps reject absurd-but-representable
+/// counts before any loop trusts them. The limits are far above every
+/// dataset in ROADMAP.md yet small enough that count * sizeof(entity)
+/// stays comfortably addressable.
+constexpr long long kMaxEntities = 50'000'000;     // workers, tasks
+constexpr long long kMaxEdgeCount = 500'000'000;   // edges, pairs
+constexpr std::size_t kMaxSkillDims = 4096;        // per-line skill vector
+
+/// IEEE quirk guard: NaN compares false against every bound, so a plain
+/// `x < 0.0 || x > 1.0` range check silently accepts it. Every double
+/// parsed from a file goes through here.
+bool AllFinite(std::initializer_list<double> values) {
+  for (double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
 
 void Fail(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
@@ -28,7 +54,8 @@ bool NextLine(std::istream& in, std::string* line) {
 }
 
 bool ExpectCount(std::istream& in, const std::string& keyword,
-                 std::size_t* count, std::string* error) {
+                 long long max_count, std::size_t* count,
+                 std::string* error) {
   std::string line;
   if (!NextLine(in, &line)) {
     Fail(error, "unexpected end of file before '" + keyword + "'");
@@ -37,8 +64,15 @@ bool ExpectCount(std::istream& in, const std::string& keyword,
   std::istringstream ls(line);
   std::string word;
   long long n = -1;
+  // Extraction fails (and the count is rejected) when the digits overflow
+  // long long, so "99999999999999999999" never wraps into a small value.
   if (!(ls >> word >> n) || word != keyword || n < 0) {
     Fail(error, "expected '" + keyword + " <count>', got: " + line);
+    return false;
+  }
+  if (n > max_count) {
+    Fail(error, "implausible " + keyword + " count " + std::to_string(n) +
+                    " (limit " + std::to_string(max_count) + ")");
     return false;
   }
   *count = static_cast<std::size_t>(n);
@@ -52,10 +86,14 @@ void WriteSkills(const SkillVector& skills, std::ostream& out) {
 bool ReadSkills(std::istringstream& ls, SkillVector* skills) {
   double v = 0.0;
   while (ls >> v) {
-    if (v < 0.0) return false;
+    if (!std::isfinite(v) || v < 0.0) return false;
+    if (skills->size() >= kMaxSkillDims) return false;
     skills->push_back(v);
   }
-  return true;
+  // The loop must have stopped at end-of-line, not at an unparseable
+  // token: num_get rejects "nan"/"inf" spellings without consuming them,
+  // and silently dropping trailing garbage would mask corrupt files.
+  return ls.eof();
 }
 
 }  // namespace
@@ -85,7 +123,8 @@ void WriteMarket(const LaborMarket& market, std::ostream& out) {
   }
 }
 
-std::optional<LaborMarket> ReadMarket(std::istream& in, std::string* error) {
+std::optional<LaborMarket> ReadMarket(std::istream& in, std::string* error,
+                                      FaultInjector* faults) {
   std::string line;
   if (!NextLine(in, &line) || line != kMarketHeader) {
     Fail(error, "missing or bad header (want '" +
@@ -100,8 +139,11 @@ std::optional<LaborMarket> ReadMarket(std::istream& in, std::string* error) {
   builder.SetName(line.substr(5));
 
   std::size_t num_workers = 0;
-  if (!ExpectCount(in, "workers", &num_workers, error)) return std::nullopt;
+  if (!ExpectCount(in, "workers", kMaxEntities, &num_workers, error)) {
+    return std::nullopt;
+  }
   for (std::size_t i = 0; i < num_workers; ++i) {
+    MaybeFail(faults, "io/read");
     if (!NextLine(in, &line)) {
       Fail(error, "truncated worker section");
       return std::nullopt;
@@ -111,9 +153,10 @@ std::optional<LaborMarket> ReadMarket(std::istream& in, std::string* error) {
     Worker w;
     if (!(ls >> tag >> w.capacity >> w.unit_cost >> w.fatigue >>
           w.reliability) ||
-        tag != "w" || !ReadSkills(ls, &w.skills) || w.capacity < 0 ||
-        w.unit_cost < 0.0 || w.fatigue <= 0.0 || w.fatigue > 1.0 ||
-        w.reliability < 0.0 || w.reliability > 1.0) {
+        tag != "w" || !ReadSkills(ls, &w.skills) ||
+        !AllFinite({w.unit_cost, w.fatigue, w.reliability}) ||
+        w.capacity < 0 || w.unit_cost < 0.0 || w.fatigue <= 0.0 ||
+        w.fatigue > 1.0 || w.reliability < 0.0 || w.reliability > 1.0) {
       Fail(error, "bad worker line: " + line);
       return std::nullopt;
     }
@@ -121,8 +164,11 @@ std::optional<LaborMarket> ReadMarket(std::istream& in, std::string* error) {
   }
 
   std::size_t num_tasks = 0;
-  if (!ExpectCount(in, "tasks", &num_tasks, error)) return std::nullopt;
+  if (!ExpectCount(in, "tasks", kMaxEntities, &num_tasks, error)) {
+    return std::nullopt;
+  }
   for (std::size_t i = 0; i < num_tasks; ++i) {
+    MaybeFail(faults, "io/read");
     if (!NextLine(in, &line)) {
       Fail(error, "truncated task section");
       return std::nullopt;
@@ -133,6 +179,7 @@ std::optional<LaborMarket> ReadMarket(std::istream& in, std::string* error) {
     if (!(ls >> tag >> t.capacity >> t.payment >> t.value >>
           t.difficulty >> t.requester) ||
         tag != "t" || !ReadSkills(ls, &t.required_skills) ||
+        !AllFinite({t.payment, t.value, t.difficulty}) ||
         t.capacity < 0 || t.payment < 0.0 || t.value < 0.0 ||
         t.difficulty < 0.0 || t.difficulty > 1.0) {
       Fail(error, "bad task line: " + line);
@@ -142,7 +189,15 @@ std::optional<LaborMarket> ReadMarket(std::istream& in, std::string* error) {
   }
 
   std::size_t num_edges = 0;
-  if (!ExpectCount(in, "edges", &num_edges, error)) return std::nullopt;
+  if (!ExpectCount(in, "edges", kMaxEdgeCount, &num_edges, error)) {
+    return std::nullopt;
+  }
+  // Duplicate edges are rejected below, so any count beyond the complete
+  // bipartite graph is a lie about the file that follows.
+  if (num_edges > num_workers * num_tasks) {
+    Fail(error, "edge count exceeds workers * tasks");
+    return std::nullopt;
+  }
   // mbta-lint: unordered-ok(membership-only duplicate probe, never iterated)
   std::unordered_set<std::uint64_t> seen_pairs;
   // Cap the speculative reservation: the declared count is untrusted
@@ -150,6 +205,7 @@ std::optional<LaborMarket> ReadMarket(std::istream& in, std::string* error) {
   seen_pairs.reserve(
       std::min<std::size_t>(num_edges, 1u << 20) * 2);
   for (std::size_t i = 0; i < num_edges; ++i) {
+    MaybeFail(faults, "io/read");
     if (!NextLine(in, &line)) {
       Fail(error, "truncated edge section");
       return std::nullopt;
@@ -160,6 +216,7 @@ std::optional<LaborMarket> ReadMarket(std::istream& in, std::string* error) {
     EdgeAttributes attr;
     if (!(ls >> tag >> w >> t >> attr.quality >> attr.worker_benefit) ||
         tag != "e" || w >= num_workers || t >= num_tasks ||
+        !AllFinite({attr.quality, attr.worker_benefit}) ||
         attr.quality < 0.0 || attr.quality > 1.0 ||
         attr.worker_benefit < 0.0) {
       Fail(error, "bad edge line: " + line);
@@ -186,13 +243,14 @@ bool WriteMarketToFile(const LaborMarket& market, const std::string& path,
 }
 
 std::optional<LaborMarket> ReadMarketFromFile(const std::string& path,
-                                              std::string* error) {
+                                              std::string* error,
+                                              FaultInjector* faults) {
   std::ifstream in(path);
   if (!in) {
     Fail(error, "cannot open for reading: " + path);
     return std::nullopt;
   }
-  return ReadMarket(in, error);
+  return ReadMarket(in, error, faults);
 }
 
 void WriteAssignment(const LaborMarket& market, const Assignment& a,
@@ -207,7 +265,8 @@ void WriteAssignment(const LaborMarket& market, const Assignment& a,
 
 std::optional<Assignment> ReadAssignment(const LaborMarket& market,
                                          std::istream& in,
-                                         std::string* error) {
+                                         std::string* error,
+                                         FaultInjector* faults) {
   std::string line;
   if (!NextLine(in, &line) || line != kAssignmentHeader) {
     Fail(error, "missing or bad header (want '" +
@@ -215,9 +274,12 @@ std::optional<Assignment> ReadAssignment(const LaborMarket& market,
     return std::nullopt;
   }
   std::size_t pairs = 0;
-  if (!ExpectCount(in, "pairs", &pairs, error)) return std::nullopt;
+  if (!ExpectCount(in, "pairs", kMaxEdgeCount, &pairs, error)) {
+    return std::nullopt;
+  }
   Assignment a;
   for (std::size_t i = 0; i < pairs; ++i) {
+    MaybeFail(faults, "io/read");
     if (!NextLine(in, &line)) {
       Fail(error, "truncated pair section");
       return std::nullopt;
@@ -258,13 +320,14 @@ bool WriteAssignmentToFile(const LaborMarket& market, const Assignment& a,
 
 std::optional<Assignment> ReadAssignmentFromFile(const LaborMarket& market,
                                                  const std::string& path,
-                                                 std::string* error) {
+                                                 std::string* error,
+                                                 FaultInjector* faults) {
   std::ifstream in(path);
   if (!in) {
     Fail(error, "cannot open for reading: " + path);
     return std::nullopt;
   }
-  return ReadAssignment(market, in, error);
+  return ReadAssignment(market, in, error, faults);
 }
 
 }  // namespace mbta

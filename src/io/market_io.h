@@ -10,6 +10,8 @@
 
 namespace mbta {
 
+class FaultInjector;
+
 /// Plain-text persistence for markets and assignments.
 ///
 /// Market format (line-oriented, sections in fixed order):
@@ -35,7 +37,15 @@ namespace mbta {
 ///   ...
 ///
 /// Readers validate structure and ranges and report the first problem via
-/// the error string instead of aborting — files are external input.
+/// the error string instead of aborting — files are external input. All
+/// numeric fields must be finite (NaN/Inf are rejected: IEEE comparisons
+/// make NaN slip through plain range checks), section counts must fit the
+/// hard ceilings below, and the edge count may not exceed workers*tasks —
+/// a hostile header cannot make the reader pre-allocate unbounded memory.
+///
+/// Readers accept an optional FaultInjector and fire the "io/read" fault
+/// point once per entity line, so tests can script truncated/dying reads
+/// deterministically (see CONTRIBUTING.md "Robustness").
 
 /// Serializes a market.
 void WriteMarket(const LaborMarket& market, std::ostream& out);
@@ -43,9 +53,11 @@ bool WriteMarketToFile(const LaborMarket& market, const std::string& path,
                        std::string* error = nullptr);
 
 /// Parses a market; returns std::nullopt and fills `error` on failure.
-std::optional<LaborMarket> ReadMarket(std::istream& in, std::string* error);
+std::optional<LaborMarket> ReadMarket(std::istream& in, std::string* error,
+                                      FaultInjector* faults = nullptr);
 std::optional<LaborMarket> ReadMarketFromFile(const std::string& path,
-                                              std::string* error);
+                                              std::string* error,
+                                              FaultInjector* faults = nullptr);
 
 /// Serializes an assignment as (worker, task) pairs of `market`.
 void WriteAssignment(const LaborMarket& market, const Assignment& a,
@@ -58,10 +70,12 @@ bool WriteAssignmentToFile(const LaborMarket& market, const Assignment& a,
 /// to edge ids. Fails on unknown pairs or infeasible results.
 std::optional<Assignment> ReadAssignment(const LaborMarket& market,
                                          std::istream& in,
-                                         std::string* error);
+                                         std::string* error,
+                                         FaultInjector* faults = nullptr);
 std::optional<Assignment> ReadAssignmentFromFile(const LaborMarket& market,
                                                  const std::string& path,
-                                                 std::string* error);
+                                                 std::string* error,
+                                                 FaultInjector* faults = nullptr);
 
 }  // namespace mbta
 

@@ -1,0 +1,17 @@
+#include "util/clock.h"
+
+#include <chrono>
+
+namespace mbta {
+
+double SteadyClock::NowMs() const {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::milli>(now).count();
+}
+
+const SteadyClock& SteadyClock::Instance() {
+  static const SteadyClock clock;
+  return clock;
+}
+
+}  // namespace mbta

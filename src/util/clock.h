@@ -1,0 +1,53 @@
+#ifndef MBTA_UTIL_CLOCK_H_
+#define MBTA_UTIL_CLOCK_H_
+
+namespace mbta {
+
+/// Injectable time source. Solver code that needs wall-clock deadlines
+/// reads time through this seam instead of touching std::chrono directly
+/// (lint rules R2/R7 ban raw clocks outside util/ and obs/), so tests can
+/// substitute a FakeClock and make wall-deadline behaviour deterministic.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic time in milliseconds since an arbitrary epoch. Only
+  /// differences between two reads are meaningful.
+  virtual double NowMs() const = 0;
+};
+
+/// Production clock backed by std::chrono::steady_clock.
+class SteadyClock : public Clock {
+ public:
+  double NowMs() const override;
+
+  /// Shared process-wide instance; SteadyClock is stateless.
+  static const SteadyClock& Instance();
+};
+
+/// Deterministic test clock. Time only moves when the test says so:
+/// explicitly via Advance()/Set(), or implicitly by `auto_advance_ms`
+/// per NowMs() read (handy for "the Nth poll crosses the deadline"
+/// scenarios without counting reads by hand).
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(double start_ms = 0.0, double auto_advance_ms = 0.0)
+      : now_ms_(start_ms), auto_advance_ms_(auto_advance_ms) {}
+
+  double NowMs() const override {
+    const double now = now_ms_;
+    now_ms_ += auto_advance_ms_;
+    return now;
+  }
+
+  void Advance(double ms) { now_ms_ += ms; }
+  void Set(double ms) { now_ms_ = ms; }
+
+ private:
+  mutable double now_ms_;
+  double auto_advance_ms_;
+};
+
+}  // namespace mbta
+
+#endif  // MBTA_UTIL_CLOCK_H_

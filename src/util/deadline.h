@@ -1,0 +1,98 @@
+#ifndef MBTA_UTIL_DEADLINE_H_
+#define MBTA_UTIL_DEADLINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+#include "util/clock.h"
+
+namespace mbta {
+
+class FaultInjector;
+
+/// Why a solve stopped before running to completion.
+enum class StopReason {
+  kNone = 0,     ///< Ran to completion; no budget tripped.
+  kWorkBudget,   ///< Deterministic work-unit budget exhausted.
+  kWallClock,    ///< Wall-clock deadline passed.
+  kCancelled,    ///< Cooperative cancellation flag observed.
+};
+
+const char* ToString(StopReason reason);
+
+/// Resource budget for one solve. Work units are the solver's dominant
+/// work counter (see SolveStats::gain_evaluations): deterministic, so a
+/// budgeted solve returns byte-identical results on every run. The
+/// wall-clock deadline is best-effort and polled sparsely; tests pin it
+/// down with a FakeClock.
+struct DeadlineBudget {
+  static constexpr std::uint64_t kUnlimitedWork =
+      std::numeric_limits<std::uint64_t>::max();
+
+  /// Maximum work units; kUnlimitedWork disables the work budget.
+  std::uint64_t max_work = kUnlimitedWork;
+
+  /// Wall-clock deadline in milliseconds; values <= 0 disable it.
+  double max_wall_ms = 0.0;
+
+  /// Time source for the wall-clock deadline; null means
+  /// SteadyClock::Instance().
+  const Clock* clock = nullptr;
+
+  bool unlimited() const {
+    return max_work == kUnlimitedWork && max_wall_ms <= 0.0;
+  }
+};
+
+/// Cooperative stop check threaded through a solver's hot loop. The
+/// solver calls Charge(n) *before* spending n work units; a true return
+/// means "stop now: finish up and return your best feasible assignment
+/// so far". Once tripped, the gate stays tripped.
+///
+/// Cost discipline: the work-unit check is a compare + add. The
+/// wall-clock read and the cancellation-flag load happen only every
+/// kPollInterval charges (and on the first), so an unlimited gate adds
+/// near-zero overhead to a tight loop. Each Charge also fires the
+/// "solver/step" fault point when a FaultInjector is attached, letting
+/// tests kill any solver at exactly step N.
+class DeadlineGate {
+ public:
+  /// How many Charge() calls between wall-clock / cancellation polls.
+  static constexpr std::uint64_t kPollInterval = 64;
+
+  /// An unlimited gate: Charge never trips (and never reads a clock).
+  DeadlineGate() = default;
+
+  explicit DeadlineGate(const DeadlineBudget& budget,
+                        FaultInjector* faults = nullptr,
+                        const std::atomic<bool>* cancel = nullptr);
+
+  /// Records intent to spend `n` work units. Returns true when the
+  /// solver must stop *instead of* doing that work. May throw
+  /// FaultInjectedError when a FaultInjector has armed "solver/step".
+  bool Charge(std::uint64_t n = 1);
+
+  bool expired() const { return reason_ != StopReason::kNone; }
+  StopReason reason() const { return reason_; }
+
+  /// Work units admitted through the gate (excludes the charge that
+  /// tripped it).
+  std::uint64_t work_used() const { return work_used_; }
+
+ private:
+  bool Poll();
+
+  DeadlineBudget budget_;
+  FaultInjector* faults_ = nullptr;
+  const std::atomic<bool>* cancel_ = nullptr;
+  const Clock* clock_ = nullptr;
+  double start_ms_ = 0.0;
+  std::uint64_t work_used_ = 0;
+  std::uint64_t charges_ = 0;
+  StopReason reason_ = StopReason::kNone;
+};
+
+}  // namespace mbta
+
+#endif  // MBTA_UTIL_DEADLINE_H_

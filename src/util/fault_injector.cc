@@ -1,0 +1,53 @@
+#include "util/fault_injector.h"
+
+namespace mbta {
+
+void FaultInjector::Arm(const std::string& point, std::uint64_t fire_at_hit,
+                        std::uint64_t fire_count) {
+  PointState& state = points_[point];
+  state.armed = true;
+  state.probabilistic = false;
+  state.fire_at_hit = fire_at_hit;
+  state.fire_count = fire_count;
+}
+
+void FaultInjector::ArmProbabilistic(const std::string& point,
+                                     double probability,
+                                     std::uint64_t seed) {
+  PointState& state = points_[point];
+  state.armed = true;
+  state.probabilistic = true;
+  state.probability = probability;
+  state.rng = Rng(seed);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  points_[point].armed = false;
+}
+
+bool FaultInjector::ShouldFail(const std::string& point) {
+  PointState& state = points_[point];
+  const std::uint64_t hit = state.hits++;
+  if (!state.armed) return false;
+  if (state.probabilistic) {
+    return state.rng.NextDouble() < state.probability;
+  }
+  if (hit < state.fire_at_hit) return false;
+  // fire_count == kFireForever means "every hit from fire_at_hit on";
+  // the subtraction below would overflow only when hit wraps, which a
+  // 64-bit counter never does in practice.
+  return hit - state.fire_at_hit < state.fire_count;
+}
+
+std::uint64_t FaultInjector::HitCount(const std::string& point) const {
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+void MaybeFail(FaultInjector* faults, const std::string& point) {
+  if (faults != nullptr && faults->ShouldFail(point)) {
+    throw FaultInjectedError(point);
+  }
+}
+
+}  // namespace mbta

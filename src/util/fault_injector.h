@@ -1,0 +1,90 @@
+#ifndef MBTA_UTIL_FAULT_INJECTOR_H_
+#define MBTA_UTIL_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.h"
+
+namespace mbta {
+
+/// Exception thrown when an armed fault point fires. Carries the point
+/// name so tests (and the FallbackSolver retry loop) can tell which
+/// failure was simulated.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  explicit FaultInjectedError(const std::string& point)
+      : std::runtime_error("injected fault at " + point), point_(point) {}
+
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+/// Deterministic, seeded fault-injection harness. Production code calls
+/// `MaybeFail(faults, "some/point")` at named fault points; tests arm
+/// specific points to fire on specific hits. Everything is configured
+/// through SolveOptions — no environment variables, no globals — so a
+/// failing scenario is reproducible from the test source alone.
+///
+/// Fault-point names follow the same slash-path grammar as counter keys
+/// (CONTRIBUTING.md "Observability"): `[a-z0-9_]+(/[a-z0-9_]+)*`, e.g.
+/// "flow/build_arc", "io/read", "solver/step". Lint rule R5 checks
+/// literals passed to Arm/ShouldFail/MaybeFail against this grammar.
+///
+/// Not thread-safe: arm and fire from one thread (cancellation tests use
+/// the separate std::atomic<bool> cancel flag for cross-thread signals).
+class FaultInjector {
+ public:
+  static constexpr std::uint64_t kFireForever =
+      std::numeric_limits<std::uint64_t>::max();
+
+  /// Arms `point` to fire deterministically: the fault triggers on hit
+  /// number `fire_at_hit` (0-based) and on the following `fire_count - 1`
+  /// hits. Defaults: fire on the first hit and every one after.
+  void Arm(const std::string& point, std::uint64_t fire_at_hit = 0,
+           std::uint64_t fire_count = kFireForever);
+
+  /// Arms `point` to fire each hit independently with `probability`,
+  /// driven by a private Rng seeded with `seed` — deterministic across
+  /// runs for a fixed seed and hit sequence.
+  void ArmProbabilistic(const std::string& point, double probability,
+                        std::uint64_t seed);
+
+  /// Disarms `point`; its hit counter keeps counting.
+  void Disarm(const std::string& point);
+
+  /// Records a hit on `point` and returns true when the armed schedule
+  /// says this hit fails. Unarmed points always return false (but still
+  /// count hits, so tests can assert a fault point was reached).
+  bool ShouldFail(const std::string& point);
+
+  /// Number of times ShouldFail(point) has been called.
+  std::uint64_t HitCount(const std::string& point) const;
+
+ private:
+  struct PointState {
+    bool armed = false;
+    bool probabilistic = false;
+    std::uint64_t fire_at_hit = 0;
+    std::uint64_t fire_count = 0;
+    double probability = 0.0;
+    Rng rng{0};
+    std::uint64_t hits = 0;
+  };
+
+  std::map<std::string, PointState> points_;
+};
+
+/// Fires `point` on the injector: throws FaultInjectedError when the
+/// armed schedule says so. A null injector (the production default) is a
+/// no-op, so call sites need no branching.
+void MaybeFail(FaultInjector* faults, const std::string& point);
+
+}  // namespace mbta
+
+#endif  // MBTA_UTIL_FAULT_INJECTOR_H_

@@ -7,6 +7,10 @@
 ///    reported objective matches the oracle's recomputation;
 ///  * repeated solves are byte-identical (determinism under the harness,
 ///    not just inside one solver's own test);
+///  * an explicit default SolveOptions (unlimited budget) is a perfect
+///    no-op: byte-identical output, no deadline flags;
+///  * an exhausted work budget still yields a feasible, validator-clean
+///    assignment with SolveStats::deadline_hit set (anytime contract);
 ///  * local search never falls below its greedy seed;
 ///  * budgeted greedy respects requester budgets.
 /// On tiny instances (brute force tractable) it additionally asserts:
@@ -124,6 +128,35 @@ double CheckSolver(const Solver& solver, const MbtaProblem& problem,
   const Assignment instrumented = solver.Solve(problem, &stats);
   EXPECT_EQ(a.edges, instrumented.edges)
       << "instrumentation perturbed the assignment";
+
+  // Robustness invariant #1: threading an explicitly-unlimited
+  // SolveOptions through the new overload must not change a single byte
+  // of output relative to the legacy two-argument entry point.
+  SolveStats unlimited_stats;
+  const Assignment with_options =
+      solver.Solve(problem, SolveOptions{}, &unlimited_stats);
+  EXPECT_EQ(a.edges, with_options.edges)
+      << "unlimited SolveOptions perturbed the assignment";
+  EXPECT_FALSE(unlimited_stats.deadline_hit);
+  EXPECT_EQ(unlimited_stats.stop_reason, StopReason::kNone);
+
+  // Robustness invariant #2 (anytime contract): a solve stopped by an
+  // exhausted work budget still returns a feasible, validator-clean
+  // assignment and flags the degradation. A solver with no work to do
+  // (degenerate regime) may instead complete identically.
+  SolveOptions exhausted;
+  exhausted.budget.max_work = 0;
+  SolveStats degraded_stats;
+  const Assignment degraded =
+      solver.Solve(problem, exhausted, &degraded_stats);
+  const ValidationResult degraded_result =
+      ValidateAssignment(problem, degraded, {});
+  EXPECT_TRUE(degraded_result.ok()) << degraded_result.Message();
+  EXPECT_TRUE(degraded_stats.deadline_hit || degraded.edges == a.edges)
+      << "budget-0 solve neither flagged the deadline nor completed";
+  if (degraded_stats.deadline_hit) {
+    EXPECT_EQ(degraded_stats.stop_reason, StopReason::kWorkBudget);
+  }
   return r.recomputed_value;
 }
 

@@ -132,12 +132,103 @@ TEST(IoFuzzTest, AssignmentParserSurvivesGarbage) {
 }
 
 TEST(IoFuzzTest, HugeDeclaredCountsFailGracefully) {
-  // Header claims a billion workers but provides none: the parser must
-  // fail on the first missing line, not allocate or spin.
+  // Header claims a billion workers: rejected at the header itself —
+  // before any per-entity loop or speculative allocation runs.
   std::stringstream in("mbta-market v1\nname x\nworkers 1000000000\n");
   std::string error;
   EXPECT_FALSE(ReadMarket(in, &error).has_value());
-  EXPECT_NE(error.find("truncated"), std::string::npos);
+  EXPECT_NE(error.find("implausible"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile numeric corpora: NaN/Inf fields, overflowing counts, absurd
+// headers. Every case must produce a clean error, never an accept.
+// ---------------------------------------------------------------------------
+
+/// Asserts the text is *rejected* with a non-empty error.
+void ExpectRejected(const std::string& text) {
+  std::stringstream in(text);
+  std::string error;
+  EXPECT_FALSE(ReadMarket(in, &error).has_value())
+      << "hostile input accepted:\n" << text;
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(IoHostileNumericsTest, NanAndInfFieldsAreRejected) {
+  // NaN slips through naive range checks (every comparison is false), so
+  // each double field gets its own corpus entry.
+  const std::string nan_worker =
+      "mbta-market v1\nname x\nworkers 1\nw 1 0.1 nan 0.9\n"
+      "tasks 0\nedges 0\n";
+  const std::string inf_worker =
+      "mbta-market v1\nname x\nworkers 1\nw 1 inf 0.5 0.9\n"
+      "tasks 0\nedges 0\n";
+  const std::string nan_skill =
+      "mbta-market v1\nname x\nworkers 1\nw 1 0.1 0.5 0.9 nan\n"
+      "tasks 0\nedges 0\n";
+  const std::string nan_task =
+      "mbta-market v1\nname x\nworkers 0\ntasks 1\nt 1 nan 1.0 0.5 0\n"
+      "edges 0\n";
+  const std::string inf_task_value =
+      "mbta-market v1\nname x\nworkers 0\ntasks 1\nt 1 0.5 inf 0.5 0\n"
+      "edges 0\n";
+  const std::string nan_edge =
+      "mbta-market v1\nname x\nworkers 1\nw 1 0.1 0.5 0.9\n"
+      "tasks 1\nt 1 0.5 1.0 0.5 0\nedges 1\ne 0 0 nan 0.5\n";
+  const std::string inf_benefit =
+      "mbta-market v1\nname x\nworkers 1\nw 1 0.1 0.5 0.9\n"
+      "tasks 1\nt 1 0.5 1.0 0.5 0\nedges 1\ne 0 0 0.9 inf\n";
+  for (const std::string& text :
+       {nan_worker, inf_worker, nan_skill, nan_task, inf_task_value,
+        nan_edge, inf_benefit}) {
+    ExpectRejected(text);
+  }
+}
+
+TEST(IoHostileNumericsTest, OverflowingCountsAreRejected) {
+  // 20 nines overflows long long; must be a parse error, not a wrap.
+  ExpectRejected(
+      "mbta-market v1\nname x\nworkers 99999999999999999999\n");
+  ExpectRejected(
+      "mbta-market v1\nname x\nworkers 0\ntasks 99999999999999999999\n");
+  ExpectRejected(
+      "mbta-market v1\nname x\nworkers 0\ntasks 0\n"
+      "edges 99999999999999999999\n");
+  ExpectRejected("mbta-market v1\nname x\nworkers -1\n");
+}
+
+TEST(IoHostileNumericsTest, AbsurdHeadersAreRejectedBeforeAllocation) {
+  // Representable but implausible counts die at the header.
+  ExpectRejected("mbta-market v1\nname x\nworkers 50000001\n");
+  ExpectRejected(
+      "mbta-market v1\nname x\nworkers 0\ntasks 9000000000\n");
+  ExpectRejected(
+      "mbta-market v1\nname x\nworkers 0\ntasks 0\nedges 600000000\n");
+}
+
+TEST(IoHostileNumericsTest, EdgeCountBeyondCompleteGraphIsRejected) {
+  // 1 worker x 1 task admits at most 1 distinct edge; claiming 2 is a
+  // lie the reader catches before trusting the count.
+  ExpectRejected(
+      "mbta-market v1\nname x\nworkers 1\nw 1 0.1 0.5 0.9\n"
+      "tasks 1\nt 1 0.5 1.0 0.5 0\nedges 2\n"
+      "e 0 0 0.9 0.5\ne 0 0 0.9 0.5\n");
+}
+
+TEST(IoHostileNumericsTest, AssignmentOverflowingCountIsRejected) {
+  const LaborMarket m = GenerateMarket(UniformConfig(5, 5, 3));
+  std::stringstream in(
+      "mbta-assignment v1\npairs 99999999999999999999\n");
+  std::string error;
+  EXPECT_FALSE(ReadAssignment(m, in, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(IoHostileNumericsTest, ValidFileStillParsesAfterHardening) {
+  // Canary: the hardened reader still accepts a round-tripped market.
+  std::stringstream in(ValidMarketText());
+  std::string error;
+  EXPECT_TRUE(ReadMarket(in, &error).has_value()) << error;
 }
 
 }  // namespace

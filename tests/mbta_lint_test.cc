@@ -1,5 +1,5 @@
 // Exercises the mbta_lint rule engine (tools/lint_engine.h) on embedded
-// snippets: every rule R1-R6 must fire on a violating snippet with the
+// snippets: every rule R1-R7 must fire on a violating snippet with the
 // right rule id and line, stay silent on a conforming one, and honor the
 // waiver syntax. A final test walks the real tree under MBTA_SOURCE_DIR
 // and asserts the repository itself is clean at head — the same gate
@@ -308,6 +308,29 @@ TEST(R5Names, GrammarHelpers) {
   EXPECT_FALSE(IsValidPhaseLabel("a/b"));
 }
 
+TEST(R5Names, FiresOnBadFaultPointName) {
+  // Fault-point names share the counter slash-path grammar; both the
+  // member APIs and the free-function MaybeFail are checked.
+  const auto vs = LintAs(
+      "src/core/x.cc",
+      "void f(FaultInjector* fi) { fi->Arm(\"Flow/BuildArc\", 3); }\n");
+  EXPECT_TRUE(FiresOnce(vs, "R5", 1));
+  const auto vs2 = LintAs(
+      "src/io/x.cc",
+      "void f(FaultInjector* fi) { MaybeFail(fi, \"io..read\"); }\n");
+  EXPECT_TRUE(FiresOnce(vs2, "R5", 1));
+}
+
+TEST(R5Names, ConformingFaultPointsAreFine) {
+  EXPECT_TRUE(Clean(LintAs(
+      "src/core/x.cc",
+      "void f(FaultInjector* fi, FaultInjector& fr) {\n"
+      "  fi->Arm(\"flow/build_arc\", 3);\n"
+      "  fr.ArmProbabilistic(\"solver/step\", 0.5, 7);\n"
+      "  MaybeFail(fi, \"io/read\");\n"
+      "}\n")));
+}
+
 // ---------------------------------------------------------------------------
 // R6 — header hygiene.
 // ---------------------------------------------------------------------------
@@ -352,6 +375,88 @@ TEST(R6Headers, SelfContainedHeaderIsClean) {
 TEST(R6Headers, SourceFilesAreNotChecked) {
   EXPECT_TRUE(Clean(LintAs("src/core/x.cc",
                            "std::vector<int> f() { return {}; }\n")));
+}
+
+// ---------------------------------------------------------------------------
+// R7 — raw monotonic clocks / sleeps outside the Clock seam.
+// ---------------------------------------------------------------------------
+
+TEST(R7RawClock, FiresOnSteadyClockNow) {
+  const auto vs = LintAs(
+      "src/core/x.cc",
+      "double f() {\n"
+      "  const auto t0 = std::chrono::steady_clock::now();\n"
+      "  (void)t0;\n"
+      "  return 0.0;\n"
+      "}\n");
+  EXPECT_TRUE(FiresOnce(vs, "R7", 2));
+}
+
+TEST(R7RawClock, FiresOnHighResolutionClock) {
+  const auto vs = LintAs(
+      "src/market/x.cc",
+      "auto f() { return std::chrono::high_resolution_clock::now(); }\n");
+  EXPECT_TRUE(FiresOnce(vs, "R7", 1));
+}
+
+TEST(R7RawClock, FiresOnSleepCalls) {
+  const auto vs = LintAs(
+      "src/core/x.cc",
+      "void f() {\n"
+      "  std::this_thread::sleep_for(std::chrono::milliseconds(5));\n"
+      "}\n");
+  EXPECT_TRUE(FiresOnce(vs, "R7", 2));
+  const auto vs2 = LintAs(
+      "src/flow/x.cc",
+      "void g(std::chrono::steady_clock::time_point tp) {\n"
+      "  std::this_thread::sleep_until(tp);\n"
+      "}\n");
+  // sleep_until fires; the steady_clock mention in the signature fires
+  // separately on line 1 — budgeted code should take a Clock&, not a
+  // raw time_point.
+  EXPECT_TRUE(FiresOnce(vs2, "R7", 1));
+  EXPECT_TRUE(FiresOnce(vs2, "R7", 2));
+}
+
+TEST(R7RawClock, UtilAndObsAreExempt) {
+  // The Clock seam itself (src/util/clock.h) and the obs timers are the
+  // two places allowed to touch the real monotonic clock.
+  const std::string raw =
+      "auto f() { return std::chrono::steady_clock::now(); }\n";
+  EXPECT_TRUE(Clean(LintAs("src/util/x.cc", raw)));
+  EXPECT_TRUE(Clean(LintAs("src/obs/x.cc", raw)));
+}
+
+TEST(R7RawClock, NonLibraryFilesAreExempt) {
+  // Tests drive watchdog threads with real sleeps; tools/bench measure
+  // real wall time. Only library code must go through the seam.
+  const std::string raw =
+      "void f() {\n"
+      "  std::this_thread::sleep_for(std::chrono::milliseconds(5));\n"
+      "  (void)std::chrono::steady_clock::now();\n"
+      "}\n";
+  EXPECT_TRUE(Clean(LintAs("tests/x_test.cc", raw)));
+  EXPECT_TRUE(Clean(LintAs("tools/x.cc", raw)));
+  EXPECT_TRUE(Clean(LintAs("bench/x.cc", raw)));
+}
+
+TEST(R7RawClock, WaiverSilences) {
+  EXPECT_TRUE(Clean(LintAs(
+      "src/core/x.cc",
+      "double f() {\n"
+      "  // mbta-lint: clock-ok(one-shot calibration, not on a solve path)\n"
+      "  const auto t0 = std::chrono::steady_clock::now();\n"
+      "  (void)t0;\n"
+      "  return 0.0;\n"
+      "}\n")));
+}
+
+TEST(R7RawClock, MemberNamedSleepForIsFine) {
+  // A member or unrelated identifier that merely *contains* the banned
+  // spelling must not trip the rule.
+  EXPECT_TRUE(Clean(LintAs(
+      "src/core/x.cc",
+      "void f(Scheduler& s) { s.sleep_for(3); }\n")));
 }
 
 // ---------------------------------------------------------------------------

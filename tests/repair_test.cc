@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/greedy_solver.h"
+#include "core/validate.h"
 #include "gen/market_generator.h"
 #include "tests/test_markets.h"
 
@@ -100,6 +101,92 @@ TEST(RepairTest, RepairCompetitiveWithResolve) {
       if (m.EdgeWorker(e) != w) stripped.edges.push_back(e);
     }
     EXPECT_GE(obj.Value(repaired) + 1e-9, obj.Value(stripped));
+  }
+}
+
+TEST(RepairTest, RemovingUnassignedWorkerMayOnlyImprove) {
+  // Worker 1 holds nothing in `before`. Removing it must keep the
+  // existing pairs and may only *add* (the refill pass is free to grab
+  // capacity the removal did not open, but never to drop a held pair).
+  const LaborMarket m = MakeTestMarket(
+      {1, 1}, {2}, {{0, 0, 0.9, 1.0}, {1, 0, 0.3, 0.2}});
+  const MbtaProblem p{&m, {}};
+  const MutualBenefitObjective obj = p.MakeObjective();
+  const Assignment before{{0}};  // only worker 0 assigned
+  const Assignment after = RemoveWorkerAndRepair(obj, before, 1);
+  EXPECT_TRUE(IsFeasible(m, after));
+  EXPECT_EQ(WorkerLoads(m, after)[1], 0);
+  const std::set<EdgeId> kept(after.edges.begin(), after.edges.end());
+  EXPECT_TRUE(kept.count(0)) << "unrelated pair dropped";
+}
+
+TEST(RepairTest, RemovingUnassignedTaskKeepsEverything) {
+  const LaborMarket m = MakeTestMarket(
+      {1}, {1, 1}, {{0, 0, 0.9, 1.0}, {0, 1, 0.8, 1.0}});
+  const MbtaProblem p{&m, {}};
+  const MutualBenefitObjective obj = p.MakeObjective();
+  const Assignment before{{0}};  // task 1 unassigned
+  const Assignment after = RemoveTaskAndRepair(obj, before, 1);
+  EXPECT_TRUE(IsFeasible(m, after));
+  EXPECT_EQ(TaskLoads(m, after)[1], 0);
+  const std::set<EdgeId> kept(after.edges.begin(), after.edges.end());
+  EXPECT_TRUE(kept.count(0));
+}
+
+TEST(RepairTest, LastWorkerOfATaskLeavesTaskUncovered) {
+  // Task 0's only eligible worker leaves: the repair has no replacement
+  // to offer, so the task must end up cleanly uncovered — not crashed,
+  // not holding a phantom pair.
+  const LaborMarket m = MakeTestMarket(
+      {1, 1}, {1, 1}, {{0, 0, 0.9, 1.0}, {1, 1, 0.8, 1.0}});
+  const MbtaProblem p{&m, {}};
+  const MutualBenefitObjective obj = p.MakeObjective();
+  const Assignment before{{0, 1}};
+  const Assignment after = RemoveWorkerAndRepair(obj, before, 0);
+  EXPECT_TRUE(IsFeasible(m, after));
+  EXPECT_EQ(TaskLoads(m, after)[0], 0) << "no other worker can cover it";
+  EXPECT_EQ(TaskLoads(m, after)[1], 1) << "unrelated pair dropped";
+}
+
+TEST(RepairTest, EmptyAssignmentRepairsToEmptyOrBetter) {
+  Rng rng(13);
+  const LaborMarket m = RandomTestMarket(rng, 8, 8, 0.5);
+  const MbtaProblem p{&m, {}};
+  const MutualBenefitObjective obj = p.MakeObjective();
+  for (WorkerId w = 0; w < m.NumWorkers(); ++w) {
+    const Assignment after = RemoveWorkerAndRepair(obj, Assignment{}, w);
+    EXPECT_TRUE(IsFeasible(m, after));
+    EXPECT_EQ(WorkerLoads(m, after)[w], 0);
+  }
+  for (TaskId t = 0; t < m.NumTasks(); ++t) {
+    const Assignment after = RemoveTaskAndRepair(obj, Assignment{}, t);
+    EXPECT_TRUE(IsFeasible(m, after));
+    EXPECT_EQ(TaskLoads(m, after)[t], 0);
+  }
+}
+
+TEST(RepairTest, RepairedAssignmentsStayValidatorClean) {
+  // Differential oracle sweep: after any single departure, the repaired
+  // assignment passes the full independent validator, not just the
+  // lighter IsFeasible check.
+  for (int trial = 0; trial < 8; ++trial) {
+    Rng rng(0x9E9A17 + static_cast<std::uint64_t>(trial));
+    const LaborMarket m = RandomTestMarket(rng, 10, 10, 0.5);
+    const MbtaProblem p{&m,
+                        {.alpha = 0.5, .kind = ObjectiveKind::kSubmodular}};
+    const MutualBenefitObjective obj = p.MakeObjective();
+    const Assignment before = GreedySolver().Solve(p);
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    for (WorkerId w = 0; w < m.NumWorkers(); ++w) {
+      const Assignment after = RemoveWorkerAndRepair(obj, before, w);
+      const ValidationResult r = ValidateAssignment(p, after);
+      EXPECT_TRUE(r.ok()) << "worker " << w << ": " << r.Message();
+    }
+    for (TaskId t = 0; t < m.NumTasks(); ++t) {
+      const Assignment after = RemoveTaskAndRepair(obj, before, t);
+      const ValidationResult r = ValidateAssignment(p, after);
+      EXPECT_TRUE(r.ok()) << "task " << t << ": " << r.Message();
+    }
   }
 }
 

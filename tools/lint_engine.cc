@@ -281,6 +281,9 @@ class Linter {
       if (scope_.subsystem != "util") RuleFloatEq();
       RuleStdout();
       RuleObservabilityNames();
+      if (scope_.subsystem != "util" && scope_.subsystem != "obs") {
+        RuleRawClock();
+      }
       if (scope_.header) RuleHeaderHygiene();
     }
     std::sort(violations_.begin(), violations_.end(),
@@ -476,14 +479,39 @@ class Linter {
     }
   }
 
-  // R5 — observability key grammar.
+  // R5 — observability key grammar (counters, phases, fault points).
   void RuleObservabilityNames() {
     static const std::set<std::string> kKeyApis = {
         "Add", "Set", "SetGauge", "Value", "Gauge", "Has",
         "Record", "TotalMs"};
+    // FaultInjector APIs take the fault-point name as their first string
+    // argument; MaybeFail is a free function, the rest are members.
+    static const std::set<std::string> kFaultApis = {
+        "Arm", "ArmProbabilistic", "Disarm", "ShouldFail", "HitCount",
+        "MaybeFail"};
     for (std::size_t i = 0; i + 2 < Size(); ++i) {
       const Token& t = Tok(i);
       if (t.kind != Token::Kind::kIdent) continue;
+      if (kFaultApis.count(t.text) && IsPunct(i + 1, "(") &&
+          (t.text == "MaybeFail" || IsPunct(i - 1, ".") ||
+           IsPunct(i - 1, "->"))) {
+        // First string literal inside the call parens is the point name.
+        int depth = 0;
+        for (std::size_t j = i + 1; j < Size(); ++j) {
+          if (IsPunct(j, "(")) ++depth;
+          if (IsPunct(j, ")") && --depth == 0) break;
+          if (Tok(j).kind == Token::Kind::kString) {
+            if (!IsValidCounterKey(Tok(j).text)) {
+              Report(Tok(j).line, "R5", "name-ok",
+                     "fault-point name \"" + Tok(j).text +
+                         "\" does not match the slash-path grammar "
+                         "[a-z0-9_]+(/[a-z0-9_]+)* from CONTRIBUTING.md");
+            }
+            break;
+          }
+        }
+        continue;
+      }
       if (t.text == "ScopedPhase") {
         // First string literal inside the constructor parens.
         std::size_t j = i + 1;
@@ -514,6 +542,38 @@ class Linter {
                "counter/phase key \"" + Tok(i + 2).text +
                    "\" does not match the slash-path grammar "
                    "[a-z0-9_]+(/[a-z0-9_]+)* from CONTRIBUTING.md");
+      }
+    }
+  }
+
+  // R7 — raw monotonic clocks / sleeps outside the Clock seam.
+  void RuleRawClock() {
+    static const std::set<std::string> kBannedClocks = {
+        "steady_clock", "high_resolution_clock"};
+    static const std::set<std::string> kBannedSleeps = {
+        "sleep_for", "sleep_until"};
+    for (std::size_t i = 0; i < Size(); ++i) {
+      const Token& t = Tok(i);
+      if (t.kind != Token::Kind::kIdent) continue;
+      if (kBannedClocks.count(t.text)) {
+        Report(t.line, "R7", "clock-ok",
+               "std::chrono::" + t.text +
+                   " outside src/util and src/obs: read time through the "
+                   "injectable Clock (src/util/clock.h) or a WallTimer so "
+                   "tests can drive deadlines with FakeClock (waive with "
+                   "// mbta-lint: clock-ok(reason))");
+        continue;
+      }
+      // `.sleep_for(...)` / `->sleep_for(...)` is some other object's
+      // member, not std::this_thread's blocking call.
+      const bool member =
+          i > 0 && (IsPunct(i - 1, ".") || IsPunct(i - 1, "->"));
+      if (!member && kBannedSleeps.count(t.text) && IsPunct(i + 1, "(")) {
+        Report(t.line, "R7", "clock-ok",
+               t.text +
+                   "() outside src/util and src/obs: blocking sleeps do "
+                   "not belong in library code; poll a DeadlineGate or "
+                   "push waiting to the caller");
       }
     }
   }

@@ -12,7 +12,7 @@ namespace mbta::lint {
 struct Violation {
   std::string file;
   int line = 0;
-  std::string rule;     // "R1" .. "R6"
+  std::string rule;     // "R1" .. "R7"
   std::string message;  // human-readable, names the waiver tag
 };
 
@@ -35,11 +35,17 @@ struct Violation {
 ///   R5  counter/gauge keys and phase paths passed as string literals to
 ///       CounterRegistry / PhaseTimings APIs must match the slash-path
 ///       grammar segment(/segment)* with segment = [a-z0-9_]+; ScopedPhase
-///       labels are single segments (nesting builds the path).
-///       Waiver: name-ok.
+///       labels are single segments (nesting builds the path). Fault-point
+///       names passed to FaultInjector APIs / MaybeFail follow the same
+///       slash-path grammar. Waiver: name-ok.
 ///   R6  every .h under src/ carries an include guard (or #pragma once)
 ///       and directly includes the std headers for the std types it names
 ///       (lightweight IWYU over a curated type list). Waiver: include-ok.
+///   R7  no raw monotonic-clock reads or sleeps in library code outside
+///       src/util and src/obs: std::chrono::steady_clock /
+///       high_resolution_clock and sleep_for/sleep_until bypass the
+///       injectable Clock seam (src/util/clock.h), making deadline code
+///       untestable with FakeClock. Waiver: clock-ok.
 ///
 /// A waiver is a comment `// mbta-lint: <tag>(<reason>)` on the violating
 /// line or the line directly above it; the reason must be non-empty.

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <map>
 #include <memory>
 #include <string>
@@ -24,6 +25,7 @@
 
 #include "core/baseline_solvers.h"
 #include "core/exact_flow_solver.h"
+#include "core/fallback_solver.h"
 #include "core/greedy_solver.h"
 #include "core/local_search_solver.h"
 #include "core/online_solvers.h"
@@ -33,11 +35,26 @@
 #include "gen/market_generator.h"
 #include "io/market_io.h"
 #include "market/metrics.h"
+#include "util/deadline.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 namespace mbta::cli {
 namespace {
+
+/// Exit-code taxonomy (see CONTRIBUTING.md "Robustness"). Scripts depend
+/// on these values; change them only with a changelog entry.
+///  0  success
+///  1  usage error: bad flags, unknown command/solver/dataset
+///  2  bad input: a market/assignment file failed to parse or validate
+///  3  degraded solve: a result was produced and written, but the
+///     deadline/work budget expired first (best-effort answer)
+///  4  internal error: unexpected exception or output write failure
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 1;
+constexpr int kExitBadInput = 2;
+constexpr int kExitDegraded = 3;
+constexpr int kExitInternal = 4;
 
 struct Args {
   std::map<std::string, std::string> flags;
@@ -107,12 +124,17 @@ int Usage() {
       "  stats    --market FILE\n"
       "  solve    --market FILE [--solver greedy] [--alpha 0.5]\n"
       "           [--objective submodular|modular] [--seed S] [--stats]\n"
+      "           [--work-budget N] [--deadline-ms MS] [--fallback]\n"
       "           --out FILE\n"
       "  evaluate --market FILE --assignment FILE [--alpha 0.5]\n"
       "           [--objective submodular|modular]\n"
       "  compare  --market FILE [--alpha 0.5] [--stats]\n"
-      "--stats prints the solver's work counters and phase timings\n");
-  return 2;
+      "--stats prints the solver's work counters and phase timings\n"
+      "--work-budget/--deadline-ms bound the solve; --fallback runs the\n"
+      "standard degradation chain (exact flow -> greedy -> worker-centric)\n"
+      "exit codes: 0 ok, 1 usage, 2 bad input, 3 degraded solve, "
+      "4 internal\n");
+  return kExitUsage;
 }
 
 std::unique_ptr<Solver> MakeSolver(const std::string& name,
@@ -153,7 +175,7 @@ ObjectiveParams MakeObjectiveParams(const Args& args) {
 
 int Generate(const Args& args) {
   std::string out;
-  if (!args.Require("out", &out)) return 2;
+  if (!args.Require("out", &out)) return kExitUsage;
   const std::string dataset = args.Get("dataset", "uniform");
   const std::size_t workers =
       static_cast<std::size_t>(args.GetUint("workers", 1000));
@@ -172,27 +194,27 @@ int Generate(const Args& args) {
     config = UpworkLikeConfig(workers, seed);
   } else {
     std::fprintf(stderr, "error: unknown dataset '%s'\n", dataset.c_str());
-    return 2;
+    return kExitUsage;
   }
   const LaborMarket market = GenerateMarket(config);
   std::string error;
   if (!WriteMarketToFile(market, out, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 1;
+    return kExitInternal;
   }
   std::printf("wrote %s: %zu workers, %zu tasks, %zu edges\n", out.c_str(),
               market.NumWorkers(), market.NumTasks(), market.NumEdges());
-  return 0;
+  return kExitOk;
 }
 
 int Stats(const Args& args) {
   std::string path;
-  if (!args.Require("market", &path)) return 2;
+  if (!args.Require("market", &path)) return kExitUsage;
   std::string error;
   const auto market = ReadMarketFromFile(path, &error);
   if (!market) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 1;
+    return kExitBadInput;
   }
   const MarketStats s = ComputeStats(*market);
   std::printf("name            %s\n", market->name().c_str());
@@ -207,33 +229,46 @@ int Stats(const Args& args) {
               s.avg_task_degree, s.max_task_degree, s.task_degree_gini);
   std::printf("avg payment     %.4f\n", s.avg_payment);
   std::printf("avg quality     %.4f\n", s.avg_quality);
-  return 0;
+  return kExitOk;
 }
 
 int Solve(const Args& args) {
   std::string market_path, out;
   if (!args.Require("market", &market_path) || !args.Require("out", &out)) {
-    return 2;
+    return kExitUsage;
   }
   std::string error;
   const auto market = ReadMarketFromFile(market_path, &error);
   if (!market) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 1;
+    return kExitBadInput;
   }
-  const std::string solver_name = args.Get("solver", "greedy");
-  const auto solver = MakeSolver(solver_name, args.GetUint("seed", 1));
-  if (!solver) {
-    std::fprintf(stderr, "error: unknown solver '%s'\n",
-                 solver_name.c_str());
-    return 2;
+
+  SolveOptions solve_options;
+  solve_options.budget.max_work =
+      args.GetUint("work-budget", DeadlineBudget::kUnlimitedWork);
+  solve_options.budget.max_wall_ms = args.GetDouble("deadline-ms", 0.0);
+
+  std::unique_ptr<Solver> solver;
+  if (args.GetBool("fallback")) {
+    // The degradation chain gives each optimizing stage the caller's
+    // budget and lets the unbudgeted floor guarantee a complete answer.
+    solver = MakeStandardFallbackChain(solve_options.budget);
+  } else {
+    const std::string solver_name = args.Get("solver", "greedy");
+    solver = MakeSolver(solver_name, args.GetUint("seed", 1));
+    if (!solver) {
+      std::fprintf(stderr, "error: unknown solver '%s'\n",
+                   solver_name.c_str());
+      return kExitUsage;
+    }
   }
   const MbtaProblem problem{&*market, MakeObjectiveParams(args)};
   SolveInfo info;
-  const Assignment a = solver->Solve(problem, &info);
+  const Assignment a = solver->Solve(problem, solve_options, &info);
   if (!WriteAssignmentToFile(*market, a, out, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 1;
+    return kExitInternal;
   }
   const AssignmentMetrics metrics = Evaluate(problem.MakeObjective(), a);
   std::printf("solver %s: MB=%.4f RB=%.4f WB=%.4f pairs=%zu (%.1f ms)\n",
@@ -245,26 +280,32 @@ int Solve(const Args& args) {
     PrintSolveStats(info);
   }
   std::printf("wrote %s\n", out.c_str());
-  return 0;
+  if (info.deadline_hit) {
+    std::fprintf(stderr, "warning: budget expired (%s); wrote best-effort "
+                         "assignment\n",
+                 ToString(info.stop_reason));
+    return kExitDegraded;
+  }
+  return kExitOk;
 }
 
 int EvaluateCmd(const Args& args) {
   std::string market_path, assignment_path;
   if (!args.Require("market", &market_path) ||
       !args.Require("assignment", &assignment_path)) {
-    return 2;
+    return kExitUsage;
   }
   std::string error;
   const auto market = ReadMarketFromFile(market_path, &error);
   if (!market) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 1;
+    return kExitBadInput;
   }
   const auto assignment =
       ReadAssignmentFromFile(*market, assignment_path, &error);
   if (!assignment) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 1;
+    return kExitBadInput;
   }
   const MutualBenefitObjective objective(&*market,
                                          MakeObjectiveParams(args));
@@ -282,17 +323,17 @@ int EvaluateCmd(const Args& args) {
   std::printf("worker-benefit jain %.4f, gini %.4f\n",
               JainFairnessIndex(metrics.per_worker_benefit),
               GiniCoefficient(metrics.per_worker_benefit));
-  return 0;
+  return kExitOk;
 }
 
 int Compare(const Args& args) {
   std::string market_path;
-  if (!args.Require("market", &market_path)) return 2;
+  if (!args.Require("market", &market_path)) return kExitUsage;
   std::string error;
   const auto market = ReadMarketFromFile(market_path, &error);
   if (!market) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 1;
+    return kExitBadInput;
   }
   const MbtaProblem problem{&*market, MakeObjectiveParams(args)};
   const bool show_stats = args.GetBool("stats");
@@ -318,7 +359,7 @@ int Compare(const Args& args) {
                 info.gain_evaluations);
     PrintSolveStats(info);
   }
-  return 0;
+  return kExitOk;
 }
 
 int Main(int argc, char** argv) {
@@ -348,4 +389,14 @@ int Main(int argc, char** argv) {
 }  // namespace
 }  // namespace mbta::cli
 
-int main(int argc, char** argv) { return mbta::cli::Main(argc, argv); }
+int main(int argc, char** argv) {
+  try {
+    return mbta::cli::Main(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return mbta::cli::kExitInternal;
+  } catch (...) {
+    std::fprintf(stderr, "internal error: unknown exception\n");
+    return mbta::cli::kExitInternal;
+  }
+}
