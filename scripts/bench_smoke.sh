@@ -15,6 +15,11 @@
 # wall-time check to rows slow enough to measure (single-digit-ms rows
 # jitter well beyond 50% under load even best-of-3).
 #
+# The committed baseline lives at BENCH_ci.json (diffed counters-only by
+# scripts/check.sh and CI). Regenerate it after any intentional change
+# to solver work counts or the smoke line-up:
+#   scripts/bench_smoke.sh BENCH_ci.json
+#
 # The smoke suite itself also enforces instrumentation determinism: it
 # exits nonzero if any solver returns a different assignment when a
 # SolveStats sink is attached.

@@ -5,9 +5,12 @@
 # fallback / cancellation, `ctest -L robustness`) under TSan with the
 # thread-safe registries (-DMBTA_SANITIZE=thread -DMBTA_OBS_THREADSAFE=ON).
 # The TSan leg is what exercises cancellation from a second thread with
-# both threads writing shared counters. A CLI smoke step checks the
+# both threads writing shared counters, plus the parallel solve path:
+# ThreadPool, the parallel Hopcroft-Karp BFS, and a slice of the
+# cross-thread-count determinism sweep. A CLI smoke step checks the
 # mbta_cli exit-code taxonomy (0 ok / 1 usage / 2 bad input / 3 degraded)
-# end-to-end against the plain build.
+# end-to-end against the plain build, and a bench gate diffs a fresh
+# smoke-suite run's counters against the committed BENCH_ci.json.
 #
 # Usage: scripts/check.sh [--fast] [--skip-unsupported] [jobs]
 #   --fast               plain build runs only `ctest -L 'unit|robustness'`
@@ -113,12 +116,33 @@ cli_smoke() {
   echo "check.sh: mbta_cli exit codes 0/1/2/3 verified"
 }
 
+# Diffs a fresh smoke-suite run against the committed BENCH_ci.json
+# baseline. Counters are machine-independent and compared exactly — any
+# drift means the build does different work than the committed record
+# (e.g. a solver's batch/commit sequence changed without regenerating
+# the baseline via scripts/bench_smoke.sh BENCH_ci.json). Wall times in
+# the committed file were measured on whoever committed it, so the
+# --min-ms floor is set above every row to keep this leg counters-only;
+# same-machine wall-time regressions are caught by the two-run CI gate.
+bench_gate() {
+  echo "=== bench gate: counters vs committed BENCH_ci.json (build/) ==="
+  cmake --build build -j "${JOBS}" --target smoke_suite bench_compare
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  build/bench/smoke_suite --json "${tmp}/smoke.json" >/dev/null
+  build/tools/bench_compare BENCH_ci.json "${tmp}/smoke.json" \
+      --threshold 0.5 --min-ms 1000000
+  echo "check.sh: smoke counters match committed BENCH_ci.json"
+}
+
 if [ "${FAST}" = "1" ]; then
   run_suite build "" "-L unit|robustness"
 else
   run_suite build "" ""
 fi
 cli_smoke
+bench_gate
 # The sanitizer legs run the whole registered suite, which includes the
 # `robustness` label — so the deadline/fault-injection/fallback tests get
 # an ASan and UBSan pass here, not just the plain build above.
@@ -144,10 +168,19 @@ if require_sanitizer thread; then
   cmake --build build-tsan -j "${JOBS}" \
         --target obs_threads_test obs_test json_writer_test \
                  deadline_test fault_injection_test fallback_solver_test \
-                 cancellation_test
+                 cancellation_test thread_pool_test hopcroft_karp_test \
+                 differential_test
   build-tsan/tests/obs_threads_test
   build-tsan/tests/obs_test
   build-tsan/tests/json_writer_test
+  # The parallel-solve path under TSan: the pool's handoff protocol, the
+  # parallel BFS layer expansion, and a slice of the cross-thread-count
+  # determinism sweep (instances 10-19 — the full 100 would take minutes
+  # under TSan; any data race shows up within a handful of instances).
+  build-tsan/tests/thread_pool_test
+  build-tsan/tests/hopcroft_karp_test
+  build-tsan/tests/differential_test \
+      --gtest_filter='*ParallelDeterminismTest*/1?'
   (cd build-tsan && ctest --output-on-failure -j "${JOBS}" -L robustness)
 fi
 

@@ -1,7 +1,8 @@
 #include "flow/hopcroft_karp.h"
 
 #include <limits>
-#include <queue>
+
+#include "util/thread_pool.h"
 
 namespace mbta {
 
@@ -13,32 +14,69 @@ namespace {
 
 struct HkState {
   const BipartiteGraph& g;
+  ThreadPool& pool;
   std::vector<int>& left_match;
   std::vector<int>& right_match;
   std::vector<int> dist;
 
+  // BFS layer state, reused across phases. `chunk_next` / `chunk_found`
+  // give every pool participant a private discovery buffer so the
+  // parallel scan writes nothing shared; `dist` and `right_match` are
+  // read-only while a layer is in flight.
+  std::vector<VertexId> frontier;
+  std::vector<VertexId> next;
+  std::vector<std::vector<VertexId>> chunk_next;
+  std::vector<char> chunk_found;
+
+  /// Layer-synchronous BFS from the unmatched left vertices. A vertex's
+  /// distance label is the level at which it is first discovered — a
+  /// property of the level structure, not of visit order within a level —
+  /// so this computes exactly the labels of the classic FIFO-queue BFS,
+  /// on any thread count. Duplicates discovered by several chunks are
+  /// resolved in the sequential chunk-order merge.
   bool Bfs() {
-    std::queue<VertexId> q;
     dist.assign(g.NumLeft(), kInf);
+    frontier.clear();
     for (VertexId l = 0; l < g.NumLeft(); ++l) {
       if (left_match[l] < 0) {
         dist[l] = 0;
-        q.push(l);
+        frontier.push_back(l);
       }
     }
+    const int parts = pool.num_threads();
+    chunk_next.resize(parts);
+    chunk_found.assign(parts, 0);
     bool found_augmenting = false;
-    while (!q.empty()) {
-      const VertexId l = q.front();
-      q.pop();
-      for (const Incidence& inc : g.LeftNeighbors(l)) {
-        const int lr = right_match[inc.vertex];
-        if (lr < 0) {
-          found_augmenting = true;
-        } else if (dist[lr] == kInf) {
-          dist[lr] = dist[l] + 1;
-          q.push(static_cast<VertexId>(lr));
+    int level = 0;
+    while (!frontier.empty()) {
+      pool.ParallelFor(static_cast<std::size_t>(parts), [&](std::size_t p) {
+        const auto [begin, end] =
+            ThreadPool::SliceOf(frontier.size(), parts, static_cast<int>(p));
+        std::vector<VertexId>& local = chunk_next[p];
+        local.clear();
+        for (std::size_t i = begin; i < end; ++i) {
+          for (const Incidence& inc : g.LeftNeighbors(frontier[i])) {
+            const int lr = right_match[inc.vertex];
+            if (lr < 0) {
+              chunk_found[p] = 1;
+            } else if (dist[lr] == kInf) {
+              local.push_back(static_cast<VertexId>(lr));
+            }
+          }
+        }
+      });
+      next.clear();
+      for (int p = 0; p < parts; ++p) {
+        if (chunk_found[p] != 0) found_augmenting = true;
+        for (const VertexId lr : chunk_next[p]) {
+          if (dist[lr] == kInf) {
+            dist[lr] = level + 1;
+            next.push_back(lr);
+          }
         }
       }
+      frontier.swap(next);
+      ++level;
     }
     return found_augmenting;
   }
@@ -60,11 +98,14 @@ struct HkState {
 
 }  // namespace
 
-MatchingResult MaximumBipartiteMatching(const BipartiteGraph& g) {
+MatchingResult MaximumBipartiteMatching(const BipartiteGraph& g,
+                                        int num_threads) {
   MatchingResult result;
   result.left_match.assign(g.NumLeft(), -1);
   result.right_match.assign(g.NumRight(), -1);
-  HkState state{g, result.left_match, result.right_match, {}};
+  ThreadPool pool(num_threads);
+  HkState state{g, pool, result.left_match, result.right_match, {},
+                {}, {}, {}, {}};
   while (state.Bfs()) {
     for (VertexId l = 0; l < g.NumLeft(); ++l) {
       if (result.left_match[l] < 0 && state.Dfs(l)) ++result.size;

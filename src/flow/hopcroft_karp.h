@@ -18,7 +18,16 @@ struct MatchingResult {
 };
 
 /// Hopcroft–Karp maximum-cardinality matching, O(E sqrt(V)).
-MatchingResult MaximumBipartiteMatching(const BipartiteGraph& g);
+///
+/// The BFS phase expands distance layers with `num_threads` workers:
+/// each layer's frontier is scanned read-only in contiguous chunks and
+/// the discoveries merged sequentially in chunk order. Distance labels
+/// depend only on the BFS level of first discovery, never on intra-layer
+/// order, so the result is byte-identical at any thread count (the
+/// sweep in tests/hopcroft_karp_test.cc pins this). The augmenting DFS
+/// stays serial. Values < 1 are clamped to 1.
+MatchingResult MaximumBipartiteMatching(const BipartiteGraph& g,
+                                        int num_threads = 1);
 
 }  // namespace mbta
 

@@ -49,10 +49,14 @@ LaborMarket LaborMarketBuilder::Build() {
   market.name_ = std::move(name_);
 
   BipartiteGraphBuilder gb(market.workers_.size(), market.tasks_.size());
-  market.attributes_.reserve(edges_.size());
+  market.quality_.reserve(edges_.size());
+  market.worker_benefit_.reserve(edges_.size());
+  market.task_value_.reserve(edges_.size());
   for (const PendingEdge& e : edges_) {
     gb.AddEdge(e.worker, e.task);
-    market.attributes_.push_back(e.attr);
+    market.quality_.push_back(e.attr.quality);
+    market.worker_benefit_.push_back(e.attr.worker_benefit);
+    market.task_value_.push_back(market.tasks_[e.task].value);
   }
   market.graph_ = gb.Build();
   edges_.clear();

@@ -36,11 +36,20 @@ class LaborMarket {
   TaskId EdgeTask(EdgeId e) const { return graph_.EdgeRight(e); }
 
   /// q(w, t) for the edge.
-  double Quality(EdgeId e) const { return attributes_[e].quality; }
+  double Quality(EdgeId e) const { return quality_[e]; }
   /// wb(w, t) for the edge.
-  double WorkerBenefit(EdgeId e) const {
-    return attributes_[e].worker_benefit;
-  }
+  double WorkerBenefit(EdgeId e) const { return worker_benefit_[e]; }
+
+  /// Per-edge attribute columns, indexed by EdgeId. Attributes are stored
+  /// structure-of-arrays so batched gain kernels (ObjectiveState::
+  /// BatchMarginalGains) stream one contiguous column per quantity instead
+  /// of striding through an array of structs; the scalar accessors above
+  /// read the same memory, so the two paths can never disagree.
+  std::span<const double> Qualities() const { return quality_; }
+  std::span<const double> WorkerBenefits() const { return worker_benefit_; }
+  /// V(task(e)) replicated per edge, sparing kernels the EdgeId → TaskId →
+  /// Task indirection on the hot path.
+  std::span<const double> EdgeTaskValues() const { return task_value_; }
 
   /// Edges incident to a worker / task.
   std::span<const Incidence> WorkerEdges(WorkerId w) const {
@@ -59,7 +68,10 @@ class LaborMarket {
   std::vector<Worker> workers_;
   std::vector<Task> tasks_;
   BipartiteGraph graph_;
-  std::vector<EdgeAttributes> attributes_;
+  // Edge attributes, one column per quantity (see Qualities() above).
+  std::vector<double> quality_;
+  std::vector<double> worker_benefit_;
+  std::vector<double> task_value_;
   std::string name_;
 };
 

@@ -135,6 +135,88 @@ double ObjectiveState::MarginalGain(EdgeId e) const {
   return gain;
 }
 
+void ObjectiveState::BatchMarginalGains(std::span<const EdgeId> edges,
+                                        std::span<double> out,
+                                        GainScratch* scratch) const {
+  MBTA_CHECK(scratch != nullptr);
+  MBTA_CHECK(out.size() >= edges.size());
+  const std::span<const double> quality = market_->Qualities();
+  const std::span<const double> benefit = market_->WorkerBenefits();
+  const std::span<const double> task_value = market_->EdgeTaskValues();
+  const std::span<const VertexId> edge_worker = market_->graph().EdgeLefts();
+  const std::span<const VertexId> edge_task = market_->graph().EdgeRights();
+  const double alpha = objective_->alpha();
+  const bool modular = objective_->kind() == ObjectiveKind::kModular;
+
+  // Every arithmetic step below mirrors the expression shape of the
+  // scalar path (TaskBenefit / WorkerUtility folds in the same operand
+  // order) so the results are bit-identical, not merely close. The
+  // batched form buys its speed from the SoA columns and the reused
+  // scratch, never from reassociating floating point.
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const EdgeId e = edges[i];
+    MBTA_CHECK(e < chosen_.size());
+    MBTA_CHECK(!chosen_[e]);
+    const WorkerId w = edge_worker[e];
+    const TaskId t = edge_task[e];
+    const std::vector<EdgeId>& t_edges = task_edges_[t];
+    const std::vector<EdgeId>& w_edges = worker_edges_[w];
+
+    double task_old;
+    double task_plus;
+    if (modular) {
+      double sum = 0.0;
+      // task_value[te] == task_value[e] == V(t) for every chosen edge of
+      // t; kept per-edge so the load stays a single column read.
+      for (EdgeId te : t_edges) sum += task_value[te] * quality[te];
+      task_old = sum;
+      task_plus = sum + task_value[e] * quality[e];
+    } else {
+      double miss = 1.0;
+      for (EdgeId te : t_edges) miss *= 1.0 - quality[te];
+      task_old = task_value[e] * (1.0 - miss);
+      task_plus = task_value[e] * (1.0 - miss * (1.0 - quality[e]));
+    }
+
+    double worker_old;
+    double worker_plus;
+    if (modular) {
+      double sum = 0.0;
+      for (EdgeId we : w_edges) sum += benefit[we];
+      worker_old = sum;
+      worker_plus = sum + benefit[e];
+    } else {
+      const double fatigue = market_->worker(w).fatigue;
+      // Build both benefit lists in the scalar path's input order
+      // (incumbents in edge order, candidate appended) before sorting, so
+      // even ties land exactly where std::sort puts them there.
+      std::vector<double>& values = scratch->values;
+      std::vector<double>& values_plus = scratch->values_plus;
+      values.clear();
+      values_plus.clear();
+      for (EdgeId we : w_edges) values.push_back(benefit[we]);
+      values_plus = values;
+      values_plus.push_back(benefit[e]);
+      std::sort(values.begin(), values.end(), std::greater<>());
+      std::sort(values_plus.begin(), values_plus.end(), std::greater<>());
+      const auto fold = [fatigue](const std::vector<double>& vals) {
+        double utility = 0.0;
+        double weight = 1.0;
+        for (double v : vals) {
+          utility += weight * v;
+          weight *= fatigue;
+        }
+        return utility;
+      };
+      worker_old = fold(values);
+      worker_plus = fold(values_plus);
+    }
+
+    out[i] = alpha * (task_plus - task_old) +
+             (1.0 - alpha) * (worker_plus - worker_old);
+  }
+}
+
 void ObjectiveState::Add(EdgeId e) {
   MBTA_CHECK(CanAdd(e));
   const WorkerId w = market_->EdgeWorker(e);

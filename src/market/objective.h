@@ -2,6 +2,7 @@
 #define MBTA_MARKET_OBJECTIVE_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "market/assignment.h"
@@ -82,6 +83,23 @@ class ObjectiveState {
   /// Marginal gain of adding `e` to the current assignment. Defined for
   /// any unchosen edge (capacity is CanAdd's business). Non-negative.
   double MarginalGain(EdgeId e) const;
+
+  /// Reusable buffers for BatchMarginalGains. One instance per calling
+  /// thread; the vectors grow to the largest worker degree seen and are
+  /// never shrunk, so a warm scratch makes the kernel allocation-free.
+  struct GainScratch {
+    std::vector<double> values;       // worker benefits without the edge
+    std::vector<double> values_plus;  // ... with the candidate appended
+  };
+
+  /// Batched twin of MarginalGain over the market's SoA attribute
+  /// columns: out[i] = MarginalGain(edges[i]), bit-for-bit. The batch is
+  /// evaluated against the *current* state (no edge in `edges` may be
+  /// chosen); entries are independent, so concurrent callers may split
+  /// `edges`/`out` into disjoint index ranges as long as each brings its
+  /// own scratch. Requires out.size() >= edges.size().
+  void BatchMarginalGains(std::span<const EdgeId> edges,
+                          std::span<double> out, GainScratch* scratch) const;
 
   /// Adds edge `e`. Requires CanAdd(e).
   void Add(EdgeId e);

@@ -1,0 +1,105 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mbta {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int participants = std::max(1, num_threads);
+  exceptions_.resize(static_cast<std::size_t>(participants));
+  workers_.reserve(static_cast<std::size_t>(participants - 1));
+  for (int w = 0; w < participants - 1; ++w) {
+    workers_.emplace_back([this, w] { WorkerMain(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::SliceOf(
+    std::size_t num_tasks, int parts, int part) {
+  MBTA_CHECK(parts >= 1 && part >= 0 && part < parts);
+  const std::size_t p = static_cast<std::size_t>(parts);
+  const std::size_t i = static_cast<std::size_t>(part);
+  const std::size_t base = num_tasks / p;
+  const std::size_t extra = num_tasks % p;
+  const std::size_t begin = i * base + std::min(i, extra);
+  return {begin, begin + base + (i < extra ? 1 : 0)};
+}
+
+void ThreadPool::RunSlice(int part) {
+  // `job_`, `job_size_` are stable for the duration of a generation: the
+  // caller does not mutate them until every worker reported done.
+  const auto [begin, end] = SliceOf(job_size_, num_threads(), part);
+  exceptions_[static_cast<std::size_t>(part)] = nullptr;
+  try {
+    for (std::size_t i = begin; i < end; ++i) (*job_)(i);
+  } catch (...) {
+    exceptions_[static_cast<std::size_t>(part)] = std::current_exception();
+  }
+}
+
+void ThreadPool::WorkerMain(int worker_index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen_generation] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    RunSlice(1 + worker_index);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t num_tasks,
+                             const std::function<void(std::size_t)>& body) {
+  if (workers_.empty() || num_tasks <= 1) {
+    // Inline fast path: no synchronization at all. Exceptions propagate
+    // directly, which matches the pooled path's "first participant in
+    // order" rule (the caller is participant 0).
+    for (std::size_t i = 0; i < num_tasks; ++i) body(i);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    MBTA_CHECK(pending_ == 0);  // not reentrant
+    job_ = &body;
+    job_size_ = num_tasks;
+    pending_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunSlice(0);  // the caller computes slice 0 itself
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    job_ = nullptr;
+  }
+  // Every slice ran to completion; surface the first failure in
+  // participant order so the observed exception is deterministic.
+  for (std::exception_ptr& e : exceptions_) {
+    if (e != nullptr) {
+      const std::exception_ptr first = e;
+      std::fill(exceptions_.begin(), exceptions_.end(), nullptr);
+      std::rethrow_exception(first);
+    }
+  }
+}
+
+}  // namespace mbta

@@ -1,0 +1,98 @@
+#ifndef MBTA_UTIL_THREAD_POOL_H_
+#define MBTA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace mbta {
+
+/// A fixed-size, work-stealing-free thread pool for deterministic data
+/// parallelism. ParallelFor partitions an index range [0, n) into one
+/// contiguous slice per participant (the caller counts as participant 0,
+/// so `ThreadPool(1)` spawns no threads and runs everything inline); the
+/// slice boundaries depend only on (n, num_threads), never on timing, so
+/// which worker computes which index is reproducible run to run.
+///
+/// The determinism contract this enables (CONTRIBUTING.md, "Parallelism"):
+/// workers may only write to disjoint, index-addressed slots (out[i] for
+/// their own i), so the memory state after a ParallelFor is independent of
+/// thread scheduling. Any reduction over the slots happens on the caller
+/// thread afterwards, in index order.
+///
+/// Workers are started once in the constructor and reused across
+/// ParallelFor calls; submission is a single lock + notify, so the pool
+/// is cheap enough to drive per-solve batches. ParallelFor is not
+/// reentrant and must only be called from the thread that owns the pool
+/// (one pool per solve; solvers do not share pools across threads).
+///
+/// Exceptions: every slice runs to completion regardless of failures in
+/// other slices; the first pending exception in participant order
+/// (caller's slice first, then workers by index) is rethrown from
+/// ParallelFor, so the surfaced error is deterministic too.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` participants total (clamped to at
+  /// least 1). Spawns num_threads - 1 worker threads.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Participants, including the calling thread. Always >= 1.
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs body(i) for every i in [0, num_tasks), split into one
+  /// contiguous slice per participant, and blocks until all slices are
+  /// done. The body must confine its writes to per-index slots.
+  void ParallelFor(std::size_t num_tasks,
+                   const std::function<void(std::size_t)>& body);
+
+  /// The half-open index range participant `part` covers out of
+  /// [0, num_tasks) when `parts` participants split it: sizes differ by
+  /// at most one, lower part ids take the longer slices. Exposed for
+  /// tests and for callers that pre-slice per-thread scratch.
+  static std::pair<std::size_t, std::size_t> SliceOf(std::size_t num_tasks,
+                                                     int parts, int part);
+
+ private:
+  void WorkerMain(int worker_index);
+  /// Runs `part`'s slice of the current job, capturing any exception
+  /// into exceptions_[part]. Reads job_/job_size_ without the lock: they
+  /// are frozen between the submit in ParallelFor (release of mu_) and
+  /// the last worker's done report (acquire of mu_), so the accesses are
+  /// ordered by mu_ even though no lock is held while running the body.
+  void RunSlice(int part) MBTA_NO_THREAD_SAFETY_ANALYSIS;
+
+  // Immutable after construction.
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals: new job / shutdown
+  std::condition_variable done_cv_;   // signals: a worker finished a slice
+  // The current job. `generation_` bumps once per ParallelFor; workers
+  // run exactly one slice per generation they observe.
+  std::uint64_t generation_ MBTA_GUARDED_BY(mu_) = 0;
+  std::size_t job_size_ MBTA_GUARDED_BY(mu_) = 0;
+  const std::function<void(std::size_t)>* job_ MBTA_GUARDED_BY(mu_) =
+      nullptr;
+  int pending_ MBTA_GUARDED_BY(mu_) = 0;  // workers still on this job
+  bool shutdown_ MBTA_GUARDED_BY(mu_) = false;
+  // exceptions_[0] belongs to the caller's slice, [1 + w] to worker w.
+  // Written by the owning participant during a job, read by the caller
+  // after the join barrier in ParallelFor.
+  std::vector<std::exception_ptr> exceptions_;
+};
+
+}  // namespace mbta
+
+#endif  // MBTA_UTIL_THREAD_POOL_H_

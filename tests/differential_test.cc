@@ -39,6 +39,7 @@
 #include "core/greedy_solver.h"
 #include "core/local_search_solver.h"
 #include "core/online_solvers.h"
+#include "core/parallel_greedy_solver.h"
 #include "core/solver.h"
 #include "core/validate.h"
 #include "gen/market_generator.h"
@@ -182,6 +183,11 @@ TEST_P(DifferentialTest, AllSolversValidDeterministicAndOrdered) {
   CheckSolver(OnlineGreedySolver(regime.config.seed), submodular);
   CheckSolver(TaskArrivalGreedySolver(regime.config.seed), submodular);
   CheckSolver(TwoPhaseOnlineSolver(regime.config.seed), submodular);
+  // The parallel family also honors every robustness invariant (the
+  // thread sweep itself lives in ParallelDeterminismTest below).
+  CheckSolver(ParallelGreedySolver(), submodular);
+  CheckSolver(ParallelGreedySolver(ParallelGreedySolver::Mode::kPlain),
+              submodular);
 
   // Exact flow and greedy on the modular twin of the same market.
   const double flow_value = CheckSolver(ExactFlowSolver(), modular);
@@ -208,6 +214,78 @@ TEST_P(DifferentialTest, AllSolversValidDeterministicAndOrdered) {
 // 100 seeded instances spanning the preset × size × alpha × capacity ×
 // budget grid.
 INSTANTIATE_TEST_SUITE_P(Instances, DifferentialTest,
+                         ::testing::Range(0, 100));
+
+/// The parallel determinism gate (CONTRIBUTING.md, "Parallelism"): on the
+/// same 100-instance grid, the parallel solvers must produce byte-identical
+/// assignments and identical deterministic counters at every thread count.
+/// Wall time is the only thing threads may change.
+class ParallelDeterminismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelDeterminismTest, ThreadSweepIsByteIdentical) {
+  const Regime regime = MakeRegime(GetParam());
+  SCOPED_TRACE(regime.Describe());
+  const LaborMarket market = GenerateMarket(regime.config);
+  ASSERT_GT(market.NumEdges(), 0u) << "degenerate regime: no edges";
+
+  for (const ObjectiveKind kind :
+       {ObjectiveKind::kSubmodular, ObjectiveKind::kModular}) {
+    const MbtaProblem problem{&market, {.alpha = regime.alpha, .kind = kind}};
+    SCOPED_TRACE(std::string("kind=") + ToString(kind));
+    for (const ParallelGreedySolver::Mode mode :
+         {ParallelGreedySolver::Mode::kLazy,
+          ParallelGreedySolver::Mode::kPlain}) {
+      const ParallelGreedySolver solver(mode);
+      SCOPED_TRACE("solver=" + solver.name());
+
+      // The serial twin: the same solver at threads = 1.
+      SolveOptions serial_options;
+      serial_options.threads = 1;
+      SolveStats serial_stats;
+      const Assignment serial =
+          solver.Solve(problem, serial_options, &serial_stats);
+
+      for (const int threads : {2, 4, 8}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        SolveOptions options;
+        options.threads = threads;
+        SolveStats stats;
+        const Assignment parallel = solver.Solve(problem, options, &stats);
+        EXPECT_EQ(parallel.edges, serial.edges)
+            << "thread count changed the assignment";
+        // Full counter-map equality — keys and values. The thread count
+        // itself is published as a gauge precisely so this comparison
+        // stays exact; wall_ms is deliberately not compared.
+        EXPECT_EQ(stats.counters.counters(), serial_stats.counters.counters())
+            << "thread count changed a deterministic counter";
+        EXPECT_EQ(stats.gain_evaluations, serial_stats.gain_evaluations);
+        EXPECT_EQ(stats.counters.Gauge("solve/parallel/threads"),
+                  static_cast<double>(threads));
+      }
+
+      // The plain variant replicates GreedySolver::kPlain decision-for-
+      // decision, so its assignment must also match the serial scan
+      // solver (the lazy variant computes the same exact greedy sequence
+      // and is pinned to the plain variant below).
+      if (mode == ParallelGreedySolver::Mode::kPlain) {
+        const Assignment plain_serial =
+            GreedySolver(GreedySolver::Mode::kPlain).Solve(problem);
+        EXPECT_EQ(serial.edges, plain_serial.edges)
+            << "parallel-plain diverged from the serial plain solver";
+      }
+    }
+
+    // Lazy and plain parallel variants both compute exact greedy with the
+    // lowest-edge-id tie-break, so they agree with each other.
+    const Assignment lazy = ParallelGreedySolver().Solve(problem);
+    const Assignment plain =
+        ParallelGreedySolver(ParallelGreedySolver::Mode::kPlain).Solve(problem);
+    EXPECT_EQ(lazy.edges, plain.edges)
+        << "lazy refresh diverged from the exact scan";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, ParallelDeterminismTest,
                          ::testing::Range(0, 100));
 
 /// Tiny instances where brute force supplies ground truth.

@@ -88,5 +88,33 @@ TEST_P(RandomMatchingTest, SizeAgreesWithMaxFlow) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomMatchingTest, ::testing::Range(0, 30));
 
+TEST(HopcroftKarpTest, ThreadSweepIsByteIdentical) {
+  // The parallel BFS layer expansion must not change anything: match
+  // arrays (not just the matching size) are compared against the
+  // single-thread run for every thread count, across a spread of random
+  // graphs including ones with long augmenting chains.
+  for (int seed = 0; seed < 25; ++seed) {
+    Rng rng(seed * 131 + 3);
+    const std::size_t nl = 1 + rng.NextBounded(40);
+    const std::size_t nr = 1 + rng.NextBounded(40);
+    BipartiteGraphBuilder b(nl, nr);
+    for (VertexId l = 0; l < nl; ++l) {
+      for (VertexId r = 0; r < nr; ++r) {
+        if (rng.NextBool(0.15)) b.AddEdge(l, r);
+      }
+    }
+    const BipartiteGraph g = b.Build();
+    const auto serial = MaximumBipartiteMatching(g, 1);
+    for (const int threads : {2, 4, 8}) {
+      const auto parallel = MaximumBipartiteMatching(g, threads);
+      ASSERT_EQ(parallel.size, serial.size) << "seed " << seed;
+      ASSERT_EQ(parallel.left_match, serial.left_match)
+          << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(parallel.right_match, serial.right_match)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mbta

@@ -1,5 +1,5 @@
 // Exercises the mbta_lint rule engine (tools/lint_engine.h) on embedded
-// snippets: every rule R1-R7 must fire on a violating snippet with the
+// snippets: every rule R1-R8 must fire on a violating snippet with the
 // right rule id and line, stay silent on a conforming one, and honor the
 // waiver syntax. A final test walks the real tree under MBTA_SOURCE_DIR
 // and asserts the repository itself is clean at head — the same gate
@@ -457,6 +457,79 @@ TEST(R7RawClock, MemberNamedSleepForIsFine) {
   EXPECT_TRUE(Clean(LintAs(
       "src/core/x.cc",
       "void f(Scheduler& s) { s.sleep_for(3); }\n")));
+}
+
+// ---------------------------------------------------------------------------
+// R8 — raw threading primitives outside the ThreadPool seam.
+// ---------------------------------------------------------------------------
+
+TEST(R8RawThreads, FiresOnStdThread) {
+  const auto vs = LintAs(
+      "src/core/x.cc",
+      "void f() {\n"
+      "  std::thread t([] {});\n"
+      "  t.join();\n"
+      "}\n");
+  EXPECT_TRUE(FiresOnce(vs, "R8", 2));
+}
+
+TEST(R8RawThreads, FiresOnJthreadAndAsync) {
+  const auto vs = LintAs(
+      "src/market/x.cc",
+      "void f() {\n"
+      "  std::jthread t([] {});\n"
+      "  auto fut = std::async([] { return 1; });\n"
+      "  (void)fut;\n"
+      "}\n");
+  EXPECT_TRUE(FiresOnce(vs, "R8", 2));
+  EXPECT_TRUE(FiresOnce(vs, "R8", 3));
+}
+
+TEST(R8RawThreads, UtilIsExemptButObsIsNot) {
+  // src/util hosts the ThreadPool itself; src/obs gets no exemption —
+  // its thread-safe registries guard shared state, they don't spawn.
+  const std::string raw = "void f() { std::thread t([] {}); t.join(); }\n";
+  EXPECT_TRUE(Clean(LintAs("src/util/thread_pool.cc", raw)));
+  EXPECT_TRUE(FiresOnce(LintAs("src/obs/x.cc", raw), "R8", 1));
+}
+
+TEST(R8RawThreads, NonLibraryFilesAreExempt) {
+  // Tests spawn watchdog and contention threads freely; tools and bench
+  // own their own parallelism.
+  const std::string raw =
+      "void f() {\n"
+      "  std::thread t([] {});\n"
+      "  t.join();\n"
+      "  auto fut = std::async([] { return 1; });\n"
+      "  (void)fut;\n"
+      "}\n";
+  EXPECT_TRUE(Clean(LintAs("tests/x_test.cc", raw)));
+  EXPECT_TRUE(Clean(LintAs("tools/x.cc", raw)));
+  EXPECT_TRUE(Clean(LintAs("bench/x.cc", raw)));
+}
+
+TEST(R8RawThreads, UnqualifiedAndUnrelatedNamesAreFine) {
+  // `std::this_thread` is a different identifier; members and plain
+  // idents named thread/async never carry the std:: prefix.
+  EXPECT_TRUE(Clean(LintAs(
+      "src/core/x.cc",
+      "void f(Pool& pool) {\n"
+      "  auto id = std::this_thread::get_id();\n"
+      "  (void)id;\n"
+      "  pool.async(3);\n"
+      "  int thread = 0;\n"
+      "  (void)thread;\n"
+      "}\n")));
+}
+
+TEST(R8RawThreads, WaiverSilences) {
+  EXPECT_TRUE(Clean(LintAs(
+      "src/core/x.cc",
+      "void f() {\n"
+      "  // mbta-lint: thread-ok(detached watchdog, joins before return)\n"
+      "  std::thread t([] {});\n"
+      "  t.join();\n"
+      "}\n")));
 }
 
 // ---------------------------------------------------------------------------

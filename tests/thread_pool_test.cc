@@ -1,0 +1,177 @@
+/// ThreadPool contract tests (see CONTRIBUTING.md, "Parallelism"):
+/// deterministic slice assignment, disjoint index-addressed writes,
+/// exception propagation in participant order, reuse across submissions,
+/// and an 8-thread stress case. The suite runs under TSan in CI and
+/// scripts/check.sh, which is what proves the submit/join protocol
+/// race-free rather than merely correct-looking.
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace mbta {
+namespace {
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int> out(100, 0);
+  pool.ParallelFor(out.size(),
+                   [&](std::size_t i) { out[i] = static_cast<int>(i); });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i));
+  }
+}
+
+TEST(ThreadPoolTest, NonPositiveThreadCountClampsToOne) {
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+  int calls = 0;
+  negative.ParallelFor(5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(ThreadPoolTest, EmptyAndSingletonJobs) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, SliceOfPartitionsContiguouslyAndEvenly) {
+  // 10 tasks over 4 parts: sizes 3,3,2,2 with lower parts taking the
+  // longer slices — pinned because solvers key per-thread scratch off it.
+  EXPECT_EQ(ThreadPool::SliceOf(10, 4, 0), (std::pair<std::size_t, std::size_t>{0, 3}));
+  EXPECT_EQ(ThreadPool::SliceOf(10, 4, 1), (std::pair<std::size_t, std::size_t>{3, 6}));
+  EXPECT_EQ(ThreadPool::SliceOf(10, 4, 2), (std::pair<std::size_t, std::size_t>{6, 8}));
+  EXPECT_EQ(ThreadPool::SliceOf(10, 4, 3), (std::pair<std::size_t, std::size_t>{8, 10}));
+  // Fewer tasks than parts: one task each for the first `n` parts.
+  EXPECT_EQ(ThreadPool::SliceOf(2, 4, 0), (std::pair<std::size_t, std::size_t>{0, 1}));
+  EXPECT_EQ(ThreadPool::SliceOf(2, 4, 3), (std::pair<std::size_t, std::size_t>{2, 2}));
+  // The slices tile [0, n) exactly for a spread of shapes.
+  for (const int parts : {1, 2, 3, 7, 8}) {
+    for (const std::size_t n : {0u, 1u, 5u, 63u, 64u, 1000u}) {
+      std::size_t expect_begin = 0;
+      for (int p = 0; p < parts; ++p) {
+        const auto [begin, end] = ThreadPool::SliceOf(n, parts, p);
+        EXPECT_EQ(begin, expect_begin);
+        EXPECT_GE(end, begin);
+        expect_begin = end;
+      }
+      EXPECT_EQ(expect_begin, n);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, DeterministicBatchOrdering) {
+  // Disjoint index-addressed writes: the array state after ParallelFor
+  // must be a pure function of the job, not of scheduling. Run the same
+  // job many times and require identical results every time.
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 997;
+  std::vector<std::uint64_t> first(kN);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::uint64_t> out(kN, 0);
+    pool.ParallelFor(kN, [&](std::size_t i) { out[i] = i * 2654435761u; });
+    if (round == 0) {
+      first = out;
+    } else {
+      ASSERT_EQ(out, first) << "scheduling leaked into results, round "
+                            << round;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ReuseAcrossSubmissions) {
+  // One pool, many jobs of different shapes; partial sums must agree
+  // with the serial answer each time.
+  ThreadPool pool(3);
+  for (const std::size_t n : {1u, 2u, 7u, 64u, 129u, 1000u}) {
+    std::vector<std::uint64_t> out(n, 0);
+    pool.ParallelFor(n, [&](std::size_t i) { out[i] = i + 1; });
+    const std::uint64_t sum =
+        std::accumulate(out.begin(), out.end(), std::uint64_t{0});
+    EXPECT_EQ(sum, static_cast<std::uint64_t>(n) * (n + 1) / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  // The throwing slice stops at the throw; every *other* slice still
+  // runs to completion. With 100 indices over 4 slices, index 57 lives
+  // in slice [50, 75), so exactly 58..74 are skipped.
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](std::size_t i) {
+                         if (i == 57) throw std::runtime_error("boom 57");
+                         completed.fetch_add(1, std::memory_order_relaxed);
+                       }),
+      std::runtime_error);
+  const auto [slice_begin, slice_end] = ThreadPool::SliceOf(100, 4, 2);
+  ASSERT_LE(slice_begin, 57u);
+  ASSERT_GT(slice_end, 57u);
+  EXPECT_EQ(completed.load(),
+            100 - static_cast<int>(slice_end - 57));
+
+  // The pool remains usable after a failed job.
+  std::vector<int> out(50, 0);
+  pool.ParallelFor(out.size(), [&](std::size_t i) { out[i] = 1; });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 50);
+}
+
+TEST(ThreadPoolTest, FirstExceptionInParticipantOrderWins) {
+  // Two throwing indices in different slices: the one in the earliest
+  // participant slice must be the one surfaced, deterministically.
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 100;
+  const auto slice1 = ThreadPool::SliceOf(kN, 4, 1);
+  const auto slice3 = ThreadPool::SliceOf(kN, 4, 3);
+  for (int round = 0; round < 10; ++round) {
+    try {
+      pool.ParallelFor(kN, [&](std::size_t i) {
+        if (i == slice1.first) throw std::runtime_error("slice1");
+        if (i == slice3.first) throw std::runtime_error("slice3");
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "slice1");
+    }
+  }
+}
+
+TEST(ThreadPoolTest, EightThreadStress) {
+  // 8 participants hammering many back-to-back jobs, each job touching
+  // shared per-index slots plus a relaxed atomic tally. Under TSan this
+  // is the test that vets the submit/join handshake.
+  ThreadPool pool(8);
+  EXPECT_EQ(pool.num_threads(), 8);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::uint32_t> out(kN);
+  std::atomic<std::uint64_t> tally{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(kN, [&](std::size_t i) {
+      out[i] = static_cast<std::uint32_t>(i ^ static_cast<std::size_t>(round));
+      tally.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(out[1234], 1234u ^ static_cast<std::uint32_t>(round));
+  }
+  EXPECT_EQ(tally.load(), static_cast<std::uint64_t>(kN) * 50);
+}
+
+}  // namespace
+}  // namespace mbta

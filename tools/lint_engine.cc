@@ -284,6 +284,7 @@ class Linter {
       if (scope_.subsystem != "util" && scope_.subsystem != "obs") {
         RuleRawClock();
       }
+      if (scope_.subsystem != "util") RuleRawThreads();
       if (scope_.header) RuleHeaderHygiene();
     }
     std::sort(violations_.begin(), violations_.end(),
@@ -575,6 +576,27 @@ class Linter {
                    "not belong in library code; poll a DeadlineGate or "
                    "push waiting to the caller");
       }
+    }
+  }
+
+  // R8 — raw threading primitives outside the ThreadPool seam.
+  void RuleRawThreads() {
+    static const std::set<std::string> kBanned = {"thread", "jthread",
+                                                  "async"};
+    for (std::size_t i = 2; i < Size(); ++i) {
+      const Token& t = Tok(i);
+      if (t.kind != Token::Kind::kIdent || !kBanned.count(t.text)) continue;
+      // Only the qualified std:: forms: `std::this_thread` is one
+      // identifier and member calls like `pool.async(...)` never carry
+      // the std:: prefix, so neither trips this.
+      if (!(IsIdent(i - 2, "std") && IsPunct(i - 1, "::"))) continue;
+      Report(t.line, "R8", "thread-ok",
+             "std::" + t.text +
+                 " outside src/util: spawn parallelism through "
+                 "mbta::ThreadPool (src/util/thread_pool.h) so slicing "
+                 "stays deterministic and the determinism gate in "
+                 "tests/differential_test.cc keeps meaning something "
+                 "(waive with // mbta-lint: thread-ok(reason))");
     }
   }
 

@@ -12,7 +12,7 @@ namespace mbta::lint {
 struct Violation {
   std::string file;
   int line = 0;
-  std::string rule;     // "R1" .. "R7"
+  std::string rule;     // "R1" .. "R8"
   std::string message;  // human-readable, names the waiver tag
 };
 
@@ -46,6 +46,12 @@ struct Violation {
 ///       high_resolution_clock and sleep_for/sleep_until bypass the
 ///       injectable Clock seam (src/util/clock.h), making deadline code
 ///       untestable with FakeClock. Waiver: clock-ok.
+///   R8  no raw threading primitives in library code outside src/util:
+///       std::thread, std::jthread and std::async bypass the
+///       deterministic ThreadPool seam (src/util/thread_pool.h), whose
+///       fixed contiguous slicing is what makes the parallel solvers'
+///       byte-identical-at-any-thread-count contract checkable.
+///       Waiver: thread-ok.
 ///
 /// A waiver is a comment `// mbta-lint: <tag>(<reason>)` on the violating
 /// line or the line directly above it; the reason must be non-empty.

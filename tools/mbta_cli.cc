@@ -9,9 +9,11 @@
 ///   mbta_cli evaluate --market m.market --assignment a.assignment
 ///   mbta_cli compare  --market m.market --alpha 0.5
 ///
-/// Solvers: greedy, threshold, local-search, stable-da, matching,
-/// worker-centric, requester-centric, random, online-greedy,
-/// online-two-phase, exact-flow (modular objective only).
+/// Solvers: greedy, parallel-greedy, threshold, local-search, stable-da,
+/// matching, worker-centric, requester-centric, random, online-greedy,
+/// online-two-phase, exact-flow (modular objective only). The
+/// parallel-greedy family honors --threads (results are byte-identical
+/// at any thread count; threads buy wall time only).
 
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +31,7 @@
 #include "core/greedy_solver.h"
 #include "core/local_search_solver.h"
 #include "core/online_solvers.h"
+#include "core/parallel_greedy_solver.h"
 #include "core/solver.h"
 #include "core/stable_matching_solver.h"
 #include "core/threshold_solver.h"
@@ -125,13 +128,15 @@ int Usage() {
       "  solve    --market FILE [--solver greedy] [--alpha 0.5]\n"
       "           [--objective submodular|modular] [--seed S] [--stats]\n"
       "           [--work-budget N] [--deadline-ms MS] [--fallback]\n"
-      "           --out FILE\n"
+      "           [--threads N] --out FILE\n"
       "  evaluate --market FILE --assignment FILE [--alpha 0.5]\n"
       "           [--objective submodular|modular]\n"
       "  compare  --market FILE [--alpha 0.5] [--stats]\n"
       "--stats prints the solver's work counters and phase timings\n"
       "--work-budget/--deadline-ms bound the solve; --fallback runs the\n"
       "standard degradation chain (exact flow -> greedy -> worker-centric)\n"
+      "--threads N runs the parallel solvers on N threads (same answer,\n"
+      "less wall time)\n"
       "exit codes: 0 ok, 1 usage, 2 bad input, 3 degraded solve, "
       "4 internal\n");
   return kExitUsage;
@@ -142,6 +147,13 @@ std::unique_ptr<Solver> MakeSolver(const std::string& name,
   if (name == "greedy") return std::make_unique<GreedySolver>();
   if (name == "greedy-plain") {
     return std::make_unique<GreedySolver>(GreedySolver::Mode::kPlain);
+  }
+  if (name == "parallel-greedy") {
+    return std::make_unique<ParallelGreedySolver>();
+  }
+  if (name == "parallel-greedy-plain") {
+    return std::make_unique<ParallelGreedySolver>(
+        ParallelGreedySolver::Mode::kPlain);
   }
   if (name == "threshold") return std::make_unique<ThresholdSolver>();
   if (name == "local-search") return std::make_unique<LocalSearchSolver>();
@@ -248,6 +260,8 @@ int Solve(const Args& args) {
   solve_options.budget.max_work =
       args.GetUint("work-budget", DeadlineBudget::kUnlimitedWork);
   solve_options.budget.max_wall_ms = args.GetDouble("deadline-ms", 0.0);
+  solve_options.threads =
+      static_cast<int>(args.GetUint("threads", 1));
 
   std::unique_ptr<Solver> solver;
   if (args.GetBool("fallback")) {
