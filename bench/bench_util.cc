@@ -1,5 +1,6 @@
 #include "bench/bench_util.h"
 
+#include <cstdlib>
 #include <ctime>
 #include <string>
 #include <thread>
@@ -31,16 +32,24 @@ std::vector<std::unique_ptr<Solver>> SweepSolvers(std::uint64_t seed) {
   return solvers;
 }
 
-std::string ConsumeJsonFlag(int* argc, char** argv) {
+std::string ConsumeFlagValue(int* argc, char** argv,
+                             std::string_view flag) {
   for (int i = 1; i + 1 < *argc; ++i) {
-    if (std::string_view(argv[i]) == "--json") {
-      std::string path = argv[i + 1];
+    if (std::string_view(argv[i]) == flag) {
+      std::string value = argv[i + 1];
       for (int j = i + 2; j < *argc; ++j) argv[j - 2] = argv[j];
       *argc -= 2;
-      return path;
+      return value;
     }
   }
   return "";
+}
+
+int ConsumeThreadsFlag(int* argc, char** argv) {
+  const std::string value = ConsumeFlagValue(argc, argv, "--threads");
+  if (value.empty()) return 0;
+  const int threads = std::atoi(value.c_str());
+  return threads > 0 ? threads : 0;
 }
 
 namespace {
@@ -108,6 +117,7 @@ void JsonLog::AddRun(Params params, const SolverRun& run, Metrics extra) {
   };
   for (auto& metric : extra) row.metrics.push_back(std::move(metric));
   row.counters = run.info.counters;
+  row.histograms = run.info.histograms;
   row.phases = run.info.phases;
   rows_.push_back(std::move(row));
 }
@@ -172,6 +182,32 @@ bool JsonLog::Write() {
         }
         w.EndObject();
       }
+    }
+    if (!row.histograms.empty()) {
+      w.Key("histograms");
+      w.BeginObject();
+      for (const auto& [key, hist] : row.histograms.histograms()) {
+        w.Key(key);
+        w.BeginObject();
+        w.Key("boundaries");
+        w.BeginArray();
+        for (const double b : hist.boundaries()) w.Number(b);
+        w.EndArray();
+        w.Key("counts");
+        w.BeginArray();
+        for (const std::uint64_t c : hist.bucket_counts()) w.Number(c);
+        w.EndArray();
+        w.Key("count");
+        w.Number(hist.total_count());
+        w.Key("sum");
+        w.Number(hist.sum());
+        w.Key("min");
+        w.Number(hist.min());
+        w.Key("max");
+        w.Number(hist.max());
+        w.EndObject();
+      }
+      w.EndObject();
     }
     if (!row.phases.entries().empty()) {
       w.Key("phases");

@@ -11,6 +11,7 @@
 #include "gen/market_generator.h"
 #include "market/metrics.h"
 #include "obs/counters.h"
+#include "obs/histogram.h"
 #include "obs/phase_timer.h"
 #include "util/table.h"
 
@@ -36,10 +37,11 @@ struct SolverRun {
   SolveInfo info;
 };
 
-inline SolverRun RunSolver(const Solver& solver, const MbtaProblem& problem) {
+inline SolverRun RunSolver(const Solver& solver, const MbtaProblem& problem,
+                           const SolveOptions& options = {}) {
   SolverRun run;
   run.solver = solver.name();
-  const Assignment a = solver.Solve(problem, &run.info);
+  const Assignment a = solver.Solve(problem, options, &run.info);
   run.metrics = Evaluate(problem.MakeObjective(), a);
   return run;
 }
@@ -58,10 +60,21 @@ inline std::vector<GeneratorConfig> StandardDatasets(std::size_t workers,
           MTurkLikeConfig(workers, seed), UpworkLikeConfig(workers, seed)};
 }
 
-/// Removes `--json <path>` from argv (if present) and returns the path,
+/// Removes `flag <value>` from argv (if present) and returns the value,
 /// or "" when the flag is absent. Needed by binaries that forward argv to
 /// another flag parser (fig9 hands it to google-benchmark).
-std::string ConsumeJsonFlag(int* argc, char** argv);
+std::string ConsumeFlagValue(int* argc, char** argv, std::string_view flag);
+
+/// ConsumeFlagValue for the `--json <path>` flag every bench binary takes.
+inline std::string ConsumeJsonFlag(int* argc, char** argv) {
+  return ConsumeFlagValue(argc, argv, "--json");
+}
+
+/// Removes `--threads <n>` from argv and returns the parsed count, or 0
+/// when absent/unparsable. 0 means "serial only": the bench keeps its
+/// seeded row set, so records stay comparable to older baselines unless
+/// the flag is passed explicitly.
+int ConsumeThreadsFlag(int* argc, char** argv);
 
 /// Structured result sink behind the `--json <path>` flag every bench
 /// binary accepts. When the flag is absent the log is disabled and every
@@ -70,15 +83,18 @@ std::string ConsumeJsonFlag(int* argc, char** argv);
 /// The emitted document is schema-versioned (see kJsonSchemaVersion and
 /// CONTRIBUTING.md):
 ///
-///   {"schema_version": 1, "experiment": ..., "workload": ...,
+///   {"schema_version": 2, "experiment": ..., "workload": ...,
 ///    "host": {"os", "arch", "cores", "compiler", "timestamp_unix"},
 ///    "rows": [{"params": {...}, "solver": ..., "metrics": {...},
 ///              "counters": {...}, "gauges": {...},
+///              "histograms": {key: {"boundaries", "counts", "count",
+///                                   "sum", "min", "max"}},
 ///              "phases": {path: {"ms", "calls"}}}]}
 ///
 /// Rows added via AddRow carry only params + metrics (no solver field);
 /// rows added via AddRun also record the solver name, its SolveStats
-/// counters, gauges, and phase timings.
+/// counters, gauges, histograms, and phase timings. Schema history:
+/// v1 had no "histograms" object; v2 added it (bench_compare reads both).
 class JsonLog {
  public:
   /// Ordered key/value pairs identifying a row within the experiment
@@ -118,6 +134,7 @@ class JsonLog {
     std::string solver;  // empty for AddRow rows
     Metrics metrics;
     CounterRegistry counters;
+    HistogramRegistry histograms;
     PhaseTimings phases;
   };
 
@@ -130,8 +147,8 @@ class JsonLog {
 
 /// Version of the JSON document layout written by JsonLog. Bump on any
 /// backwards-incompatible change and record the migration in
-/// CONTRIBUTING.md.
-inline constexpr int kJsonSchemaVersion = 1;
+/// CONTRIBUTING.md. v2 added the per-row "histograms" object.
+inline constexpr int kJsonSchemaVersion = 2;
 
 }  // namespace mbta::bench
 

@@ -10,9 +10,15 @@
 /// once without a SolveStats sink and once with one, and the two
 /// assignments must match edge-for-edge (instrumentation must never
 /// perturb results). Exits nonzero on any mismatch.
+///
+/// `--trace <path>` additionally records the whole suite as one Chrome
+/// trace-event file (first instrumented repeat of every row lands on the
+/// shared timeline). CI runs the suite twice with `--trace` and asserts
+/// the two traces are sequence-identical with `mbta_trace --diff`.
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +33,9 @@
 #include "core/solver.h"
 #include "core/stable_matching_solver.h"
 #include "core/threshold_solver.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
+#include "util/mem.h"
 
 namespace {
 
@@ -73,12 +82,24 @@ std::vector<std::unique_ptr<Solver>> SmokeSolvers(const LaborMarket& market) {
 /// edge-for-edge against the uninstrumented one, which catches both
 /// nondeterminism across repeats and instrumentation perturbing the
 /// result. Returns false on any mismatch.
+///
+/// When `tracer` is non-null the first instrumented repeat emits spans
+/// onto it (first only: repeats would triple every span with no new
+/// information, and the trace-determinism gate wants one canonical
+/// sequence per row). Peak RSS is published as a gauge, not a counter —
+/// it is monotone across the whole process and varies with allocator
+/// behavior, so it must stay out of the exact counter diff. Per-repeat
+/// wall times land in the "latency/solve_ms" histogram; the latency/
+/// prefix keeps time-valued buckets out of bench_compare's exact diff.
 bool RunOne(const Solver& solver, const MbtaProblem& problem, int repeats,
-            bench::SolverRun* out, const SolveOptions& options = {}) {
+            bench::SolverRun* out, const SolveOptions& options = {},
+            Tracer* tracer = nullptr) {
   const Assignment plain = solver.Solve(problem, options);
   out->solver = solver.name();
+  Histogram solve_ms(LatencyBoundariesMs());
   for (int i = 0; i < repeats; ++i) {
     SolveInfo info;
+    if (i == 0) info.phases.set_tracer(tracer);
     const Assignment instrumented = solver.Solve(problem, options, &info);
     if (instrumented.edges != plain.edges) {
       std::fprintf(stderr,
@@ -87,19 +108,29 @@ bool RunOne(const Solver& solver, const MbtaProblem& problem, int repeats,
                    solver.name().c_str(), i);
       return false;
     }
+    solve_ms.Record(info.wall_ms);
     if (i == 0) {
       out->metrics = Evaluate(problem.MakeObjective(), instrumented);
       out->info = std::move(info);
+      out->info.phases.set_tracer(nullptr);
     } else {
       out->info.wall_ms = std::min(out->info.wall_ms, info.wall_ms);
     }
   }
+  out->info.histograms.Add("latency/solve_ms", solve_ms);
+  out->info.counters.SetGauge("mem/peak_rss_kb",
+                              static_cast<double>(PeakRssKb()));
   return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string trace_path =
+      bench::ConsumeFlagValue(&argc, argv, "--trace");
+  std::unique_ptr<Tracer> tracer_storage;
+  if (!trace_path.empty()) tracer_storage = std::make_unique<Tracer>();
+  Tracer* const tracer = tracer_storage.get();
   bench::PrintBanner(
       "Smoke suite: pinned workloads for the perf-regression gate",
       "per (workload, solver): determinism check + best-of-3 wall time, "
@@ -145,7 +176,7 @@ int main(int argc, char** argv) {
     const MbtaProblem p{&w.market, w.objective};
     for (const auto& solver : SmokeSolvers(w.market)) {
       bench::SolverRun run;
-      ok = RunOne(*solver, p, kRepeats, &run) && ok;
+      ok = RunOne(*solver, p, kRepeats, &run, {}, tracer) && ok;
       report(w, run);
     }
   }
@@ -161,7 +192,7 @@ int main(int argc, char** argv) {
     for (const Solver* solver : {static_cast<const Solver*>(&exact),
                                  static_cast<const Solver*>(&greedy)}) {
       bench::SolverRun run;
-      ok = RunOne(*solver, p, kRepeats, &run) && ok;
+      ok = RunOne(*solver, p, kRepeats, &run, {}, tracer) && ok;
       report(modular, run);
     }
   }
@@ -185,7 +216,7 @@ int main(int argc, char** argv) {
     for (const Solver* solver : {static_cast<const Solver*>(&serial_lazy),
                                  static_cast<const Solver*>(&serial_plain)}) {
       bench::SolverRun run;
-      ok = RunOne(*solver, p, kRepeats, &run) && ok;
+      ok = RunOne(*solver, p, kRepeats, &run, {}, tracer) && ok;
       report(par, run);
     }
     const ParallelGreedySolver lazy(ParallelGreedySolver::Mode::kLazy);
@@ -196,7 +227,7 @@ int main(int argc, char** argv) {
       for (const Solver* solver : {static_cast<const Solver*>(&lazy),
                                    static_cast<const Solver*>(&plain)}) {
         bench::SolverRun run;
-        ok = RunOne(*solver, p, kRepeats, &run, options) && ok;
+        ok = RunOne(*solver, p, kRepeats, &run, options, tracer) && ok;
         report(par, run, threads);
       }
     }
@@ -209,5 +240,13 @@ int main(int argc, char** argv) {
   }
   std::printf("determinism: all solvers byte-identical with "
               "instrumentation attached\n");
+  if (tracer != nullptr) {
+    std::string trace_error;
+    if (!tracer->WriteFile(trace_path, &trace_error)) {
+      std::fprintf(stderr, "error: %s\n", trace_error.c_str());
+      return 1;
+    }
+    std::printf("wrote trace: %s\n", trace_path.c_str());
+  }
   return 0;
 }

@@ -2,9 +2,13 @@
 # Runs the pinned smoke benchmark suite and writes a structured JSON
 # record for the perf-regression gate.
 #
-# Usage: scripts/bench_smoke.sh [output.json] [jobs]
+# Usage: scripts/bench_smoke.sh [output.json] [jobs] [trace.json]
 #   output.json  destination record (default: BENCH_smoke.json)
 #   jobs         build parallelism (default: nproc)
+#   trace.json   also record the run as a Chrome trace-event file; two
+#                such traces from the same build must be
+#                sequence-identical (mbta_trace --diff), which is the
+#                CI trace-determinism gate
 #
 # Typical gate (two builds or two checkouts):
 #   scripts/bench_smoke.sh base.json       # on the baseline
@@ -28,9 +32,14 @@ cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_smoke.json}"
 JOBS="${2:-$(nproc)}"
+TRACE="${3:-}"
 
 cmake -B build -S . >/dev/null
-cmake --build build -j "${JOBS}" --target smoke_suite bench_compare
-build/bench/smoke_suite --json "${OUT}"
-
-echo "bench_smoke.sh: wrote ${OUT}"
+cmake --build build -j "${JOBS}" --target smoke_suite bench_compare mbta_trace
+if [ -n "${TRACE}" ]; then
+  build/bench/smoke_suite --json "${OUT}" --trace "${TRACE}"
+  echo "bench_smoke.sh: wrote ${OUT} and ${TRACE}"
+else
+  build/bench/smoke_suite --json "${OUT}"
+  echo "bench_smoke.sh: wrote ${OUT}"
+fi

@@ -9,8 +9,10 @@
 # ThreadPool, the parallel Hopcroft-Karp BFS, and a slice of the
 # cross-thread-count determinism sweep. A CLI smoke step checks the
 # mbta_cli exit-code taxonomy (0 ok / 1 usage / 2 bad input / 3 degraded)
-# end-to-end against the plain build, and a bench gate diffs a fresh
-# smoke-suite run's counters against the committed BENCH_ci.json.
+# end-to-end against the plain build, a bench gate diffs a fresh
+# smoke-suite run's counters against the committed BENCH_ci.json, and a
+# trace gate asserts traces are sequence-identical across runs and
+# across thread counts (mbta_trace --diff).
 #
 # Usage: scripts/check.sh [--fast] [--skip-unsupported] [jobs]
 #   --fast               plain build runs only `ctest -L 'unit|robustness'`
@@ -136,6 +138,37 @@ bench_gate() {
   echo "check.sh: smoke counters match committed BENCH_ci.json"
 }
 
+# Traces are diffed as normalized event sequences (timestamps and
+# durations stripped), so two runs of the same build must produce
+# byte-identical sequences — and by the determinism contract the same
+# holds across thread counts, modulo the `pool` category: pool/slice
+# spans only exist when workers actually run, so the cross-thread-count
+# diff ignores that category (see CONTRIBUTING.md "Tracing").
+trace_gate() {
+  echo "=== trace gate: sequence-identical traces (build/) ==="
+  cmake --build build -j "${JOBS}" --target smoke_suite mbta_trace mbta_cli
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  build/bench/smoke_suite --json "${tmp}/a.json" \
+      --trace "${tmp}/a-trace.json" >/dev/null
+  build/bench/smoke_suite --json "${tmp}/b.json" \
+      --trace "${tmp}/b-trace.json" >/dev/null
+  build/tools/mbta_trace --diff "${tmp}/a-trace.json" "${tmp}/b-trace.json"
+  local cli=build/tools/mbta_cli
+  "${cli}" generate --dataset mturk --workers 250 --seed 7 \
+      --out "${tmp}/gate.market" >/dev/null
+  "${cli}" solve --market "${tmp}/gate.market" \
+      --solver parallel-greedy-plain --threads 1 \
+      --trace "${tmp}/t1.json" --out "${tmp}/t1.assignment" >/dev/null
+  "${cli}" solve --market "${tmp}/gate.market" \
+      --solver parallel-greedy-plain --threads 8 \
+      --trace "${tmp}/t8.json" --out "${tmp}/t8.assignment" >/dev/null
+  build/tools/mbta_trace --diff "${tmp}/t1.json" "${tmp}/t8.json" \
+      --ignore-cat pool
+  echo "check.sh: traces deterministic across runs and thread counts"
+}
+
 if [ "${FAST}" = "1" ]; then
   run_suite build "" "-L unit|robustness"
 else
@@ -143,6 +176,7 @@ else
 fi
 cli_smoke
 bench_gate
+trace_gate
 # The sanitizer legs run the whole registered suite, which includes the
 # `robustness` label — so the deadline/fault-injection/fallback tests get
 # an ASan and UBSan pass here, not just the plain build above.
@@ -167,12 +201,19 @@ if require_sanitizer thread; then
         -DMBTA_OBS_THREADSAFE=ON >/dev/null
   cmake --build build-tsan -j "${JOBS}" \
         --target obs_threads_test obs_test json_writer_test \
+                 histogram_test trace_test \
                  deadline_test fault_injection_test fallback_solver_test \
                  cancellation_test thread_pool_test hopcroft_karp_test \
                  differential_test
   build-tsan/tests/obs_threads_test
   build-tsan/tests/obs_test
   build-tsan/tests/json_writer_test
+  # The tracer's internal mutexes are always-on (unlike the registries),
+  # so TSan here proves the multi-track span path race-free: trace_test's
+  # pool test drives four worker threads through RegisterThread and
+  # concurrent slice spans.
+  build-tsan/tests/histogram_test
+  build-tsan/tests/trace_test
   # The parallel-solve path under TSan: the pool's handoff protocol, the
   # parallel BFS layer expansion, and a slice of the cross-thread-count
   # determinism sweep (instances 10-19 — the full 100 would take minutes

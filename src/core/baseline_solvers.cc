@@ -185,6 +185,7 @@ Assignment MatchingSolver::Solve(const MbtaProblem& problem,
   const std::size_t num_tasks = market.NumTasks();
   MinCostFlow mcf(num_workers + num_tasks + 2);
   mcf.SetDeadlineGate(gate);
+  if (phases != nullptr) mcf.SetTracer(phases->tracer());
   const std::size_t source = 0;
   const std::size_t sink = num_workers + num_tasks + 1;
   std::vector<MinCostFlow::ArcId> edge_arcs(market.NumEdges());

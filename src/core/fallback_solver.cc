@@ -47,6 +47,7 @@ Assignment FallbackSolver::Solve(const MbtaProblem& problem,
   MBTA_CHECK(problem.market != nullptr);
   WallTimer timer;
   PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
+  Tracer* tracer = phases != nullptr ? phases->tracer() : nullptr;
   ScopedPhase solve_phase(phases, "fallback");
   const MutualBenefitObjective objective = problem.MakeObjective();
 
@@ -81,6 +82,11 @@ Assignment FallbackSolver::Solve(const MbtaProblem& problem,
       stage_options.faults = options.faults;
       stage_options.cancel = options.cancel;
       SolveStats stage_stats;
+      // Thread the chain's tracer into the stage: the stage's own
+      // ScopedPhase scopes then emit spans on the same timeline, nested
+      // under this chain's "fallback"/"stage_N" spans (span depth is a
+      // per-track property of the tracer, not of any one PhaseTimings).
+      stage_stats.phases.set_tracer(tracer);
       try {
         ScopedPhase stage_phase(phases, stage_label);
         const Assignment result = stages_[s].solver->Solve(
@@ -89,6 +95,12 @@ Assignment FallbackSolver::Solve(const MbtaProblem& problem,
           info->gain_evaluations += stage_stats.gain_evaluations;
           info->counters.Merge(stage_stats.counters);
           info->phases.Merge(stage_stats.phases);
+          info->histograms.Merge(stage_stats.histograms);
+          // A stage that degraded snapshotted its own flight recorder
+          // (PublishBudgetOutcome); surface the first such snapshot.
+          if (info->flight.empty() && !stage_stats.flight.empty()) {
+            info->flight = stage_stats.flight;
+          }
         }
         const double value = objective.Value(result);
         if (value > best_value) {
@@ -110,9 +122,18 @@ Assignment FallbackSolver::Solve(const MbtaProblem& problem,
           // incident investigation wants to see.
           info->counters.Merge(stage_stats.counters);
           info->phases.Merge(stage_stats.phases);
+          info->histograms.Merge(stage_stats.histograms);
         }
         if (attempts_left > 0) {
           ++retries;
+          // A retry is a degradation event: mark it on the timeline and
+          // capture what the solver was doing when the fault landed.
+          if (tracer != nullptr) {
+            tracer->Instant("fallback/retry", "fallback");
+            if (info != nullptr) {
+              info->flight = tracer->SnapshotFlight("fallback/retry");
+            }
+          }
           stage_budget = ShrunkBudget(stage_budget,
                                       chain_options_.retry_budget_factor);
           continue;
@@ -135,6 +156,12 @@ Assignment FallbackSolver::Solve(const MbtaProblem& problem,
       info->stop_reason = chain_reason != StopReason::kNone
                               ? chain_reason
                               : StopReason::kWorkBudget;
+    }
+    // Chain-level degradation with no stage-level snapshot (e.g. the
+    // chain gate expired between stages): capture the flight now.
+    if (info->deadline_hit && tracer != nullptr && info->flight.empty()) {
+      info->flight = tracer->SnapshotFlight(
+          cancelled ? "cancel" : "deadline");
     }
     info->wall_ms = timer.ElapsedMs();
   }

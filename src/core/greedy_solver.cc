@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/solve_options.h"
+#include "obs/histogram.h"
 #include "obs/phase_timer.h"
 #include "util/check.h"
 #include "util/deadline.h"
@@ -24,6 +25,10 @@ Assignment SolveLazy(const MutualBenefitObjective& objective,
   std::size_t pushes = 0;
   std::size_t pops = 0;
   std::size_t commits = 0;
+  // Committed-gain distribution: deterministic values over fixed
+  // boundaries, so the bucket counts join the exact determinism diff.
+  Histogram gain_hist;
+  if (info != nullptr) gain_hist = Histogram(GainBoundaries());
 
   struct Entry {
     double gain;
@@ -61,6 +66,7 @@ Assignment SolveLazy(const MutualBenefitObjective& objective,
         if (fresh > kGainEpsilon) {
           state.Add(top.edge);
           ++commits;
+          if (info != nullptr) gain_hist.Record(fresh);
         }
       } else {
         heap.push({fresh, top.edge});
@@ -75,6 +81,7 @@ Assignment SolveLazy(const MutualBenefitObjective& objective,
     info->counters.Add("greedy/heap_pops", pops);
     info->counters.Add("greedy/lazy_reevals", evals);
     info->counters.Add("greedy/commits", commits);
+    info->histograms.Add("greedy/gain", gain_hist);
   }
   return state.ToAssignment();
 }
@@ -87,6 +94,8 @@ Assignment SolvePlain(const MutualBenefitObjective& objective,
   std::size_t evals = 0;
   std::size_t rounds = 0;
   std::size_t commits = 0;
+  Histogram gain_hist;
+  if (info != nullptr) gain_hist = Histogram(GainBoundaries());
   std::vector<bool> dead(market.NumEdges(), false);
 
   ScopedPhase phase(phases, "scan_rounds");
@@ -118,6 +127,7 @@ Assignment SolvePlain(const MutualBenefitObjective& objective,
     if (expired || best_edge == kInvalidEdge) break;
     state.Add(best_edge);
     ++commits;
+    if (info != nullptr) gain_hist.Record(best_gain);
   }
 
   if (info != nullptr) {
@@ -125,6 +135,7 @@ Assignment SolvePlain(const MutualBenefitObjective& objective,
     info->counters.Add("greedy/scan_rounds", rounds);
     info->counters.Add("greedy/edge_scans", evals);
     info->counters.Add("greedy/commits", commits);
+    info->histograms.Add("greedy/gain", gain_hist);
   }
   return state.ToAssignment();
 }

@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "core/solve_options.h"
+#include "obs/histogram.h"
 #include "obs/phase_timer.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/deadline.h"
 #include "util/thread_pool.h"
@@ -66,12 +68,60 @@ struct BatchEvaluator {
   std::vector<ObjectiveState::GainScratch> scratches;
 };
 
+/// Per-solve instrumentation bundle for the batched kernel path: the
+/// batch-size and committed-gain histograms are deterministic (fixed
+/// boundaries, thread-count-independent values), the per-batch latency
+/// histogram is time-valued and therefore "latency/"-prefixed so the
+/// determinism gates skip it.
+struct BatchInstruments {
+  explicit BatchInstruments(SolveStats* info)
+      : enabled(info != nullptr),
+        tracer(info != nullptr ? info->phases.tracer() : nullptr) {
+    if (enabled) {
+      batch_sizes = Histogram(BatchSizeBoundaries());
+      batch_ms = Histogram(LatencyBoundariesMs());
+      gain_hist = Histogram(GainBoundaries());
+    }
+  }
+
+  /// Runs one batched kernel dispatch, wrapped in a "solve/parallel/batch"
+  /// span carrying the batch size. The span count equals the published
+  /// batches counter, which the determinism gates compare exactly.
+  void RunBatch(BatchEvaluator* evaluator, const ObjectiveState& state,
+                std::span<const EdgeId> edges, std::span<double> gains) {
+    if (!enabled) {
+      evaluator->Run(state, edges, gains);
+      return;
+    }
+    ScopedSpan span(tracer, "solve/parallel/batch", "solver");
+    span.Arg("edges", static_cast<std::int64_t>(edges.size()));
+    WallTimer batch_timer;
+    evaluator->Run(state, edges, gains);
+    batch_ms.Record(batch_timer.ElapsedMs());
+    batch_sizes.Record(static_cast<double>(edges.size()));
+  }
+
+  void Publish(SolveStats* info) const {
+    if (!enabled) return;
+    info->histograms.Add("solve/parallel/batch_size", batch_sizes);
+    info->histograms.Add("latency/batch_ms", batch_ms);
+    info->histograms.Add("greedy/gain", gain_hist);
+  }
+
+  bool enabled;
+  Tracer* tracer;
+  Histogram batch_sizes;
+  Histogram batch_ms;
+  Histogram gain_hist;
+};
+
 Assignment SolveLazy(const MutualBenefitObjective& objective,
                      BatchEvaluator* evaluator, DeadlineGate* gate,
                      SolveStats* info) {
   const LaborMarket& market = objective.market();
   ObjectiveState state(&objective);
   PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
+  BatchInstruments instruments(info);
   std::size_t evals = 0;
   std::size_t pushes = 0;
   std::size_t pops = 0;
@@ -123,6 +173,7 @@ Assignment SolveLazy(const MutualBenefitObjective& objective,
         ++pops;
         state.Add(top.edge);
         ++commits;
+        if (instruments.enabled) instruments.gain_hist.Record(top.gain);
         continue;
       }
       // Stale top: refresh the top stale entries in one batched kernel
@@ -141,7 +192,8 @@ Assignment SolveLazy(const MutualBenefitObjective& objective,
       // for the batch up front. On expiry the popped batch is abandoned
       // unevaluated; the committed prefix is a feasible greedy prefix.
       if (gate->Charge(batch.size())) break;
-      evaluator->Run(state, batch, std::span(gains).first(batch.size()));
+      instruments.RunBatch(evaluator, state, batch,
+                           std::span(gains).first(batch.size()));
       ++batches;
       evals += batch.size();
       for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -158,6 +210,7 @@ Assignment SolveLazy(const MutualBenefitObjective& objective,
     info->counters.Add("greedy/lazy_reevals", evals);
     info->counters.Add("greedy/commits", commits);
     info->counters.Add("solve/parallel/batches", batches);
+    instruments.Publish(info);
   }
   return state.ToAssignment();
 }
@@ -168,6 +221,7 @@ Assignment SolvePlain(const MutualBenefitObjective& objective,
   const LaborMarket& market = objective.market();
   ObjectiveState state(&objective);
   PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
+  BatchInstruments instruments(info);
   std::size_t evals = 0;
   std::size_t rounds = 0;
   std::size_t commits = 0;
@@ -213,8 +267,9 @@ Assignment SolvePlain(const MutualBenefitObjective& objective,
       charged += n;
     }
     if (charged > 0) {
-      evaluator->Run(state, std::span(candidates).first(charged),
-                     std::span(gains).first(charged));
+      instruments.RunBatch(evaluator, state,
+                           std::span(candidates).first(charged),
+                           std::span(gains).first(charged));
       ++batches;
       evals += charged;
     }
@@ -230,6 +285,7 @@ Assignment SolvePlain(const MutualBenefitObjective& objective,
     if (best_edge == kInvalidEdge) break;
     state.Add(best_edge);
     ++commits;
+    if (instruments.enabled) instruments.gain_hist.Record(best_gain);
   }
 
   if (info != nullptr) {
@@ -238,6 +294,7 @@ Assignment SolvePlain(const MutualBenefitObjective& objective,
     info->counters.Add("greedy/edge_scans", evals);
     info->counters.Add("greedy/commits", commits);
     info->counters.Add("solve/parallel/batches", batches);
+    instruments.Publish(info);
   }
   return state.ToAssignment();
 }
@@ -255,6 +312,7 @@ Assignment ParallelGreedySolver::Solve(const MbtaProblem& problem,
   DeadlineGate* gate =
       options.shared_gate != nullptr ? options.shared_gate : &local_gate;
   ThreadPool pool(options.threads);
+  if (info != nullptr) AttachPoolTracing(&pool, info->phases.tracer());
   BatchEvaluator evaluator(&pool);
   const MutualBenefitObjective objective = problem.MakeObjective();
   Assignment result = mode_ == Mode::kLazy

@@ -5,7 +5,9 @@
 
 #include "market/objective.h"
 #include "obs/counters.h"
+#include "obs/histogram.h"
 #include "obs/phase_timer.h"
+#include "obs/trace.h"
 #include "util/deadline.h"
 
 namespace mbta {
@@ -53,7 +55,16 @@ struct SolveStats {
 
   /// Nested wall-clock phase breakdown (e.g. "solve/build_heap",
   /// "flow/augment"). Every standard solver records at least one phase.
+  /// Attaching a Tracer here (`phases.set_tracer(...)`) before the solve
+  /// additionally turns every phase into a timeline span — see
+  /// CONTRIBUTING.md, "Tracing".
   PhaseTimings phases;
+
+  /// Named value distributions (fixed deterministic boundaries), e.g.
+  /// "greedy/gain" or "solve/parallel/batch_size". Time-valued
+  /// histograms use the "latency/" prefix, which the bench_compare
+  /// determinism gates skip.
+  HistogramRegistry histograms;
 
   /// True when the solve stopped early — DeadlineBudget exhausted (work
   /// units or wall clock) or cooperative cancellation observed. The
@@ -64,6 +75,11 @@ struct SolveStats {
 
   /// Why the solve stopped early; StopReason::kNone on a full run.
   StopReason stop_reason = StopReason::kNone;
+
+  /// Flight-recorder snapshot: when a tracer is attached and the solve
+  /// degrades (deadline hit, cancellation, fallback retry), the last N
+  /// trace events are captured here for post-mortems. Empty otherwise.
+  TraceSnapshot flight;
 };
 
 /// Historic name of SolveStats, kept as an alias so pre-instrumentation

@@ -6,10 +6,20 @@ void PublishBudgetOutcome(const DeadlineGate& gate, SolveStats* info) {
   if (info == nullptr || !gate.expired()) return;
   info->deadline_hit = true;
   info->stop_reason = gate.reason();
-  if (gate.reason() == StopReason::kCancelled) {
+  const bool cancelled = gate.reason() == StopReason::kCancelled;
+  if (cancelled) {
     info->counters.Add("cancel/observed", 1);
   } else {
     info->counters.Add("deadline/hit", 1);
+  }
+  // With a tracer attached, mark the degradation on the timeline and
+  // snapshot the flight recorder — the last N events before the budget
+  // ran out are exactly what a post-mortem wants to see.
+  Tracer* tracer = info->phases.tracer();
+  if (tracer != nullptr) {
+    tracer->Instant(cancelled ? "budget/cancel" : "budget/deadline",
+                    "budget");
+    info->flight = tracer->SnapshotFlight(cancelled ? "cancel" : "deadline");
   }
 }
 

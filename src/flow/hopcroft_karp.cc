@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace mbta {
@@ -15,6 +16,7 @@ namespace {
 struct HkState {
   const BipartiteGraph& g;
   ThreadPool& pool;
+  Tracer* tracer;
   std::vector<int>& left_match;
   std::vector<int>& right_match;
   std::vector<int> dist;
@@ -35,6 +37,11 @@ struct HkState {
   /// on any thread count. Duplicates discovered by several chunks are
   /// resolved in the sequential chunk-order merge.
   bool Bfs() {
+    // Span structure is thread-count-independent: one "hk/bfs" per
+    // phase, one "hk/bfs/layer" per level, frontier sizes as args — the
+    // level structure is a property of the graph and matching, not of
+    // the slicing (see the determinism note above).
+    ScopedSpan bfs_span(tracer, "hk/bfs", "flow");
     dist.assign(g.NumLeft(), kInf);
     frontier.clear();
     for (VertexId l = 0; l < g.NumLeft(); ++l) {
@@ -49,6 +56,8 @@ struct HkState {
     bool found_augmenting = false;
     int level = 0;
     while (!frontier.empty()) {
+      ScopedSpan layer_span(tracer, "hk/bfs/layer", "flow");
+      layer_span.Arg("frontier", static_cast<std::int64_t>(frontier.size()));
       pool.ParallelFor(static_cast<std::size_t>(parts), [&](std::size_t p) {
         const auto [begin, end] =
             ThreadPool::SliceOf(frontier.size(), parts, static_cast<int>(p));
@@ -78,6 +87,7 @@ struct HkState {
       frontier.swap(next);
       ++level;
     }
+    bfs_span.Arg("layers", level);
     return found_augmenting;
   }
 
@@ -99,12 +109,13 @@ struct HkState {
 }  // namespace
 
 MatchingResult MaximumBipartiteMatching(const BipartiteGraph& g,
-                                        int num_threads) {
+                                        int num_threads, Tracer* tracer) {
   MatchingResult result;
   result.left_match.assign(g.NumLeft(), -1);
   result.right_match.assign(g.NumRight(), -1);
   ThreadPool pool(num_threads);
-  HkState state{g, pool, result.left_match, result.right_match, {},
+  AttachPoolTracing(&pool, tracer);
+  HkState state{g, pool, tracer, result.left_match, result.right_match, {},
                 {}, {}, {}, {}};
   while (state.Bfs()) {
     for (VertexId l = 0; l < g.NumLeft(); ++l) {

@@ -8,6 +8,8 @@
 
 namespace mbta {
 
+class Tracer;
+
 /// Result of a maximum-cardinality bipartite matching.
 struct MatchingResult {
   /// left_match[l] = matched right vertex or -1.
@@ -26,8 +28,15 @@ struct MatchingResult {
 /// order, so the result is byte-identical at any thread count (the
 /// sweep in tests/hopcroft_karp_test.cc pins this). The augmenting DFS
 /// stays serial. Values < 1 are clamped to 1.
+///
+/// With a non-null `tracer`, every BFS phase emits an "hk/bfs" span and
+/// each layer expansion an "hk/bfs/layer" span carrying the frontier
+/// size — both counts and args are thread-count-independent, so traces
+/// diff clean across `--threads` (pool slice spans, cat "pool", are the
+/// documented exception). See CONTRIBUTING.md, "Tracing".
 MatchingResult MaximumBipartiteMatching(const BipartiteGraph& g,
-                                        int num_threads = 1);
+                                        int num_threads = 1,
+                                        Tracer* tracer = nullptr);
 
 }  // namespace mbta
 

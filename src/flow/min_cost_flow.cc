@@ -4,6 +4,7 @@
 #include <limits>
 #include <queue>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace mbta {
@@ -39,6 +40,7 @@ MinCostFlow::ArcId MinCostFlow::AddArc(std::size_t from, std::size_t to,
 void MinCostFlow::InitPotentials(std::size_t source) {
   potential_.assign(head_.size(), 0);
   if (!has_negative_costs_) return;
+  ScopedSpan span(tracer_, "mcf/init_potentials", "flow");
   // Bellman–Ford (queue-based) from the source over residual arcs.
   potential_.assign(head_.size(), kInf);
   potential_[source] = 0;
@@ -71,6 +73,8 @@ void MinCostFlow::InitPotentials(std::size_t source) {
 
 bool MinCostFlow::ShortestPath(std::size_t source, std::size_t sink) {
   ++stats_.dijkstra_runs;
+  ScopedSpan span(tracer_, "mcf/shortest_path", "flow");
+  const std::uint64_t arcs_before = stats_.arcs_scanned;
   dist_.assign(head_.size(), kInf);
   prev_arc_.assign(head_.size(), static_cast<std::size_t>(-1));
   using Item = std::pair<std::int64_t, std::size_t>;
@@ -96,6 +100,8 @@ bool MinCostFlow::ShortestPath(std::size_t source, std::size_t sink) {
       }
     }
   }
+  span.Arg("arcs_scanned",
+           static_cast<std::int64_t>(stats_.arcs_scanned - arcs_before));
   return dist_[sink] < kInf;
 }
 

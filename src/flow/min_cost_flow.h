@@ -9,6 +9,8 @@
 
 namespace mbta {
 
+class Tracer;
+
 /// Min-cost max-flow via successive shortest augmenting paths with Johnson
 /// potentials (Dijkstra after a one-time Bellman–Ford to absorb negative
 /// arc costs). Capacities and costs are 64-bit integers; callers with
@@ -64,6 +66,14 @@ class MinCostFlow {
   /// Null (the default) disables the check. Must be set before solving.
   void SetDeadlineGate(DeadlineGate* gate) { gate_ = gate; }
 
+  /// Attaches a span sink: the solve then emits one "mcf/init_potentials"
+  /// span (the Bellman–Ford pass, when negative costs force one) and one
+  /// "mcf/shortest_path" span per Dijkstra run, each carrying the arcs
+  /// scanned by that search — counts mirror the deterministic
+  /// dijkstra_runs counter. Null (the default) traces nothing. Must be
+  /// set before solving.
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+
   /// Flow routed on an arc after a solve call.
   std::int64_t Flow(ArcId arc) const;
 
@@ -98,6 +108,7 @@ class MinCostFlow {
   bool has_negative_costs_ = false;
   bool solved_ = false;
   DeadlineGate* gate_ = nullptr;
+  Tracer* tracer_ = nullptr;
   Stats stats_;
 };
 

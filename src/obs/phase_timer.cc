@@ -8,6 +8,7 @@ PhaseTimings::PhaseTimings(const PhaseTimings& other) {
   MutexLock lock(&other.mu_);
   entries_ = other.entries_;
   stack_ = other.stack_;
+  tracer_ = other.tracer_;
 }
 
 PhaseTimings& PhaseTimings::operator=(const PhaseTimings& other)
@@ -19,6 +20,7 @@ PhaseTimings& PhaseTimings::operator=(const PhaseTimings& other)
   MutexLock lock_second(second);
   entries_ = other.entries_;
   stack_ = other.stack_;
+  tracer_ = other.tracer_;
   return *this;
 }
 
@@ -89,6 +91,13 @@ ScopedPhase::ScopedPhase(PhaseTimings* timings, std::string_view label)
     : timings_(timings) {
   if (timings_ == nullptr) return;
   parent_len_ = timings_->PushLabel(label);
+  // The span layer rides under the phase layer: an attached Tracer turns
+  // every phase into a timeline span with no call-site changes. The span
+  // name is the single label; the tree structure comes from nesting
+  // (depth), so the analyzer can rebuild the slash path.
+  if (timings_->tracer_ != nullptr) {
+    span_ = timings_->tracer_->BeginSpan(label, "phase");
+  }
   start_ = Clock::now();
 }
 
@@ -97,6 +106,7 @@ ScopedPhase::~ScopedPhase() {
   const double ms =
       std::chrono::duration<double, std::milli>(Clock::now() - start_)
           .count();
+  if (timings_->tracer_ != nullptr) timings_->tracer_->EndSpan(span_);
   timings_->PopAndRecord(parent_len_, ms);
 }
 

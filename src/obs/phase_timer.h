@@ -9,6 +9,7 @@
 #include <string_view>
 
 #include "obs/threading.h"
+#include "obs/trace.h"
 
 namespace mbta {
 
@@ -54,8 +55,17 @@ class PhaseTimings {
   }
 
   /// Accumulates every entry of `other` into this object. Thread-safe
-  /// builds lock both objects in address order.
+  /// builds lock both objects in address order. The tracer binding is
+  /// not merged: phase *data* rolls up, the trace stream does not.
   void Merge(const PhaseTimings& other);
+
+  /// Attaches a Tracer: from then on every ScopedPhase recording into
+  /// this object also emits a trace span (cat "phase"), which is how all
+  /// already-instrumented solvers get timeline spans without touching a
+  /// single call site. Set before the solve, clear (nullptr) to detach;
+  /// not guarded — attach/detach only while the object is quiescent.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
 
  private:
   friend class ScopedPhase;
@@ -76,6 +86,8 @@ class PhaseTimings {
   /// non-empty while phases are open, so copies of a quiescent object are
   /// cheap and self-contained.
   std::string stack_ MBTA_OBS_GUARDED_BY(mu_);
+  /// Optional span sink; see set_tracer.
+  Tracer* tracer_ = nullptr;
 };
 
 /// RAII phase timer. Construct with the PhaseTimings to record into (or
@@ -97,6 +109,8 @@ class ScopedPhase {
   PhaseTimings* timings_;
   std::size_t parent_len_ = 0;  // stack_ length to restore on exit
   Clock::time_point start_;
+  /// Trace span mirroring this phase when the timings carry a Tracer.
+  Tracer::SpanHandle span_;
 };
 
 }  // namespace mbta

@@ -1,0 +1,51 @@
+#include "util/mem.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace mbta {
+
+namespace {
+
+/// Parses the "VmHWM:  12345 kB" line out of /proc/self/status. Returns
+/// 0 when the file or the line is absent (non-Linux kernels).
+std::size_t PeakRssFromProcStatus() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = static_cast<std::size_t>(std::strtoull(line + 6, nullptr, 10));
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+std::size_t PeakRssKb() {
+  const std::size_t from_proc = PeakRssFromProcStatus();
+  if (from_proc > 0) return from_proc;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+    // ru_maxrss is kilobytes on Linux and BSD, bytes on macOS.
+#if defined(__APPLE__)
+    return static_cast<std::size_t>(usage.ru_maxrss) / 1024;
+#else
+    return static_cast<std::size_t>(usage.ru_maxrss);
+#endif
+  }
+#endif
+  return 0;
+}
+
+}  // namespace mbta

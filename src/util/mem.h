@@ -1,0 +1,19 @@
+#ifndef MBTA_UTIL_MEM_H_
+#define MBTA_UTIL_MEM_H_
+
+#include <cstddef>
+
+namespace mbta {
+
+/// Peak resident set size of this process in kilobytes, read from
+/// /proc/self/status (VmHWM) with a getrusage fallback for non-Linux
+/// hosts. Returns 0 when neither source is available, so callers can
+/// record it unconditionally as a gauge — gauges are never part of the
+/// determinism-gated counter comparison (see CONTRIBUTING.md,
+/// "Observability"), which is exactly why a machine-dependent value like
+/// RSS must be one.
+std::size_t PeakRssKb();
+
+}  // namespace mbta
+
+#endif  // MBTA_UTIL_MEM_H_

@@ -40,11 +40,13 @@ void ThreadPool::RunSlice(int part) {
   // caller does not mutate them until every worker reported done.
   const auto [begin, end] = SliceOf(job_size_, num_threads(), part);
   exceptions_[static_cast<std::size_t>(part)] = nullptr;
+  if (hooks_.begin) hooks_.begin(part, begin, end);
   try {
     for (std::size_t i = begin; i < end; ++i) (*job_)(i);
   } catch (...) {
     exceptions_[static_cast<std::size_t>(part)] = std::current_exception();
   }
+  if (hooks_.end) hooks_.end(part);
 }
 
 void ThreadPool::WorkerMain(int worker_index) {

@@ -57,6 +57,21 @@ class ThreadPool {
   void ParallelFor(std::size_t num_tasks,
                    const std::function<void(std::size_t)>& body);
 
+  /// Optional per-slice observer, for callers that want visibility into
+  /// the pooled dispatch (the tracer hookup lives with the caller so
+  /// util never depends on obs). `begin` runs on the participant that
+  /// executes the slice right before its index loop, with the slice's
+  /// half-open range; `end` runs right after, even when the body threw.
+  /// Hooks only fire on the pooled path — the inline fast path
+  /// (single participant or num_tasks <= 1) dispatches no slices.
+  /// Set from the owning thread before any ParallelFor; the submission
+  /// lock publishes the hooks to the workers.
+  struct SliceHooks {
+    std::function<void(int part, std::size_t begin, std::size_t end)> begin;
+    std::function<void(int part)> end;
+  };
+  void set_slice_hooks(SliceHooks hooks) { hooks_ = std::move(hooks); }
+
   /// The half-open index range participant `part` covers out of
   /// [0, num_tasks) when `parts` participants split it: sizes differ by
   /// at most one, lower part ids take the longer slices. Exposed for
@@ -75,6 +90,8 @@ class ThreadPool {
 
   // Immutable after construction.
   std::vector<std::thread> workers_;
+  // Immutable after set_slice_hooks (called before the first job).
+  SliceHooks hooks_;
 
   std::mutex mu_;
   std::condition_variable work_cv_;   // signals: new job / shutdown

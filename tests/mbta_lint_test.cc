@@ -331,6 +331,34 @@ TEST(R5Names, ConformingFaultPointsAreFine) {
       "}\n")));
 }
 
+TEST(R5Names, FiresOnBadSpanName) {
+  // Span names are full slash paths (unlike ScopedPhase labels, which
+  // are single segments — the tracer does not nest names, only depths).
+  const auto vs = LintAs(
+      "src/core/x.cc",
+      "void f(Tracer* t) { ScopedSpan s(t, \"Solve Batch\"); }\n");
+  EXPECT_TRUE(FiresOnce(vs, "R5", 1));
+  const auto vs2 = LintAs(
+      "src/core/x.cc",
+      "void f(Tracer* t) { t->BeginSpan(\"hk/BFS\", \"flow\"); }\n");
+  EXPECT_TRUE(FiresOnce(vs2, "R5", 1));
+  const auto vs3 = LintAs(
+      "src/core/x.cc",
+      "void f(Tracer* t) { t->Instant(\"fallback retry\", \"fb\"); }\n");
+  EXPECT_TRUE(FiresOnce(vs3, "R5", 1));
+}
+
+TEST(R5Names, ConformingSpansAreFine) {
+  EXPECT_TRUE(Clean(LintAs(
+      "src/core/x.cc",
+      "void f(Tracer* t) {\n"
+      "  ScopedSpan span(t, \"solve/parallel/batch\", \"solver\");\n"
+      "  span.Arg(\"edges\", 12);\n"
+      "  t->Instant(\"fallback/retry\", \"fallback\");\n"
+      "  t->RegisterThread(\"pool/worker_3\");\n"
+      "}\n")));
+}
+
 // ---------------------------------------------------------------------------
 // R6 — header hygiene.
 // ---------------------------------------------------------------------------

@@ -20,6 +20,12 @@
 /// because the solvers are deterministic and a counter change that did
 /// not come with a code change means the build differs in behavior, not
 /// speed.
+///
+/// Histograms (schema v2 rows) are diffed the same way as counters:
+/// boundaries and bucket counts must match exactly, except keys under the
+/// "latency/" prefix, which bucket wall-clock times and are therefore
+/// noise by construction. Schema v1 records (no histograms) still load;
+/// a v1 baseline against a v2 candidate compares the shared fields only.
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,11 +39,28 @@
 namespace mbta {
 namespace {
 
+struct HistogramShape {
+  std::vector<double> boundaries;
+  std::vector<double> counts;
+
+  bool operator==(const HistogramShape& other) const {
+    return boundaries == other.boundaries && counts == other.counts;
+  }
+};
+
 struct Row {
   std::string key;  // experiment + params + solver, the match identity
   double wall_ms = -1.0;
   std::map<std::string, double> counters;
+  std::map<std::string, HistogramShape> histograms;
 };
+
+/// Time-valued histogram keys are excluded from the exact diff for the
+/// same reason wall_ms is thresholded: their buckets move with scheduler
+/// noise, not with behavior.
+bool IsLatencyKey(const std::string& key) {
+  return key.rfind("latency/", 0) == 0;
+}
 
 /// Flattens one record's rows into match-keyed entries. Returns false on
 /// schema mismatch.
@@ -66,7 +89,9 @@ bool LoadRecord(const char* path, std::vector<Row>* rows,
     *error = std::string(path) + ": missing schema_version";
     return false;
   }
-  if (version->number_value != 1) {
+  // v1 rows simply lack the "histograms" object; everything else this
+  // tool reads is layout-identical, so both versions load here.
+  if (version->number_value != 1 && version->number_value != 2) {
     *error = std::string(path) + ": unsupported schema_version";
     return false;
   }
@@ -99,6 +124,23 @@ bool LoadRecord(const char* path, std::vector<Row>* rows,
     if (const JsonValue* counters = json_row.Find("counters")) {
       for (const auto& [key, value] : counters->object_items) {
         row.counters[key] = value.NumberOr(0.0);
+      }
+    }
+    if (const JsonValue* histograms = json_row.Find("histograms")) {
+      for (const auto& [key, value] : histograms->object_items) {
+        if (IsLatencyKey(key)) continue;
+        HistogramShape shape;
+        if (const JsonValue* boundaries = value.Find("boundaries")) {
+          for (const JsonValue& b : boundaries->array_items) {
+            shape.boundaries.push_back(b.NumberOr(0.0));
+          }
+        }
+        if (const JsonValue* counts = value.Find("counts")) {
+          for (const JsonValue& c : counts->array_items) {
+            shape.counts.push_back(c.NumberOr(0.0));
+          }
+        }
+        row.histograms[key] = std::move(shape);
       }
     }
     rows->push_back(std::move(row));
@@ -176,6 +218,31 @@ int main(int argc, char** argv) {
       table.AddRow({base.key, Table::Num(base.wall_ms),
                     Table::Num(cand.wall_ms), "-",
                     "COUNTER DRIFT: " + counter_drift});
+      ++regressions;
+      continue;
+    }
+
+    // Histogram bucket counts are as deterministic as counters. Only
+    // compared when both records carry them, so a schema-v1 baseline
+    // still gates a v2 candidate on the shared fields.
+    std::string histogram_drift;
+    if (!base.histograms.empty() && !cand.histograms.empty()) {
+      for (const auto& [key, base_shape] : base.histograms) {
+        const auto hit = cand.histograms.find(key);
+        if (hit == cand.histograms.end() || !(hit->second == base_shape)) {
+          histogram_drift = key;
+          break;
+        }
+      }
+      if (histogram_drift.empty() &&
+          cand.histograms.size() != base.histograms.size()) {
+        histogram_drift = "(histogram set differs)";
+      }
+    }
+    if (!histogram_drift.empty()) {
+      table.AddRow({base.key, Table::Num(base.wall_ms),
+                    Table::Num(cand.wall_ms), "-",
+                    "HISTOGRAM DRIFT: " + histogram_drift});
       ++regressions;
       continue;
     }

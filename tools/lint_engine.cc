@@ -482,9 +482,13 @@ class Linter {
 
   // R5 — observability key grammar (counters, phases, fault points).
   void RuleObservabilityNames() {
+    // Tracer span/instant names and span-arg keys share the counter
+    // grammar: traces are diffed by name, so names must be stable
+    // identifiers, not prose.
     static const std::set<std::string> kKeyApis = {
         "Add", "Set", "SetGauge", "Value", "Gauge", "Has",
-        "Record", "TotalMs"};
+        "Record", "TotalMs", "BeginSpan", "Instant", "RegisterThread",
+        "Arg"};
     // FaultInjector APIs take the fault-point name as their first string
     // argument; MaybeFail is a free function, the rest are members.
     static const std::set<std::string> kFaultApis = {
@@ -513,8 +517,12 @@ class Linter {
         }
         continue;
       }
-      if (t.text == "ScopedPhase") {
-        // First string literal inside the constructor parens.
+      if (t.text == "ScopedPhase" || t.text == "ScopedSpan") {
+        // First string literal inside the constructor parens. Phase
+        // labels are single segments (nesting builds the slash path);
+        // span names are full slash paths (the tracer does not nest
+        // names, only depths).
+        const bool is_span = t.text == "ScopedSpan";
         std::size_t j = i + 1;
         while (j < Size() && !IsPunct(j, "(")) ++j;
         int depth = 0;
@@ -522,7 +530,12 @@ class Linter {
           if (IsPunct(j, "(")) ++depth;
           if (IsPunct(j, ")") && --depth == 0) break;
           if (Tok(j).kind == Token::Kind::kString) {
-            if (!IsValidPhaseLabel(Tok(j).text)) {
+            if (is_span && !IsValidCounterKey(Tok(j).text)) {
+              Report(Tok(j).line, "R5", "name-ok",
+                     "span name \"" + Tok(j).text +
+                         "\" does not match the slash-path grammar "
+                         "[a-z0-9_]+(/[a-z0-9_]+)* from CONTRIBUTING.md");
+            } else if (!is_span && !IsValidPhaseLabel(Tok(j).text)) {
               Report(Tok(j).line, "R5", "name-ok",
                      "phase label \"" + Tok(j).text +
                          "\" is not a lower_snake_case segment "

@@ -37,7 +37,10 @@ struct Violation {
 ///       grammar segment(/segment)* with segment = [a-z0-9_]+; ScopedPhase
 ///       labels are single segments (nesting builds the path). Fault-point
 ///       names passed to FaultInjector APIs / MaybeFail follow the same
-///       slash-path grammar. Waiver: name-ok.
+///       slash-path grammar, as do trace span/instant names (ScopedSpan,
+///       Tracer::BeginSpan/Instant/RegisterThread) and span-arg keys
+///       (ScopedSpan::Arg) — traces are diffed by name, so names are
+///       stable identifiers, not prose. Waiver: name-ok.
 ///   R6  every .h under src/ carries an include guard (or #pragma once)
 ///       and directly includes the std headers for the std types it names
 ///       (lightweight IWYU over a curated type list). Waiver: include-ok.

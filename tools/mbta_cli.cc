@@ -38,6 +38,7 @@
 #include "gen/market_generator.h"
 #include "io/market_io.h"
 #include "market/metrics.h"
+#include "obs/trace.h"
 #include "util/deadline.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -128,7 +129,7 @@ int Usage() {
       "  solve    --market FILE [--solver greedy] [--alpha 0.5]\n"
       "           [--objective submodular|modular] [--seed S] [--stats]\n"
       "           [--work-budget N] [--deadline-ms MS] [--fallback]\n"
-      "           [--threads N] --out FILE\n"
+      "           [--threads N] [--trace FILE] --out FILE\n"
       "  evaluate --market FILE --assignment FILE [--alpha 0.5]\n"
       "           [--objective submodular|modular]\n"
       "  compare  --market FILE [--alpha 0.5] [--stats]\n"
@@ -137,6 +138,8 @@ int Usage() {
       "standard degradation chain (exact flow -> greedy -> worker-centric)\n"
       "--threads N runs the parallel solvers on N threads (same answer,\n"
       "less wall time)\n"
+      "--trace FILE records the solve as a Chrome trace-event JSON file\n"
+      "(open in Perfetto or chrome://tracing, analyze with mbta_trace)\n"
       "exit codes: 0 ok, 1 usage, 2 bad input, 3 degraded solve, "
       "4 internal\n");
   return kExitUsage;
@@ -279,7 +282,32 @@ int Solve(const Args& args) {
   }
   const MbtaProblem problem{&*market, MakeObjectiveParams(args)};
   SolveInfo info;
-  const Assignment a = solver->Solve(problem, solve_options, &info);
+  const std::string trace_path = args.Get("trace", "");
+  std::unique_ptr<Tracer> tracer;
+  if (!trace_path.empty()) {
+    tracer = std::make_unique<Tracer>();
+    info.phases.set_tracer(tracer.get());
+  }
+  Assignment a;
+  {
+    // Root span over the whole solve; headline counters land as args at
+    // close so the trace is self-describing without the JSON record.
+    ScopedSpan cli_span(tracer.get(), "cli/solve", "cli");
+    a = solver->Solve(problem, solve_options, &info);
+    cli_span.Arg("gain_evaluations",
+                 static_cast<std::int64_t>(info.gain_evaluations));
+    cli_span.Arg("pairs", static_cast<std::int64_t>(a.edges.size()));
+    cli_span.Arg("deadline_hit",
+                 static_cast<std::int64_t>(info.deadline_hit ? 1 : 0));
+  }
+  if (tracer != nullptr) {
+    std::string trace_error;
+    if (!tracer->WriteFile(trace_path, &trace_error)) {
+      std::fprintf(stderr, "error: %s\n", trace_error.c_str());
+      return kExitInternal;
+    }
+    std::printf("wrote trace %s\n", trace_path.c_str());
+  }
   if (!WriteAssignmentToFile(*market, a, out, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return kExitInternal;
