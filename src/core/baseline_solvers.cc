@@ -80,10 +80,13 @@ Assignment WorkerCentricSolver::Solve(const MbtaProblem& problem,
   bool expired = false;
   {
     ScopedPhase phase(phases, "assign_workers");
+    // Hoisted out of the per-worker loop: clear()+reserve() reuses the
+    // capacity, so only the first few workers ever grow it (R9).
+    std::vector<EdgeId> sorted;
     // Budget checkpoint: one charge per candidate edge scanned.
     for (WorkerId w = 0; w < market.NumWorkers() && !expired; ++w) {
       auto edges = market.WorkerEdges(w);
-      std::vector<EdgeId> sorted;
+      sorted.clear();
       sorted.reserve(edges.size());
       for (const Incidence& inc : edges) sorted.push_back(inc.edge);
       std::sort(sorted.begin(), sorted.end(), [&](EdgeId a, EdgeId b) {
@@ -133,10 +136,13 @@ Assignment RequesterCentricSolver::Solve(const MbtaProblem& problem,
   bool expired = false;
   {
     ScopedPhase phase(phases, "assign_tasks");
+    // Hoisted out of the per-task loop: clear()+reserve() reuses the
+    // capacity, so only the first few tasks ever grow it (R9).
+    std::vector<EdgeId> sorted;
     // Budget checkpoint: one charge per candidate edge scanned.
     for (TaskId t = 0; t < market.NumTasks() && !expired; ++t) {
       auto edges = market.TaskEdges(t);
-      std::vector<EdgeId> sorted;
+      sorted.clear();
       sorted.reserve(edges.size());
       for (const Incidence& inc : edges) sorted.push_back(inc.edge);
       std::sort(sorted.begin(), sorted.end(), [&](EdgeId a, EdgeId b) {

@@ -73,6 +73,7 @@ Assignment FallbackSolver::Solve(const MbtaProblem& problem,
       chain_reason = chain_gate->reason();
       break;
     }
+    // mbta-lint: alloc-ok(once per fallback stage, not a solver inner loop)
     const std::string stage_label = "stage_" + std::to_string(s);
     DeadlineBudget stage_budget = stages_[s].budget;
     int attempts_left = 1 + chain_options_.max_retries;

@@ -1,11 +1,12 @@
 #include "core/greedy_solver.h"
 
-#include <queue>
-#include <vector>
+#include <optional>
 
 #include "core/solve_options.h"
 #include "obs/histogram.h"
 #include "obs/phase_timer.h"
+#include "util/arena.h"
+#include "util/bitset.h"
 #include "util/check.h"
 #include "util/deadline.h"
 #include "util/timer.h"
@@ -16,10 +17,10 @@ namespace {
 
 constexpr double kGainEpsilon = 1e-12;
 
-Assignment SolveLazy(const MutualBenefitObjective& objective,
+Assignment SolveLazy(const MutualBenefitObjective& objective, Arena* arena,
                      DeadlineGate* gate, SolveStats* info) {
   const LaborMarket& market = objective.market();
-  ObjectiveState state(&objective);
+  ObjectiveState state(&objective, arena);
   PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
   std::size_t evals = 0;
   std::size_t pushes = 0;
@@ -27,17 +28,24 @@ Assignment SolveLazy(const MutualBenefitObjective& objective,
   std::size_t commits = 0;
   // Committed-gain distribution: deterministic values over fixed
   // boundaries, so the bucket counts join the exact determinism diff.
-  Histogram gain_hist;
-  if (info != nullptr) gain_hist = Histogram(GainBoundaries());
+  // optional so the uninstrumented path allocates nothing (the warm
+  // Solve's zero-heap-allocation contract, see tests/solver_alloc_test.cc).
+  std::optional<Histogram> gain_hist;
+  if (info != nullptr) gain_hist.emplace(GainBoundaries());
 
   struct Entry {
     double gain;
     EdgeId edge;
     bool operator<(const Entry& other) const { return gain < other.gain; }
   };
-  std::priority_queue<Entry> heap;
+  // Arena-backed max-heap driven by std::push_heap/std::pop_heap — the
+  // algorithms std::priority_queue itself runs — so the pop order
+  // (tie-breaks included) is identical to the previous
+  // std::priority_queue<Entry> for the same push sequence.
+  ArenaHeap<Entry> heap(arena);
   {
     ScopedPhase phase(phases, "build_heap");
+    heap.reserve(market.NumEdges());
     for (EdgeId e = 0; e < market.NumEdges(); ++e) {
       // On the empty assignment the marginal equals the edge weight for
       // both objective kinds, so no state evaluation is needed to seed the
@@ -66,7 +74,7 @@ Assignment SolveLazy(const MutualBenefitObjective& objective,
         if (fresh > kGainEpsilon) {
           state.Add(top.edge);
           ++commits;
-          if (info != nullptr) gain_hist.Record(fresh);
+          if (info != nullptr) gain_hist->Record(fresh);
         }
       } else {
         heap.push({fresh, top.edge});
@@ -81,22 +89,22 @@ Assignment SolveLazy(const MutualBenefitObjective& objective,
     info->counters.Add("greedy/heap_pops", pops);
     info->counters.Add("greedy/lazy_reevals", evals);
     info->counters.Add("greedy/commits", commits);
-    info->histograms.Add("greedy/gain", gain_hist);
+    info->histograms.Add("greedy/gain", *gain_hist);
   }
   return state.ToAssignment();
 }
 
-Assignment SolvePlain(const MutualBenefitObjective& objective,
+Assignment SolvePlain(const MutualBenefitObjective& objective, Arena* arena,
                       DeadlineGate* gate, SolveStats* info) {
   const LaborMarket& market = objective.market();
-  ObjectiveState state(&objective);
+  ObjectiveState state(&objective, arena);
   PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
   std::size_t evals = 0;
   std::size_t rounds = 0;
   std::size_t commits = 0;
-  Histogram gain_hist;
-  if (info != nullptr) gain_hist = Histogram(GainBoundaries());
-  std::vector<bool> dead(market.NumEdges(), false);
+  std::optional<Histogram> gain_hist;  // see SolveLazy: absent when !info
+  if (info != nullptr) gain_hist.emplace(GainBoundaries());
+  DenseBitset dead(market.NumEdges(), arena);
 
   ScopedPhase phase(phases, "scan_rounds");
   // Budget checkpoint: one charge per marginal-gain evaluation. An
@@ -107,27 +115,31 @@ Assignment SolvePlain(const MutualBenefitObjective& objective,
     ++rounds;
     double best_gain = kGainEpsilon;
     EdgeId best_edge = kInvalidEdge;
-    for (EdgeId e = 0; e < market.NumEdges(); ++e) {
-      if (dead[e]) continue;
-      if (!state.CanAdd(e)) {
-        if (state.Contains(e)) dead[e] = true;
+    // NextClear skips runs of dead edges a whole 64-bit word at a time —
+    // the same candidate sequence as testing each edge, minus the
+    // per-dead-edge branch.
+    for (std::size_t e = dead.NextClear(0); e < dead.size();
+         e = dead.NextClear(e + 1)) {
+      const auto edge = static_cast<EdgeId>(e);
+      if (!state.CanAdd(edge)) {
+        if (state.Contains(edge)) dead.Set(e);
         continue;
       }
       if (gate->Charge()) {
         expired = true;
         break;
       }
-      const double gain = state.MarginalGain(e);
+      const double gain = state.MarginalGain(edge);
       ++evals;
       if (gain > best_gain) {
         best_gain = gain;
-        best_edge = e;
+        best_edge = edge;
       }
     }
     if (expired || best_edge == kInvalidEdge) break;
     state.Add(best_edge);
     ++commits;
-    if (info != nullptr) gain_hist.Record(best_gain);
+    if (info != nullptr) gain_hist->Record(best_gain);
   }
 
   if (info != nullptr) {
@@ -135,7 +147,7 @@ Assignment SolvePlain(const MutualBenefitObjective& objective,
     info->counters.Add("greedy/scan_rounds", rounds);
     info->counters.Add("greedy/edge_scans", evals);
     info->counters.Add("greedy/commits", commits);
-    info->histograms.Add("greedy/gain", gain_hist);
+    info->histograms.Add("greedy/gain", *gain_hist);
   }
   return state.ToAssignment();
 }
@@ -152,12 +164,16 @@ Assignment GreedySolver::Solve(const MbtaProblem& problem,
   DeadlineGate local_gate = MakeGate(options);
   DeadlineGate* gate =
       options.shared_gate != nullptr ? options.shared_gate : &local_gate;
+  Arena* arena = scratch_.Acquire();
   const MutualBenefitObjective objective = problem.MakeObjective();
   Assignment result = mode_ == Mode::kLazy
-                          ? SolveLazy(objective, gate, info)
-                          : SolvePlain(objective, gate, info);
+                          ? SolveLazy(objective, arena, gate, info)
+                          : SolvePlain(objective, arena, gate, info);
   PublishBudgetOutcome(*gate, info);
-  if (info != nullptr) info->wall_ms = timer.ElapsedMs();
+  if (info != nullptr) {
+    PublishArenaStats(*arena, info);
+    info->wall_ms = timer.ElapsedMs();
+  }
   return result;
 }
 

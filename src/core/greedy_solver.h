@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/solver.h"
+#include "util/arena.h"
 
 namespace mbta {
 
@@ -39,6 +40,12 @@ class GreedySolver : public Solver {
 
  private:
   Mode mode_;
+  // Reused scratch arena: the objective state, heap, and dead-edge set
+  // of every Solve live here, so a warm solver re-solves without heap
+  // allocation (see CONTRIBUTING.md, "Memory & allocation"). mutable:
+  // Solve is logically const; concurrent Solve calls on the same object
+  // are not supported.
+  mutable ScratchPool scratch_;
 };
 
 }  // namespace mbta

@@ -1,10 +1,11 @@
 #include "core/local_search_solver.h"
 
-#include <vector>
+#include <span>
 
 #include "core/greedy_solver.h"
 #include "core/solve_options.h"
 #include "obs/phase_timer.h"
+#include "util/arena.h"
 #include "util/check.h"
 #include "util/deadline.h"
 #include "util/timer.h"
@@ -13,6 +14,26 @@ namespace mbta {
 
 namespace {
 
+/// One undo-journal entry (see AttemptSwap).
+struct Op {
+  bool added;
+  EdgeId edge;
+};
+
+/// Per-solve move buffers, arena-backed and reused across every
+/// attempted move (cleared, never reallocated once warm).
+struct MoveScratch {
+  explicit MoveScratch(Arena* arena)
+      : journal(arena),
+        candidates(arena),
+        worker_victims(arena),
+        task_victims(arena) {}
+  ArenaVector<Op> journal;
+  ArenaVector<EdgeId> candidates;
+  ArenaVector<EdgeId> worker_victims;
+  ArenaVector<EdgeId> task_victims;
+};
+
 /// One tentative move: evict `victims`, admit `e`, then greedily refill
 /// the slack the eviction opened (candidate edges incident to any touched
 /// worker/task). Keeps the move iff the state value improves by more than
@@ -20,22 +41,19 @@ namespace {
 /// lets a swap pay off even when the admitted edge alone is lighter than
 /// its victim (the classic greedy trap: drop the 10-edge, gain two 9s).
 bool AttemptSwap(ObjectiveState& state, EdgeId e,
-                 const std::vector<EdgeId>& victims, double min_gain,
-                 std::size_t* evals) {
+                 std::span<const EdgeId> victims, double min_gain,
+                 std::size_t* evals, MoveScratch* scratch) {
   const LaborMarket& market = state.objective().market();
   const double before = state.value();
 
-  struct Op {
-    bool added;
-    EdgeId edge;
-  };
-  std::vector<Op> journal;
+  ArenaVector<Op>& journal = scratch->journal;
+  journal.clear();
   auto revert = [&]() {
-    for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
-      if (it->added) {
-        state.Remove(it->edge);
+    for (std::size_t i = journal.size(); i-- > 0;) {
+      if (journal[i].added) {
+        state.Remove(journal[i].edge);
       } else {
-        state.Add(it->edge);
+        state.Add(journal[i].edge);
       }
     }
   };
@@ -60,7 +78,8 @@ bool AttemptSwap(ObjectiveState& state, EdgeId e,
   journal.push_back({true, e});
 
   // Refill candidates: edges incident to every endpoint the move touched.
-  std::vector<EdgeId> candidates;
+  ArenaVector<EdgeId>& candidates = scratch->candidates;
+  candidates.clear();
   auto collect = [&](WorkerId w, TaskId t) {
     for (const Incidence& inc : market.WorkerEdges(w)) {
       candidates.push_back(inc.edge);
@@ -97,7 +116,7 @@ bool AttemptSwap(ObjectiveState& state, EdgeId e,
 /// each saturated endpoint (with refill — see AttemptSwap). Returns true
 /// if the state value strictly improved by more than `min_gain`.
 bool TryAdmit(ObjectiveState& state, EdgeId e, double min_gain,
-              std::size_t* evals) {
+              std::size_t* evals, MoveScratch* scratch) {
   const LaborMarket& market = state.objective().market();
   if (state.Contains(e)) return false;
 
@@ -117,13 +136,15 @@ bool TryAdmit(ObjectiveState& state, EdgeId e, double min_gain,
     return false;
   }
 
-  std::vector<EdgeId> worker_victims;
+  ArenaVector<EdgeId>& worker_victims = scratch->worker_victims;
+  worker_victims.clear();
   if (worker_full) {
     for (const Incidence& inc : market.WorkerEdges(w)) {
       if (state.Contains(inc.edge)) worker_victims.push_back(inc.edge);
     }
   }
-  std::vector<EdgeId> task_victims;
+  ArenaVector<EdgeId>& task_victims = scratch->task_victims;
+  task_victims.clear();
   if (task_full) {
     for (const Incidence& inc : market.TaskEdges(t)) {
       if (state.Contains(inc.edge) && market.EdgeWorker(inc.edge) != w) {
@@ -132,19 +153,30 @@ bool TryAdmit(ObjectiveState& state, EdgeId e, double min_gain,
     }
   }
 
+  // Victim tuples live on the stack: no per-attempt heap (or arena)
+  // traffic in this doubly-nested hot loop.
   if (worker_full && task_full) {
     for (EdgeId vw : worker_victims) {
       for (EdgeId vt : task_victims) {
-        if (AttemptSwap(state, e, {vw, vt}, min_gain, evals)) return true;
+        const EdgeId pair[2] = {vw, vt};
+        if (AttemptSwap(state, e, pair, min_gain, evals, scratch)) {
+          return true;
+        }
       }
     }
   } else if (worker_full) {
     for (EdgeId vw : worker_victims) {
-      if (AttemptSwap(state, e, {vw}, min_gain, evals)) return true;
+      const EdgeId single[1] = {vw};
+      if (AttemptSwap(state, e, single, min_gain, evals, scratch)) {
+        return true;
+      }
     }
   } else {
     for (EdgeId vt : task_victims) {
-      if (AttemptSwap(state, e, {vt}, min_gain, evals)) return true;
+      const EdgeId single[1] = {vt};
+      if (AttemptSwap(state, e, single, min_gain, evals, scratch)) {
+        return true;
+      }
     }
   }
   return false;
@@ -165,7 +197,9 @@ Assignment LocalSearchSolver::Solve(const MbtaProblem& problem,
   const MutualBenefitObjective objective = problem.MakeObjective();
   const LaborMarket& market = objective.market();
 
-  ObjectiveState state(&objective);
+  Arena* arena = scratch_.Acquire();
+  ObjectiveState state(&objective, arena);
+  MoveScratch move_scratch(arena);
   std::size_t evals = 0;
   std::size_t passes = 0;
   std::size_t accepted = 0;
@@ -200,7 +234,7 @@ Assignment LocalSearchSolver::Solve(const MbtaProblem& problem,
           expired = true;
           break;
         }
-        if (TryAdmit(state, e, min_gain, &evals)) {
+        if (TryAdmit(state, e, min_gain, &evals, &move_scratch)) {
           improved = true;
           ++accepted;
         } else {
@@ -216,6 +250,7 @@ Assignment LocalSearchSolver::Solve(const MbtaProblem& problem,
     info->counters.Add("local_search/passes", passes);
     info->counters.Add("local_search/moves_accepted", accepted);
     info->counters.Add("local_search/moves_rejected", rejected);
+    PublishArenaStats(*arena, info);
     info->wall_ms = timer.ElapsedMs();
   }
   PublishBudgetOutcome(*gate, info);

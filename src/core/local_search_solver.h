@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/solver.h"
+#include "util/arena.h"
 
 namespace mbta {
 
@@ -45,6 +46,11 @@ class LocalSearchSolver : public Solver {
 
  private:
   Options options_{};
+  // Reused scratch arena: the objective state plus the per-move journal,
+  // candidate, and victim buffers live here (the seed GreedySolver has
+  // its own pool). mutable: Solve is logically const; concurrent Solve
+  // calls on the same object are not supported.
+  mutable ScratchPool scratch_;
 };
 
 }  // namespace mbta

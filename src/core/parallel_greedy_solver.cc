@@ -1,7 +1,6 @@
 #include "core/parallel_greedy_solver.h"
 
 #include <algorithm>
-#include <queue>
 #include <span>
 #include <vector>
 
@@ -9,6 +8,8 @@
 #include "obs/histogram.h"
 #include "obs/phase_timer.h"
 #include "obs/trace.h"
+#include "util/arena.h"
+#include "util/bitset.h"
 #include "util/check.h"
 #include "util/deadline.h"
 #include "util/thread_pool.h"
@@ -30,8 +31,21 @@ constexpr std::size_t kBatchSize = 16;
 /// Per-solve parallel context: the pool plus one kernel scratch per
 /// participant, so concurrent slices never share buffers.
 struct BatchEvaluator {
-  explicit BatchEvaluator(ThreadPool* pool)
-      : pool(pool), scratches(pool->num_threads()) {}
+  BatchEvaluator(ThreadPool* pool, const LaborMarket& market)
+      : pool(pool), scratches(pool->num_threads()) {
+    // Pre-reserve every participant's kernel scratch to the largest
+    // worker degree + 1 (the exact upper bound on the benefit lists), so
+    // worker threads never allocate mid-batch. These stay std::vectors —
+    // per-thread buffers must not share the solver's single arena.
+    std::size_t max_degree = 0;
+    for (WorkerId w = 0; w < market.NumWorkers(); ++w) {
+      max_degree = std::max(max_degree, market.WorkerEdges(w).size());
+    }
+    for (ObjectiveState::GainScratch& scratch : scratches) {
+      scratch.values.reserve(max_degree + 1);
+      scratch.values_plus.reserve(max_degree + 1);
+    }
+  }
 
   /// Minimum edges per slice before another participant is engaged: a
   /// pool barrier costs microseconds, so small batches (the lazy
@@ -115,11 +129,11 @@ struct BatchInstruments {
   Histogram gain_hist;
 };
 
-Assignment SolveLazy(const MutualBenefitObjective& objective,
+Assignment SolveLazy(const MutualBenefitObjective& objective, Arena* arena,
                      BatchEvaluator* evaluator, DeadlineGate* gate,
                      SolveStats* info) {
   const LaborMarket& market = objective.market();
-  ObjectiveState state(&objective);
+  ObjectiveState state(&objective, arena);
   PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
   BatchInstruments instruments(info);
   std::size_t evals = 0;
@@ -143,9 +157,12 @@ Assignment SolveLazy(const MutualBenefitObjective& objective,
       return edge > other.edge;  // equal gains: lowest edge id wins
     }
   };
-  std::priority_queue<Entry> heap;
+  // Same pop order as the previous std::priority_queue<Entry>: ArenaHeap
+  // runs std::push_heap/std::pop_heap with the same comparator.
+  ArenaHeap<Entry> heap(arena);
   {
     ScopedPhase phase(phases, "build_heap");
+    heap.reserve(market.NumEdges());
     for (EdgeId e = 0; e < market.NumEdges(); ++e) {
       // On the empty assignment the marginal equals the edge weight, so
       // the seeds are exact: version 0 is "fresh" until the first commit.
@@ -154,9 +171,10 @@ Assignment SolveLazy(const MutualBenefitObjective& objective,
     }
   }
 
-  std::vector<EdgeId> batch;
+  ArenaVector<EdgeId> batch(arena);
   batch.reserve(kBatchSize);
-  std::vector<double> gains(kBatchSize);
+  ArenaVector<double> gains(arena);
+  gains.resize_uninitialized(kBatchSize);
 
   {
     ScopedPhase phase(phases, "lazy_loop");
@@ -192,8 +210,8 @@ Assignment SolveLazy(const MutualBenefitObjective& objective,
       // for the batch up front. On expiry the popped batch is abandoned
       // unevaluated; the committed prefix is a feasible greedy prefix.
       if (gate->Charge(batch.size())) break;
-      instruments.RunBatch(evaluator, state, batch,
-                           std::span(gains).first(batch.size()));
+      instruments.RunBatch(evaluator, state, batch.span(),
+                           gains.span().first(batch.size()));
       ++batches;
       evals += batch.size();
       for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -215,20 +233,20 @@ Assignment SolveLazy(const MutualBenefitObjective& objective,
   return state.ToAssignment();
 }
 
-Assignment SolvePlain(const MutualBenefitObjective& objective,
+Assignment SolvePlain(const MutualBenefitObjective& objective, Arena* arena,
                       BatchEvaluator* evaluator, DeadlineGate* gate,
                       SolveStats* info) {
   const LaborMarket& market = objective.market();
-  ObjectiveState state(&objective);
+  ObjectiveState state(&objective, arena);
   PhaseTimings* phases = info != nullptr ? &info->phases : nullptr;
   BatchInstruments instruments(info);
   std::size_t evals = 0;
   std::size_t rounds = 0;
   std::size_t commits = 0;
   std::size_t batches = 0;
-  std::vector<bool> dead(market.NumEdges(), false);
-  std::vector<EdgeId> candidates;
-  std::vector<double> gains;
+  DenseBitset dead(market.NumEdges(), arena);
+  ArenaVector<EdgeId> candidates(arena);
+  ArenaVector<double> gains(arena);
 
   ScopedPhase phase(phases, "scan_rounds");
   // Each round evaluates every live candidate (the same set, in the same
@@ -240,15 +258,18 @@ Assignment SolvePlain(const MutualBenefitObjective& objective,
   for (;;) {
     ++rounds;
     candidates.clear();
-    for (EdgeId e = 0; e < market.NumEdges(); ++e) {
-      if (dead[e]) continue;
-      if (!state.CanAdd(e)) {
-        if (state.Contains(e)) dead[e] = true;
+    // NextClear skips runs of dead edges a whole 64-bit word at a time;
+    // the surviving candidate sequence is unchanged.
+    for (std::size_t e = dead.NextClear(0); e < dead.size();
+         e = dead.NextClear(e + 1)) {
+      const auto edge = static_cast<EdgeId>(e);
+      if (!state.CanAdd(edge)) {
+        if (state.Contains(edge)) dead.Set(e);
         continue;
       }
-      candidates.push_back(e);
+      candidates.push_back(edge);
     }
-    gains.resize(candidates.size());
+    gains.resize_uninitialized(candidates.size());
     // Budget checkpoint: one work unit per evaluation, charged in
     // kBatchSize slices so the expiry point lands exactly where the
     // serial plain scan's per-edge charging would stop. The charged
@@ -267,9 +288,8 @@ Assignment SolvePlain(const MutualBenefitObjective& objective,
       charged += n;
     }
     if (charged > 0) {
-      instruments.RunBatch(evaluator, state,
-                           std::span(candidates).first(charged),
-                           std::span(gains).first(charged));
+      instruments.RunBatch(evaluator, state, candidates.span().first(charged),
+                           gains.span().first(charged));
       ++batches;
       evals += charged;
     }
@@ -313,13 +333,16 @@ Assignment ParallelGreedySolver::Solve(const MbtaProblem& problem,
       options.shared_gate != nullptr ? options.shared_gate : &local_gate;
   ThreadPool pool(options.threads);
   if (info != nullptr) AttachPoolTracing(&pool, info->phases.tracer());
-  BatchEvaluator evaluator(&pool);
+  Arena* arena = scratch_.Acquire();
   const MutualBenefitObjective objective = problem.MakeObjective();
-  Assignment result = mode_ == Mode::kLazy
-                          ? SolveLazy(objective, &evaluator, gate, info)
-                          : SolvePlain(objective, &evaluator, gate, info);
+  BatchEvaluator evaluator(&pool, objective.market());
+  Assignment result =
+      mode_ == Mode::kLazy
+          ? SolveLazy(objective, arena, &evaluator, gate, info)
+          : SolvePlain(objective, arena, &evaluator, gate, info);
   PublishBudgetOutcome(*gate, info);
   if (info != nullptr) {
+    PublishArenaStats(*arena, info);
     // A gauge, not a counter: the thread count is an execution detail
     // that legitimately differs between otherwise-identical runs, and
     // the determinism gates compare the counter map exactly.

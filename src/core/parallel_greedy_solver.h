@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/solver.h"
+#include "util/arena.h"
 
 namespace mbta {
 
@@ -47,6 +48,12 @@ class ParallelGreedySolver : public Solver {
 
  private:
   Mode mode_;
+  // Reused scratch arena for the sequential side of the solve (objective
+  // state, heap, batch/candidate/gain buffers, dead-edge set). Worker
+  // threads never allocate from it — their kernel scratches are
+  // per-participant and pre-reserved. mutable: Solve is logically const;
+  // concurrent Solve calls on the same object are not supported.
+  mutable ScratchPool scratch_;
 };
 
 }  // namespace mbta

@@ -23,4 +23,11 @@ void PublishBudgetOutcome(const DeadlineGate& gate, SolveStats* info) {
   }
 }
 
+void PublishArenaStats(const Arena& arena, SolveStats* info) {
+  if (info == nullptr) return;
+  info->counters.Add("alloc/arena_resets", 1);
+  info->counters.SetGauge("alloc/arena_bytes",
+                          static_cast<double>(arena.bytes_allocated()));
+}
+
 }  // namespace mbta

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "core/problem.h"
+#include "util/arena.h"
 #include "util/deadline.h"
 #include "util/fault_injector.h"
 
@@ -60,6 +61,15 @@ inline DeadlineGate MakeGate(const SolveOptions& options) {
 /// "cancel/observed" counter. Call once at the end of Solve with the
 /// gate the solver actually polled.
 void PublishBudgetOutcome(const DeadlineGate& gate, SolveStats* info);
+
+/// Publishes a solve's scratch-arena footprint: "alloc/arena_resets" (a
+/// counter — every solve rewinds its solver's scratch exactly once, so
+/// the value is deterministic and joins the exact diff) and
+/// "alloc/arena_bytes" (a gauge — bytes bump-allocated this solve; kept
+/// out of the exact diff like mem/peak_rss_kb, since capacity-growth
+/// heuristics may legitimately change it). Call at the end of Solve on
+/// solvers that own a ScratchPool; `info` may be null.
+void PublishArenaStats(const Arena& arena, SolveStats* info);
 
 }  // namespace mbta
 

@@ -57,10 +57,13 @@ Assignment ThresholdSolver::Solve(const MbtaProblem& problem,
     // sweep. Edges admitted before expiry stand; the rest of the sweep
     // is abandoned.
     bool expired = false;
+    // Survivor list for the round in flight; hoisted so the swap at the
+    // bottom recycles last round's capacity instead of reallocating (R9).
+    std::vector<EdgeId> next_alive;
     for (double tau = max_weight; tau > floor && !alive.empty() && !expired;
          tau *= 1.0 - epsilon_) {
       ++rounds;
-      std::vector<EdgeId> next_alive;
+      next_alive.clear();
       next_alive.reserve(alive.size());
       for (EdgeId e : alive) {
         if (!state.CanAdd(e)) continue;  // saturated endpoint: edge is dead

@@ -59,6 +59,7 @@ double RecomputeObjective(const MbtaProblem& problem,
     if (modular) {
       for (EdgeId e : by_worker[w]) worker += m.WorkerBenefit(e);
     } else {
+      // mbta-lint: alloc-ok(from-scratch reference recomputation; cold validation path)
       std::vector<double> benefits;
       benefits.reserve(by_worker[w].size());
       for (EdgeId e : by_worker[w]) benefits.push_back(m.WorkerBenefit(e));

@@ -1,0 +1,173 @@
+#ifndef MBTA_FLOW_BUCKET_QUEUE_H_
+#define MBTA_FLOW_BUCKET_QUEUE_H_
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mbta {
+
+/// Monotone (Dial-style) bucket priority queue for Dijkstra over
+/// non-negative reduced costs on a fixed-point grid.
+///
+/// Layout: a window of `kWindow` coarse buckets starting at `base_`, each
+/// covering `kGranularity` consecutive keys (window span ~4.2M keys —
+/// sized to the 1e-6 fixed-point cost grid, where one unit of benefit is
+/// 1e6 keys, so in-window pushes are the common case). A bucket keeps its
+/// entries as a small min-heap on (key, value); a 64-word occupancy
+/// bitmap finds the next non-empty bucket in a few instructions. Keys
+/// beyond the window spill into a binary-heap overflow that is drained
+/// back in whenever the window empties (rebased at the overflow minimum),
+/// so pathological key spreads degrade to plain binary-heap behavior
+/// rather than breaking.
+///
+/// Pop order is exactly that of
+///   std::priority_queue<std::pair<Key, Value>,
+///                       std::vector<std::pair<Key, Value>>,
+///                       std::greater<>>
+/// — ascending key, ascending value among equal keys. Buckets partition
+/// the key space into ordered ranges and the lowest non-empty bucket is
+/// always popped first, so its heap minimum is the global minimum; both
+/// the per-bucket heaps and the overflow heap use the same std::greater<>
+/// pair comparator the priority_queue used. Swapping this in for the
+/// std::priority_queue in a Dijkstra therefore cannot perturb relaxation
+/// order or tie-breaks. Enforced by tests/bucket_queue_test.cc against a
+/// std::priority_queue reference.
+///
+/// The monotone contract: after the first Pop, every Push key must be >=
+/// the key of the most recent Pop (Dijkstra guarantees this because
+/// reduced costs are non-negative). Pushes before the first Pop are
+/// unconstrained — they stage in the overflow heap and the window is
+/// first rebased at their minimum. Violations trip an MBTA_CHECK.
+class BucketQueue {
+ public:
+  using Key = std::int64_t;
+  using Value = std::size_t;
+
+  /// Coarse buckets in the window (power of two).
+  static constexpr std::size_t kWindow = 4096;
+  /// Keys per bucket (power of two). Entries within a bucket are
+  /// heap-ordered, so granularity trades bitmap span for heap size.
+  static constexpr Key kGranularity = 1024;
+  /// Keys covered by the window before pushes spill to the overflow heap.
+  static constexpr Key kSpan = static_cast<Key>(kWindow) * kGranularity;
+
+  BucketQueue() : buckets_(kWindow) { occupied_.fill(0); }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Pushes routed to window buckets / to the overflow heap since the
+  /// last Reset. Exposed for tuning: a high overflow share means the
+  /// window span does not fit the key distribution and the structure is
+  /// running in its binary-heap fallback mode.
+  std::uint64_t window_pushes() const { return window_pushes_; }
+  std::uint64_t overflow_pushes() const { return overflow_pushes_; }
+
+  /// Prepares for a fresh monotone run. Bucket and overflow capacity is
+  /// retained, so reuse across runs allocates nothing once warm; a
+  /// fully-drained queue resets in O(1).
+  void Reset() {
+    if (size_ != 0) {
+      for (auto& bucket : buckets_) bucket.clear();
+      overflow_.clear();
+      occupied_.fill(0);
+      size_ = 0;
+    }
+    popped_ = false;
+    base_ = 0;
+    cur_ = 0;
+    last_key_ = 0;
+    window_pushes_ = 0;
+    overflow_pushes_ = 0;
+  }
+
+  void Push(Key key, Value value) {
+    if (popped_) {
+      MBTA_CHECK(key >= last_key_);
+      if (key - base_ < kSpan) {
+        PushWindow(key, value);
+        ++window_pushes_;
+        ++size_;
+        return;
+      }
+    }
+    overflow_.emplace_back(key, value);
+    std::push_heap(overflow_.begin(), overflow_.end(), std::greater<>{});
+    ++overflow_pushes_;
+    ++size_;
+  }
+
+  /// Removes and returns the minimum (key, value) pair.
+  std::pair<Key, Value> Pop() {
+    MBTA_CHECK(size_ != 0);
+    popped_ = true;
+    for (;;) {
+      cur_ = NextOccupied(cur_);
+      if (cur_ < kWindow) break;
+      // Window exhausted: everything left sits in the overflow heap.
+      // Rebase the window at its minimum key and pull near keys back in.
+      MBTA_CHECK(!overflow_.empty());
+      base_ = overflow_.front().first;
+      cur_ = 0;
+      while (!overflow_.empty() && overflow_.front().first - base_ < kSpan) {
+        std::pop_heap(overflow_.begin(), overflow_.end(), std::greater<>{});
+        PushWindow(overflow_.back().first, overflow_.back().second);
+        overflow_.pop_back();
+      }
+    }
+    auto& bucket = buckets_[cur_];
+    std::pop_heap(bucket.begin(), bucket.end(), std::greater<>{});
+    const auto entry = bucket.back();
+    bucket.pop_back();
+    if (bucket.empty()) {
+      occupied_[cur_ >> 6] &= ~(std::uint64_t{1} << (cur_ & 63));
+    }
+    last_key_ = entry.first;
+    --size_;
+    return entry;
+  }
+
+ private:
+  void PushWindow(Key key, Value value) {
+    const auto idx = static_cast<std::size_t>((key - base_) / kGranularity);
+    auto& bucket = buckets_[idx];
+    bucket.emplace_back(key, value);
+    std::push_heap(bucket.begin(), bucket.end(), std::greater<>{});
+    occupied_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+  }
+
+  /// First non-empty bucket index >= from, or kWindow if none.
+  std::size_t NextOccupied(std::size_t from) const {
+    std::size_t word = from >> 6;
+    std::uint64_t bits =
+        occupied_[word] & (~std::uint64_t{0} << (from & 63));
+    while (bits == 0) {
+      if (++word == occupied_.size()) return kWindow;
+      bits = occupied_[word];
+    }
+    return (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+  }
+
+  std::vector<std::vector<std::pair<Key, Value>>> buckets_;
+  std::array<std::uint64_t, kWindow / 64> occupied_;
+  std::vector<std::pair<Key, Value>> overflow_;
+  Key base_ = 0;        // key at the start of window bucket 0
+  std::size_t cur_ = 0;  // window index of the current minimum's bucket
+  Key last_key_ = 0;     // most recent Pop key (monotone watermark)
+  std::size_t size_ = 0;
+  bool popped_ = false;  // window activates at the first Pop
+  std::uint64_t window_pushes_ = 0;
+  std::uint64_t overflow_pushes_ = 0;
+};
+
+}  // namespace mbta
+
+#endif  // MBTA_FLOW_BUCKET_QUEUE_H_

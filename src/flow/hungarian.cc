@@ -23,6 +23,10 @@ AssignmentResult MinCostAssignment(const std::vector<double>& cost,
   // row leaves a consistent partial matching, so tripping mid-solve
   // keeps the processed rows matched and the rest unassigned.
   std::size_t rows_done = n;
+  // Per-row scratch, hoisted: assign() rewrites in place, so the row loop
+  // never reallocates after the first iteration (R9).
+  std::vector<double> minv;
+  std::vector<bool> used;
   for (std::size_t i = 1; i <= n; ++i) {
     if (gate != nullptr && gate->Charge()) {
       rows_done = i - 1;
@@ -30,8 +34,8 @@ AssignmentResult MinCostAssignment(const std::vector<double>& cost,
     }
     p[0] = i;
     std::size_t j0 = 0;
-    std::vector<double> minv(m + 1, kInf);
-    std::vector<bool> used(m + 1, false);
+    minv.assign(m + 1, kInf);
+    used.assign(m + 1, false);
     do {
       used[j0] = true;
       const std::size_t i0 = p[j0];

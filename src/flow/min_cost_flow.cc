@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "obs/trace.h"
+#include "util/bitset.h"
 #include "util/check.h"
 
 namespace mbta {
@@ -37,6 +38,22 @@ MinCostFlow::ArcId MinCostFlow::AddArc(std::size_t from, std::size_t to,
   return forward_index_.size() - 1;
 }
 
+void MinCostFlow::BuildCsr() {
+  MBTA_CHECK(arcs_.size() <= std::numeric_limits<std::uint32_t>::max());
+  csr_off_.assign(head_.size() + 1, 0);
+  for (std::size_t v = 0; v < head_.size(); ++v) {
+    csr_off_[v + 1] =
+        csr_off_[v] + static_cast<std::uint32_t>(head_[v].size());
+  }
+  csr_arc_.clear();
+  csr_arc_.reserve(arcs_.size());
+  for (const auto& adjacency : head_) {
+    for (std::size_t idx : adjacency) {
+      csr_arc_.push_back(static_cast<std::uint32_t>(idx));
+    }
+  }
+}
+
 void MinCostFlow::InitPotentials(std::size_t source) {
   potential_.assign(head_.size(), 0);
   if (!has_negative_costs_) return;
@@ -44,22 +61,22 @@ void MinCostFlow::InitPotentials(std::size_t source) {
   // Bellman–Ford (queue-based) from the source over residual arcs.
   potential_.assign(head_.size(), kInf);
   potential_[source] = 0;
-  std::vector<bool> in_queue(head_.size(), false);
+  DenseBitset in_queue(head_.size());
   std::queue<std::size_t> q;
   q.push(source);
-  in_queue[source] = true;
+  in_queue.Set(source);
   while (!q.empty()) {
     const std::size_t v = q.front();
     q.pop();
-    in_queue[v] = false;
-    for (std::size_t idx : head_[v]) {
-      const Arc& a = arcs_[idx];
+    in_queue.Clear(v);
+    for (std::uint32_t i = csr_off_[v]; i != csr_off_[v + 1]; ++i) {
+      const Arc& a = arcs_[csr_arc_[i]];
       if (a.capacity > 0 && potential_[v] < kInf &&
           potential_[v] + a.cost < potential_[a.to]) {
         potential_[a.to] = potential_[v] + a.cost;
-        if (!in_queue[a.to]) {
+        if (!in_queue.Test(a.to)) {
           q.push(a.to);
-          in_queue[a.to] = true;
+          in_queue.Set(a.to);
         }
       }
     }
@@ -77,16 +94,20 @@ bool MinCostFlow::ShortestPath(std::size_t source, std::size_t sink) {
   const std::uint64_t arcs_before = stats_.arcs_scanned;
   dist_.assign(head_.size(), kInf);
   prev_arc_.assign(head_.size(), static_cast<std::size_t>(-1));
-  using Item = std::pair<std::int64_t, std::size_t>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  // Monotone bucket queue: identical pop order to the former
+  // std::priority_queue<pair<int64, size_t>, ..., std::greater<>> (see
+  // bucket_queue.h), so relaxations, tie-breaks, and therefore augmenting
+  // paths are byte-for-byte unchanged. Every run drains the queue fully,
+  // so Reset() is O(1) after the first run.
+  queue_.Reset();
   dist_[source] = 0;
-  pq.emplace(0, source);
-  while (!pq.empty()) {
-    const auto [d, v] = pq.top();
-    pq.pop();
+  queue_.Push(0, source);
+  while (!queue_.empty()) {
+    const auto [d, v] = queue_.Pop();
     if (d > dist_[v]) continue;
-    stats_.arcs_scanned += head_[v].size();
-    for (std::size_t idx : head_[v]) {
+    stats_.arcs_scanned += csr_off_[v + 1] - csr_off_[v];
+    for (std::uint32_t i = csr_off_[v]; i != csr_off_[v + 1]; ++i) {
+      const std::size_t idx = csr_arc_[i];
       const Arc& a = arcs_[idx];
       if (a.capacity <= 0) continue;
       const std::int64_t reduced =
@@ -96,7 +117,7 @@ bool MinCostFlow::ShortestPath(std::size_t source, std::size_t sink) {
       if (dist_[v] + reduced < dist_[a.to]) {
         dist_[a.to] = dist_[v] + reduced;
         prev_arc_[a.to] = idx;
-        pq.emplace(dist_[a.to], a.to);
+        queue_.Push(dist_[a.to], a.to);
       }
     }
   }
@@ -112,6 +133,7 @@ MinCostFlow::Result MinCostFlow::Run(std::size_t source, std::size_t sink,
   MBTA_CHECK(source != sink);
   MBTA_CHECK(!solved_);
   solved_ = true;
+  BuildCsr();
   InitPotentials(source);
   Result result;
   while (result.flow < flow_limit &&

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "flow/bucket_queue.h"
 #include "util/deadline.h"
 
 namespace mbta {
@@ -92,6 +93,9 @@ class MinCostFlow {
 
   Result Run(std::size_t source, std::size_t sink, std::int64_t flow_limit,
              bool stop_at_nonnegative);
+  /// Flattens head_ into csr_off_/csr_arc_ (order preserved). Called once
+  /// per solve, after which the arc set is frozen.
+  void BuildCsr();
   void InitPotentials(std::size_t source);
   /// One Dijkstra over reduced costs; fills dist_/prev_arc_. Returns true
   /// if the sink is reachable.
@@ -102,9 +106,18 @@ class MinCostFlow {
   std::vector<std::int64_t> initial_capacity_;
   std::vector<std::size_t> forward_index_;
 
+  // CSR copy of head_, built by BuildCsr(): node v's residual arcs are
+  // csr_arc_[csr_off_[v]..csr_off_[v+1]), in head_[v] order. One flat
+  // cache-friendly stream for the Dijkstra/Bellman–Ford inner loops
+  // instead of a pointer chase through per-node vectors.
+  std::vector<std::uint32_t> csr_off_;
+  std::vector<std::uint32_t> csr_arc_;
+
   std::vector<std::int64_t> potential_;
   std::vector<std::int64_t> dist_;
   std::vector<std::size_t> prev_arc_;
+  // Dijkstra frontier, reused across runs (drained empty by each run).
+  BucketQueue queue_;
   bool has_negative_costs_ = false;
   bool solved_ = false;
   DeadlineGate* gate_ = nullptr;

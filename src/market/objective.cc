@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "util/check.h"
 
@@ -25,7 +26,7 @@ MutualBenefitObjective::MutualBenefitObjective(const LaborMarket* market,
 }
 
 double MutualBenefitObjective::TaskBenefit(
-    TaskId t, const std::vector<EdgeId>& edges) const {
+    TaskId t, std::span<const EdgeId> edges) const {
   const Task& task = market_->task(t);
   if (params_.kind == ObjectiveKind::kModular) {
     double sum = 0.0;
@@ -38,7 +39,7 @@ double MutualBenefitObjective::TaskBenefit(
 }
 
 double MutualBenefitObjective::WorkerUtility(
-    WorkerId w, const std::vector<EdgeId>& edges) const {
+    WorkerId w, std::span<const EdgeId> edges) const {
   if (params_.kind == ObjectiveKind::kModular) {
     double sum = 0.0;
     for (EdgeId e : edges) sum += market_->WorkerBenefit(e);
@@ -87,26 +88,154 @@ double MutualBenefitObjective::EdgeWeight(EdgeId e) const {
          (1.0 - params_.alpha) * market_->WorkerBenefit(e);
 }
 
-ObjectiveState::ObjectiveState(const MutualBenefitObjective* objective)
-    : objective_(objective), market_(&objective->market()) {
+namespace {
+
+/// The single-edge marginal-gain computation used by MarginalGain, with
+/// the per-call scratch type (ArenaVector) templated out. The batch
+/// kernels repeat this body by hand — keeping their inner loops
+/// monomorphic is measurably faster — and objective_kernel_test pins all
+/// paths bit-identical. Every arithmetic step mirrors the expression
+/// shape of the from-scratch TaskBenefit / WorkerUtility folds in the
+/// same operand order, so the results match those bit-for-bit too (the
+/// incremental forms buy speed from the SoA columns and the reused
+/// scratch, never from reassociating floating point).
+// always_inline: the call sits in the innermost solver loops and the
+// argument list (several by-value spans) is expensive to materialize;
+// without the attribute gcc leaves it outlined and the batch path pays
+// ~25% on the smoke rows.
+template <typename DoubleVec>
+[[gnu::always_inline]] inline double EdgeGainAt(
+    const LaborMarket& market, double alpha,
+                         bool modular, std::span<const double> quality,
+                         std::span<const double> benefit,
+                         std::span<const double> task_value, EdgeId e,
+                         WorkerId w, std::span<const EdgeId> t_edges,
+                         std::span<const EdgeId> w_edges, DoubleVec& values,
+                         DoubleVec& values_plus) {
+  double task_old;
+  double task_plus;
+  if (modular) {
+    double sum = 0.0;
+    // task_value[te] == task_value[e] == V(t) for every chosen edge of
+    // t; kept per-edge so the load stays a single column read.
+    for (EdgeId te : t_edges) sum += task_value[te] * quality[te];
+    task_old = sum;
+    task_plus = sum + task_value[e] * quality[e];
+  } else {
+    double miss = 1.0;
+    for (EdgeId te : t_edges) miss *= 1.0 - quality[te];
+    task_old = task_value[e] * (1.0 - miss);
+    task_plus = task_value[e] * (1.0 - miss * (1.0 - quality[e]));
+  }
+
+  double worker_old;
+  double worker_plus;
+  if (modular) {
+    double sum = 0.0;
+    for (EdgeId we : w_edges) sum += benefit[we];
+    worker_old = sum;
+    worker_plus = sum + benefit[e];
+  } else {
+    const double fatigue = market.worker(w).fatigue;
+    // Build both benefit lists in the from-scratch path's input order
+    // (incumbents in edge order, candidate appended) before sorting, so
+    // even ties land exactly where std::sort puts them there.
+    values.clear();
+    values_plus.clear();
+    for (EdgeId we : w_edges) values.push_back(benefit[we]);
+    values_plus = values;
+    values_plus.push_back(benefit[e]);
+    std::sort(values.begin(), values.end(), std::greater<>());
+    std::sort(values_plus.begin(), values_plus.end(), std::greater<>());
+    const auto fold = [fatigue](const DoubleVec& vals) {
+      double utility = 0.0;
+      double weight = 1.0;
+      for (double v : vals) {
+        utility += weight * v;
+        weight *= fatigue;
+      }
+      return utility;
+    };
+    worker_old = fold(values);
+    worker_plus = fold(values_plus);
+  }
+
+  return alpha * (task_plus - task_old) +
+         (1.0 - alpha) * (worker_plus - worker_old);
+}
+
+}  // namespace
+
+ObjectiveState::ObjectiveState(const MutualBenefitObjective* objective,
+                               Arena* arena)
+    : objective_(objective),
+      market_(&objective->market()),
+      arena_(arena != nullptr ? arena : &owned_arena_),
+      gain_values_(arena_),
+      gain_values_plus_(arena_) {
   MBTA_CHECK(objective != nullptr);
-  chosen_.assign(market_->NumEdges(), false);
-  worker_edges_.resize(market_->NumWorkers());
-  task_edges_.resize(market_->NumTasks());
+  const std::size_t num_workers = market_->NumWorkers();
+  const std::size_t num_tasks = market_->NumTasks();
+  chosen_.Reset(market_->NumEdges(), arena_);
+  worker_offset_ = arena_->AllocateSpan<std::uint32_t>(num_workers + 1);
+  task_offset_ = arena_->AllocateSpan<std::uint32_t>(num_tasks + 1);
+  worker_count_ = arena_->AllocateSpan<std::int32_t>(num_workers);
+  task_count_ = arena_->AllocateSpan<std::int32_t>(num_tasks);
+  // Slot ranges: a worker/task can never hold more chosen edges than
+  // min(capacity, degree), so that bound sizes its slot exactly.
+  worker_offset_[0] = 0;
+  for (WorkerId w = 0; w < num_workers; ++w) {
+    const auto cap = static_cast<std::size_t>(
+        std::max(0, market_->worker(w).capacity));
+    const std::size_t slots = std::min(cap, market_->WorkerEdges(w).size());
+    worker_offset_[w + 1] =
+        worker_offset_[w] + static_cast<std::uint32_t>(slots);
+    worker_count_[w] = 0;
+  }
+  task_offset_[0] = 0;
+  for (TaskId t = 0; t < num_tasks; ++t) {
+    const auto cap =
+        static_cast<std::size_t>(std::max(0, market_->task(t).capacity));
+    const std::size_t slots = std::min(cap, market_->TaskEdges(t).size());
+    task_offset_[t + 1] = task_offset_[t] + static_cast<std::uint32_t>(slots);
+    task_count_[t] = 0;
+  }
+  worker_slots_ = arena_->AllocateSpan<EdgeId>(worker_offset_[num_workers]);
+  task_slots_ = arena_->AllocateSpan<EdgeId>(task_offset_[num_tasks]);
 }
 
 double ObjectiveState::TaskContribution(TaskId t) const {
-  return objective_->alpha() * objective_->TaskBenefit(t, task_edges_[t]);
+  return objective_->alpha() * objective_->TaskBenefit(t, TaskEdges(t));
 }
 
 double ObjectiveState::WorkerContribution(WorkerId w) const {
-  return (1.0 - objective_->alpha()) *
-         objective_->WorkerUtility(w, worker_edges_[w]);
+  // WorkerUtility's fold replayed over arena scratch: the public method
+  // fills a fresh std::vector for the sorted fatigue ladder, which would
+  // put a heap allocation inside every Add/Remove and break the warm
+  // solve's zero-allocation contract (tests/solver_alloc_test.cc). Same
+  // values, same sort, same operand order — bit-identical results.
+  const std::span<const EdgeId> edges = WorkerEdges(w);
+  if (objective_->kind() == ObjectiveKind::kModular) {
+    double sum = 0.0;
+    for (EdgeId e : edges) sum += market_->WorkerBenefit(e);
+    return (1.0 - objective_->alpha()) * sum;
+  }
+  const double fatigue = market_->worker(w).fatigue;
+  gain_values_.clear();
+  for (EdgeId e : edges) gain_values_.push_back(market_->WorkerBenefit(e));
+  std::sort(gain_values_.begin(), gain_values_.end(), std::greater<>());
+  double utility = 0.0;
+  double weight = 1.0;
+  for (double v : gain_values_) {
+    utility += weight * v;
+    weight *= fatigue;
+  }
+  return (1.0 - objective_->alpha()) * utility;
 }
 
 bool ObjectiveState::CanAdd(EdgeId e) const {
   MBTA_CHECK(e < market_->NumEdges());
-  if (chosen_[e]) return false;
+  if (chosen_.Test(e)) return false;
   const WorkerId w = market_->EdgeWorker(e);
   const TaskId t = market_->EdgeTask(e);
   return WorkerLoad(w) < market_->worker(w).capacity &&
@@ -115,29 +244,29 @@ bool ObjectiveState::CanAdd(EdgeId e) const {
 
 double ObjectiveState::MarginalGain(EdgeId e) const {
   MBTA_CHECK(e < market_->NumEdges());
-  MBTA_CHECK(!chosen_[e]);
+  MBTA_CHECK(!chosen_.Test(e));
   const WorkerId w = market_->EdgeWorker(e);
   const TaskId t = market_->EdgeTask(e);
-
-  const double old_task = objective_->TaskBenefit(t, task_edges_[t]);
-  const double old_worker = objective_->WorkerUtility(w, worker_edges_[w]);
-
-  std::vector<EdgeId> task_plus = task_edges_[t];
-  task_plus.push_back(e);
-  std::vector<EdgeId> worker_plus = worker_edges_[w];
-  worker_plus.push_back(e);
-
-  const double gain =
-      objective_->alpha() *
-          (objective_->TaskBenefit(t, task_plus) - old_task) +
-      (1.0 - objective_->alpha()) *
-          (objective_->WorkerUtility(w, worker_plus) - old_worker);
-  return gain;
+  return EdgeGainAt(*market_, objective_->alpha(),
+                    objective_->kind() == ObjectiveKind::kModular,
+                    market_->Qualities(), market_->WorkerBenefits(),
+                    market_->EdgeTaskValues(), e, w, TaskEdges(t),
+                    WorkerEdges(w), gain_values_, gain_values_plus_);
 }
 
 void ObjectiveState::BatchMarginalGains(std::span<const EdgeId> edges,
                                         std::span<double> out,
                                         GainScratch* scratch) const {
+#if defined(MBTA_SIMD)
+  BatchMarginalGainsSimd(edges, out, scratch);
+#else
+  BatchMarginalGainsScalar(edges, out, scratch);
+#endif
+}
+
+void ObjectiveState::BatchMarginalGainsScalar(std::span<const EdgeId> edges,
+                                              std::span<double> out,
+                                              GainScratch* scratch) const {
   MBTA_CHECK(scratch != nullptr);
   MBTA_CHECK(out.size() >= edges.size());
   const std::span<const double> quality = market_->Qualities();
@@ -148,19 +277,18 @@ void ObjectiveState::BatchMarginalGains(std::span<const EdgeId> edges,
   const double alpha = objective_->alpha();
   const bool modular = objective_->kind() == ObjectiveKind::kModular;
 
-  // Every arithmetic step below mirrors the expression shape of the
-  // scalar path (TaskBenefit / WorkerUtility folds in the same operand
-  // order) so the results are bit-identical, not merely close. The
-  // batched form buys its speed from the SoA columns and the reused
-  // scratch, never from reassociating floating point.
+  // The loop body is EdgeGainAt written out by hand: keeping the batch
+  // loop monomorphic (no forwarded span arguments) is measurably faster
+  // under gcc, and the bit-identity with MarginalGain is pinned by
+  // tests/objective_kernel_test.cc rather than by shared source.
   for (std::size_t i = 0; i < edges.size(); ++i) {
     const EdgeId e = edges[i];
-    MBTA_CHECK(e < chosen_.size());
-    MBTA_CHECK(!chosen_[e]);
+    MBTA_CHECK(e < market_->NumEdges());
+    MBTA_CHECK(!chosen_.Test(e));
     const WorkerId w = edge_worker[e];
     const TaskId t = edge_task[e];
-    const std::vector<EdgeId>& t_edges = task_edges_[t];
-    const std::vector<EdgeId>& w_edges = worker_edges_[w];
+    const std::span<const EdgeId> t_edges = TaskEdges(t);
+    const std::span<const EdgeId> w_edges = WorkerEdges(w);
 
     double task_old;
     double task_plus;
@@ -217,27 +345,170 @@ void ObjectiveState::BatchMarginalGains(std::span<const EdgeId> edges,
   }
 }
 
+#if defined(MBTA_SIMD)
+void ObjectiveState::BatchMarginalGainsSimd(std::span<const EdgeId> edges,
+                                            std::span<double> out,
+                                            GainScratch* scratch) const {
+  MBTA_CHECK(scratch != nullptr);
+  MBTA_CHECK(out.size() >= edges.size());
+  const std::span<const double> quality = market_->Qualities();
+  const std::span<const double> benefit = market_->WorkerBenefits();
+  const std::span<const double> task_value = market_->EdgeTaskValues();
+  const std::span<const VertexId> edge_worker = market_->graph().EdgeLefts();
+  const std::span<const VertexId> edge_task = market_->graph().EdgeRights();
+  const double alpha = objective_->alpha();
+  const bool modular = objective_->kind() == ObjectiveKind::kModular;
+
+  // Bit-identity strategy (pinned by objective_kernel_test, documented in
+  // CONTRIBUTING.md): only *elementwise* stages — gathers, per-element
+  // products and differences — run under `#pragma omp simd`. Every
+  // reduction (the sums, the miss product, the fatigue ladder) stays a
+  // sequential fold in the scalar path's operand order, and the whole TU
+  // is built with -ffp-contract=off under MBTA_SIMD, so each lane's
+  // arithmetic is the exact IEEE operation sequence of the reference.
+  std::vector<double>& values = scratch->values;
+  std::vector<double>& values_plus = scratch->values_plus;
+  std::vector<double>& terms = scratch->terms;
+  std::vector<double>& weights = scratch->weights;
+
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const EdgeId e = edges[i];
+    MBTA_CHECK(e < market_->NumEdges());
+    MBTA_CHECK(!chosen_.Test(e));
+    const WorkerId w = edge_worker[e];
+    const TaskId t = edge_task[e];
+    const std::span<const EdgeId> t_edges = TaskEdges(t);
+    const std::span<const EdgeId> w_edges = WorkerEdges(w);
+
+    double task_old;
+    double task_plus;
+    if (modular) {
+      const std::size_t n = t_edges.size();
+      terms.resize(n);
+      const EdgeId* te = t_edges.data();
+      double* tp = terms.data();
+#pragma omp simd
+      for (std::size_t j = 0; j < n; ++j) {
+        tp[j] = task_value[te[j]] * quality[te[j]];
+      }
+      double sum = 0.0;
+      for (std::size_t j = 0; j < n; ++j) sum += tp[j];
+      task_old = sum;
+      task_plus = sum + task_value[e] * quality[e];
+    } else {
+      const std::size_t n = t_edges.size();
+      terms.resize(n);
+      const EdgeId* te = t_edges.data();
+      double* tp = terms.data();
+#pragma omp simd
+      for (std::size_t j = 0; j < n; ++j) tp[j] = 1.0 - quality[te[j]];
+      double miss = 1.0;
+      for (std::size_t j = 0; j < n; ++j) miss *= tp[j];
+      task_old = task_value[e] * (1.0 - miss);
+      task_plus = task_value[e] * (1.0 - miss * (1.0 - quality[e]));
+    }
+
+    double worker_old;
+    double worker_plus;
+    if (modular) {
+      const std::size_t m = w_edges.size();
+      terms.resize(m);
+      const EdgeId* we = w_edges.data();
+      double* tp = terms.data();
+#pragma omp simd
+      for (std::size_t j = 0; j < m; ++j) tp[j] = benefit[we[j]];
+      double sum = 0.0;
+      for (std::size_t j = 0; j < m; ++j) sum += tp[j];
+      worker_old = sum;
+      worker_plus = sum + benefit[e];
+    } else {
+      const double fatigue = market_->worker(w).fatigue;
+      const std::size_t m = w_edges.size();
+      values.resize(m);
+      const EdgeId* we = w_edges.data();
+      double* vp = values.data();
+#pragma omp simd
+      for (std::size_t j = 0; j < m; ++j) vp[j] = benefit[we[j]];
+      values_plus = values;
+      values_plus.push_back(benefit[e]);
+      std::sort(values.begin(), values.end(), std::greater<>());
+      std::sort(values_plus.begin(), values_plus.end(), std::greater<>());
+      // fatigue^k ladder: sequential by definition (each rung is the
+      // previous one's rounded product, exactly as the scalar fold
+      // computes it on the fly).
+      weights.resize(m + 1);
+      double weight = 1.0;
+      for (std::size_t j = 0; j <= m; ++j) {
+        weights[j] = weight;
+        weight *= fatigue;
+      }
+      terms.resize(m + 1);
+      double* tp = terms.data();
+      const double* wp = weights.data();
+#pragma omp simd
+      for (std::size_t j = 0; j < m; ++j) tp[j] = wp[j] * vp[j];
+      double utility = 0.0;
+      for (std::size_t j = 0; j < m; ++j) utility += tp[j];
+      worker_old = utility;
+      const double* vpp = values_plus.data();
+#pragma omp simd
+      for (std::size_t j = 0; j <= m; ++j) tp[j] = wp[j] * vpp[j];
+      utility = 0.0;
+      for (std::size_t j = 0; j <= m; ++j) utility += tp[j];
+      worker_plus = utility;
+    }
+
+    out[i] = alpha * (task_plus - task_old) +
+             (1.0 - alpha) * (worker_plus - worker_old);
+  }
+}
+#endif  // MBTA_SIMD
+
 void ObjectiveState::Add(EdgeId e) {
   MBTA_CHECK(CanAdd(e));
   const WorkerId w = market_->EdgeWorker(e);
   const TaskId t = market_->EdgeTask(e);
   const double before = TaskContribution(t) + WorkerContribution(w);
-  chosen_[e] = true;
-  task_edges_[t].push_back(e);
-  worker_edges_[w].push_back(e);
+  chosen_.Set(e);
+  task_slots_[task_offset_[t] + static_cast<std::uint32_t>(task_count_[t])] =
+      e;
+  ++task_count_[t];
+  worker_slots_[worker_offset_[w] +
+                static_cast<std::uint32_t>(worker_count_[w])] = e;
+  ++worker_count_[w];
   ++num_chosen_;
   value_ += TaskContribution(t) + WorkerContribution(w) - before;
 }
 
+namespace {
+
+/// Removes `e` from the filled prefix of a slot range, shifting the tail
+/// left — the same relative order std::erase left behind when the lists
+/// were std::vectors.
+void EraseFromSlots(std::span<EdgeId> slots, std::int32_t* count, EdgeId e) {
+  const auto n = static_cast<std::size_t>(*count);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (slots[i] == e) {
+      for (std::size_t j = i + 1; j < n; ++j) slots[j - 1] = slots[j];
+      --*count;
+      return;
+    }
+  }
+  MBTA_CHECK(false);  // the edge must be present
+}
+
+}  // namespace
+
 void ObjectiveState::Remove(EdgeId e) {
   MBTA_CHECK(e < market_->NumEdges());
-  MBTA_CHECK(chosen_[e]);
+  MBTA_CHECK(chosen_.Test(e));
   const WorkerId w = market_->EdgeWorker(e);
   const TaskId t = market_->EdgeTask(e);
   const double before = TaskContribution(t) + WorkerContribution(w);
-  chosen_[e] = false;
-  std::erase(task_edges_[t], e);
-  std::erase(worker_edges_[w], e);
+  chosen_.Clear(e);
+  EraseFromSlots(task_slots_.subspan(task_offset_[t]), &task_count_[t], e);
+  EraseFromSlots(worker_slots_.subspan(worker_offset_[w]), &worker_count_[w],
+                 e);
   --num_chosen_;
   value_ += TaskContribution(t) + WorkerContribution(w) - before;
 }
@@ -245,8 +516,9 @@ void ObjectiveState::Remove(EdgeId e) {
 Assignment ObjectiveState::ToAssignment() const {
   Assignment a;
   a.edges.reserve(num_chosen_);
-  for (EdgeId e = 0; e < chosen_.size(); ++e) {
-    if (chosen_[e]) a.edges.push_back(e);
+  for (std::size_t e = chosen_.NextSet(0); e < chosen_.size();
+       e = chosen_.NextSet(e + 1)) {
+    a.edges.push_back(static_cast<EdgeId>(e));
   }
   return a;
 }

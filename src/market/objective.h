@@ -2,11 +2,14 @@
 #define MBTA_MARKET_OBJECTIVE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "market/assignment.h"
 #include "market/labor_market.h"
+#include "util/arena.h"
+#include "util/bitset.h"
 
 namespace mbta {
 
@@ -57,10 +60,10 @@ class MutualBenefitObjective {
   double EdgeWeight(EdgeId e) const;
 
   /// Requester-side benefit of a single task given its assigned edges.
-  double TaskBenefit(TaskId t, const std::vector<EdgeId>& edges) const;
+  double TaskBenefit(TaskId t, std::span<const EdgeId> edges) const;
 
   /// Worker-side benefit of a single worker given its assigned edges.
-  double WorkerUtility(WorkerId w, const std::vector<EdgeId>& edges) const;
+  double WorkerUtility(WorkerId w, std::span<const EdgeId> edges) const;
 
  private:
   const LaborMarket* market_;
@@ -71,9 +74,20 @@ class MutualBenefitObjective {
 /// grown and locally edited. All mutators keep the running value exact
 /// (removals recompute only the touched worker/task, so there is no
 /// floating-point drift from divisions).
+///
+/// Storage layout: the chosen-edge lists live in two flat slot arrays —
+/// per worker (and per task) a fixed slot range of min(capacity, degree)
+/// entries at a prefix-sum offset, filled in insertion order — plus a
+/// dense bitset for membership. Everything is bump-allocated from an
+/// Arena: pass a solver's scratch arena to make repeated construction
+/// allocation-free after warm-up, or pass nothing to use a private
+/// owned arena. Not copyable (the storage is arena-tied).
 class ObjectiveState {
  public:
-  explicit ObjectiveState(const MutualBenefitObjective* objective);
+  explicit ObjectiveState(const MutualBenefitObjective* objective,
+                          Arena* arena = nullptr);
+  ObjectiveState(const ObjectiveState&) = delete;
+  ObjectiveState& operator=(const ObjectiveState&) = delete;
 
   const MutualBenefitObjective& objective() const { return *objective_; }
 
@@ -82,6 +96,7 @@ class ObjectiveState {
 
   /// Marginal gain of adding `e` to the current assignment. Defined for
   /// any unchosen edge (capacity is CanAdd's business). Non-negative.
+  /// Allocation-free: the fold scratch lives in this state's arena.
   double MarginalGain(EdgeId e) const;
 
   /// Reusable buffers for BatchMarginalGains. One instance per calling
@@ -90,6 +105,8 @@ class ObjectiveState {
   struct GainScratch {
     std::vector<double> values;       // worker benefits without the edge
     std::vector<double> values_plus;  // ... with the candidate appended
+    std::vector<double> terms;        // elementwise products (SIMD path)
+    std::vector<double> weights;      // fatigue^k ladder (SIMD path)
   };
 
   /// Batched twin of MarginalGain over the market's SoA attribute
@@ -98,8 +115,27 @@ class ObjectiveState {
   /// chosen); entries are independent, so concurrent callers may split
   /// `edges`/`out` into disjoint index ranges as long as each brings its
   /// own scratch. Requires out.size() >= edges.size().
+  ///
+  /// Dispatches to the explicit-SIMD variant when built with MBTA_SIMD
+  /// (see below); otherwise runs the scalar reference.
   void BatchMarginalGains(std::span<const EdgeId> edges,
                           std::span<double> out, GainScratch* scratch) const;
+
+  /// The scalar reference kernel: always available, and the bit-identity
+  /// anchor the SIMD path is pinned against in objective_kernel_test.
+  void BatchMarginalGainsScalar(std::span<const EdgeId> edges,
+                                std::span<double> out,
+                                GainScratch* scratch) const;
+
+#if defined(MBTA_SIMD)
+  /// Explicit-SIMD kernel (#pragma omp simd over elementwise stages;
+  /// reductions stay sequential, so results are std::bit_cast-identical
+  /// to the scalar reference — see CONTRIBUTING.md, "Memory &
+  /// allocation"). Only compiled under -DMBTA_SIMD=ON.
+  void BatchMarginalGainsSimd(std::span<const EdgeId> edges,
+                              std::span<double> out,
+                              GainScratch* scratch) const;
+#endif
 
   /// Adds edge `e`. Requires CanAdd(e).
   void Add(EdgeId e);
@@ -107,14 +143,20 @@ class ObjectiveState {
   /// Removes edge `e`. Requires the edge to be chosen.
   void Remove(EdgeId e);
 
-  bool Contains(EdgeId e) const { return chosen_[e]; }
+  bool Contains(EdgeId e) const { return chosen_.Test(e); }
 
   double value() const { return value_; }
-  int WorkerLoad(WorkerId w) const {
-    return static_cast<int>(worker_edges_[w].size());
+  int WorkerLoad(WorkerId w) const { return worker_count_[w]; }
+  int TaskLoad(TaskId t) const { return task_count_[t]; }
+
+  /// Chosen edges of one worker/task, in insertion order.
+  std::span<const EdgeId> WorkerEdges(WorkerId w) const {
+    return worker_slots_.subspan(worker_offset_[w],
+                                 static_cast<std::size_t>(worker_count_[w]));
   }
-  int TaskLoad(TaskId t) const {
-    return static_cast<int>(task_edges_[t].size());
+  std::span<const EdgeId> TaskEdges(TaskId t) const {
+    return task_slots_.subspan(task_offset_[t],
+                               static_cast<std::size_t>(task_count_[t]));
   }
 
   /// Snapshot of the current assignment.
@@ -129,9 +171,27 @@ class ObjectiveState {
   const MutualBenefitObjective* objective_;
   const LaborMarket* market_;
 
-  std::vector<bool> chosen_;
-  std::vector<std::vector<EdgeId>> worker_edges_;  // per worker, chosen
-  std::vector<std::vector<EdgeId>> task_edges_;    // per task, chosen
+  Arena owned_arena_;  // pages only materialize when no arena is injected
+  Arena* arena_;
+
+  DenseBitset chosen_;
+  // Flat slot storage (see class comment). offsets have N+1 entries so a
+  // slot range is [offset_[i], offset_[i+1]); count_[i] is the filled
+  // prefix of that range.
+  std::span<std::uint32_t> worker_offset_;
+  std::span<std::uint32_t> task_offset_;
+  std::span<std::int32_t> worker_count_;
+  std::span<std::int32_t> task_count_;
+  std::span<EdgeId> worker_slots_;
+  std::span<EdgeId> task_slots_;
+
+  // Scalar MarginalGain's fold scratch (mutable: MarginalGain is
+  // logically const). Never touched by BatchMarginalGains, which uses
+  // caller-owned GainScratch — so worker threads evaluating batches
+  // never race with these.
+  mutable ArenaVector<double> gain_values_;
+  mutable ArenaVector<double> gain_values_plus_;
+
   double value_ = 0.0;
   std::size_t num_chosen_ = 0;
 };

@@ -1,0 +1,103 @@
+#ifndef MBTA_UTIL_BITSET_H_
+#define MBTA_UTIL_BITSET_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/arena.h"
+#include "util/check.h"
+
+namespace mbta {
+
+/// Dense bitset over uint64 words, replacing std::vector<bool> on the
+/// solver scan paths. vector<bool>'s proxy reads cost a shift+mask per
+/// access too, but the word storage here additionally supports skipping
+/// runs of set bits 64 at a time (NextClear/NextSet), which is what the
+/// greedy dead-edge scan and the flow solver's SPFA membership test
+/// want. Storage lives either in an Arena (solver scratch) or in an
+/// owned vector (standalone use); bits start cleared in both modes.
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+
+  /// Heap-backed, all bits clear.
+  explicit DenseBitset(std::size_t num_bits) { Reset(num_bits); }
+
+  /// Arena-backed, all bits clear. The bitset is invalidated by the
+  /// arena's next Reset, like any other arena allocation.
+  DenseBitset(std::size_t num_bits, Arena* arena) { Reset(num_bits, arena); }
+
+  void Reset(std::size_t num_bits, Arena* arena = nullptr) {
+    num_bits_ = num_bits;
+    const std::size_t num_words = (num_bits + 63) / 64;
+    if (arena != nullptr) {
+      owned_.clear();
+      words_ = arena->AllocateSpan<std::uint64_t>(num_words);
+      for (std::uint64_t& w : words_) w = 0;
+    } else {
+      owned_.assign(num_words, 0);
+      words_ = owned_;
+    }
+  }
+
+  std::size_t size() const { return num_bits_; }
+
+  bool Test(std::size_t i) const {
+    MBTA_CHECK(i < num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void Set(std::size_t i) {
+    MBTA_CHECK(i < num_bits_);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  void Clear(std::size_t i) {
+    MBTA_CHECK(i < num_bits_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  /// First clear bit at index >= from, or size() when none. Skips
+  /// all-ones words whole.
+  std::size_t NextClear(std::size_t from) const {
+    if (from >= num_bits_) return num_bits_;
+    std::size_t word = from >> 6;
+    std::uint64_t bits = ~words_[word] & (~std::uint64_t{0} << (from & 63));
+    for (;;) {
+      if (bits != 0) {
+        const std::size_t i =
+            (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+        return i < num_bits_ ? i : num_bits_;
+      }
+      if (++word >= words_.size()) return num_bits_;
+      bits = ~words_[word];
+    }
+  }
+
+  /// First set bit at index >= from, or size() when none. Skips
+  /// all-zero words whole.
+  std::size_t NextSet(std::size_t from) const {
+    if (from >= num_bits_) return num_bits_;
+    std::size_t word = from >> 6;
+    std::uint64_t bits = words_[word] & (~std::uint64_t{0} << (from & 63));
+    for (;;) {
+      if (bits != 0) {
+        return (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+      }
+      if (++word >= words_.size()) return num_bits_;
+      bits = words_[word];
+    }
+  }
+
+ private:
+  std::span<std::uint64_t> words_;
+  std::vector<std::uint64_t> owned_;  // empty when arena-backed
+  std::size_t num_bits_ = 0;
+};
+
+}  // namespace mbta
+
+#endif  // MBTA_UTIL_BITSET_H_

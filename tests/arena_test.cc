@@ -1,0 +1,269 @@
+/// Tests for the deterministic bump allocator behind solver scratch
+/// (util/arena.h) and the dense bitset that rides on it (util/bitset.h):
+/// alignment guarantees, reset-reuse (the warm path must not touch the
+/// heap), geometric growth, ArenaVector/ArenaHeap semantics, and — under
+/// ASan — poisoning of reclaimed ranges.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/arena.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace mbta {
+namespace {
+
+TEST(ArenaTest, RespectsRequestedAlignment) {
+  Arena arena;
+  for (std::size_t align = 1; align <= __STDCPP_DEFAULT_NEW_ALIGNMENT__;
+       align *= 2) {
+    // Odd sizes force misaligned bump offsets for the next request.
+    void* p = arena.Allocate(3, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "align=" << align;
+  }
+}
+
+TEST(ArenaTest, TypedSpansAreAlignedAndSized) {
+  Arena arena;
+  arena.Allocate(1, 1);  // knock the bump pointer off natural alignment
+  const std::span<double> d = arena.AllocateSpan<double>(7);
+  EXPECT_EQ(d.size(), 7u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.data()) % alignof(double), 0u);
+  const std::span<std::uint32_t> u = arena.AllocateSpan<std::uint32_t>(3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(u.data()) % alignof(std::uint32_t),
+            0u);
+}
+
+TEST(ArenaTest, ZeroByteAllocationsAreDistinct) {
+  Arena arena;
+  void* a = arena.Allocate(0, 1);
+  void* b = arena.Allocate(0, 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(ArenaTest, ResetRewindsAndReusesPages) {
+  Arena arena;
+  void* first = arena.Allocate(100, 8);
+  arena.Allocate(Arena::kDefaultPageBytes, 8);  // forces a second page
+  const std::size_t pages = arena.num_pages();
+  const std::size_t reserved = arena.bytes_reserved();
+  EXPECT_GE(pages, 2u);
+
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.resets(), 1u);
+  // The warm cycle replays the same allocations without new pages — and
+  // the very first allocation lands on the very same address.
+  void* again = arena.Allocate(100, 8);
+  arena.Allocate(Arena::kDefaultPageBytes, 8);
+  EXPECT_EQ(again, first);
+  EXPECT_EQ(arena.num_pages(), pages);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(ArenaTest, PagesGrowGeometrically) {
+  Arena arena(/*min_page_bytes=*/64);
+  // 64 KiB of small allocations: with doubling pages the count stays
+  // logarithmic (64, 128, 256, ... covers 2^k * 64 total).
+  for (int i = 0; i < 1024; ++i) arena.Allocate(64, 8);
+  EXPECT_LE(arena.num_pages(), 12u);
+  EXPECT_GE(arena.bytes_reserved(), 64u * 1024u);
+}
+
+TEST(ArenaTest, OversizedRequestGetsItsOwnPage) {
+  Arena arena;
+  const std::size_t big = 3 * Arena::kDefaultPageBytes;
+  const std::span<std::byte> s = arena.AllocateSpan<std::byte>(big);
+  EXPECT_EQ(s.size(), big);
+  s[0] = std::byte{1};
+  s[big - 1] = std::byte{2};  // the whole range is addressable
+}
+
+TEST(ArenaVectorTest, PushGrowClearRoundTrip) {
+  Arena arena;
+  ArenaVector<int> v(&arena);
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(v[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(v.back(), 999);
+  v.pop_back();
+  EXPECT_EQ(v.back(), 998);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(7);  // reuses capacity
+  EXPECT_EQ(v[0], 7);
+}
+
+TEST(ArenaVectorTest, CopyAssignCopiesElements) {
+  Arena arena;
+  ArenaVector<double> a(&arena);
+  ArenaVector<double> b(&arena);
+  for (double x : {1.0, 2.0, 3.0}) a.push_back(x);
+  b.push_back(99.0);
+  b = a;
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[2], 3.0);
+  b.push_back(4.0);  // the copies are independent
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(ArenaVectorTest, WarmCyclesAreByteStable) {
+  // The solver reuse pattern: same allocation sequence after every
+  // Reset must consume the same arena bytes (determinism of the scratch
+  // footprint, which alloc/arena_bytes publishes).
+  Arena arena;
+  std::size_t bytes_first = 0;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    arena.Reset();
+    ArenaVector<std::uint32_t> v(&arena);
+    for (std::uint32_t i = 0; i < 500; ++i) v.push_back(i);
+    if (cycle == 0) {
+      bytes_first = arena.bytes_allocated();
+    } else {
+      EXPECT_EQ(arena.bytes_allocated(), bytes_first) << "cycle " << cycle;
+    }
+  }
+}
+
+TEST(ArenaHeapTest, PopOrderMatchesPriorityQueue) {
+  // The shape the greedy solvers use: a trivially-copyable entry with a
+  // key-only comparator, so equal keys are genuine ties whose resolution
+  // must match std::priority_queue exactly.
+  struct Entry {
+    int key;
+    int id;
+    bool operator<(const Entry& other) const { return key < other.key; }
+  };
+  Arena arena;
+  ArenaHeap<Entry> heap(&arena);
+  std::priority_queue<Entry> reference;
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    // Coarse keys force frequent ties.
+    const Entry item{static_cast<int>(rng.NextBounded(50)), i};
+    heap.push(item);
+    reference.push(item);
+  }
+  while (!reference.empty()) {
+    ASSERT_FALSE(heap.empty());
+    ASSERT_EQ(heap.top().key, reference.top().key);
+    ASSERT_EQ(heap.top().id, reference.top().id);
+    heap.pop();
+    reference.pop();
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(ScratchPoolTest, AcquireResetsAndCopiesStayCold) {
+  ScratchPool pool;
+  Arena* arena = pool.Acquire();
+  arena->Allocate(128, 8);
+  EXPECT_EQ(pool.arena().bytes_allocated(), 128u);
+  EXPECT_EQ(pool.Acquire(), arena);  // same arena every time
+  EXPECT_EQ(pool.arena().bytes_allocated(), 0u);  // ...freshly rewound
+
+  arena->Allocate(64, 8);
+  ScratchPool copy(pool);  // copying a solver must not share scratch
+  EXPECT_NE(copy.Acquire(), arena);
+  EXPECT_EQ(copy.arena().bytes_reserved(), 0u);
+}
+
+TEST(DenseBitsetTest, SetTestClearAndScans) {
+  DenseBitset bits(200);
+  EXPECT_EQ(bits.size(), 200u);
+  for (std::size_t i = 0; i < 200; ++i) EXPECT_FALSE(bits.Test(i));
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(199);
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  bits.Clear(63);
+  EXPECT_FALSE(bits.Test(63));
+
+  EXPECT_EQ(bits.NextSet(0), 0u);
+  EXPECT_EQ(bits.NextSet(1), 64u);
+  EXPECT_EQ(bits.NextSet(65), 199u);
+  EXPECT_EQ(bits.NextSet(200), 200u);
+  EXPECT_EQ(bits.NextClear(0), 1u);
+  bits.Set(1);
+  EXPECT_EQ(bits.NextClear(0), 2u);
+}
+
+TEST(DenseBitsetTest, NextClearClampsToSize) {
+  // 70 bits: the final word has trailing (conceptually clear) bits past
+  // the end that NextClear must not report.
+  DenseBitset bits(70);
+  for (std::size_t i = 0; i < 70; ++i) bits.Set(i);
+  EXPECT_EQ(bits.NextClear(0), 70u);
+  bits.Clear(69);
+  EXPECT_EQ(bits.NextClear(0), 69u);
+}
+
+TEST(DenseBitsetTest, IterationVisitsExactlyTheClearBits) {
+  Rng rng(11);
+  DenseBitset bits(513);
+  std::vector<bool> reference(513, false);
+  for (int i = 0; i < 300; ++i) {
+    const std::size_t idx = rng.NextBounded(513);
+    bits.Set(idx);
+    reference[idx] = true;
+  }
+  std::vector<std::size_t> via_scan;
+  for (std::size_t i = bits.NextClear(0); i < bits.size();
+       i = bits.NextClear(i + 1)) {
+    via_scan.push_back(i);
+  }
+  std::vector<std::size_t> expected;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    if (!reference[i]) expected.push_back(i);
+  }
+  EXPECT_EQ(via_scan, expected);
+}
+
+TEST(DenseBitsetTest, ArenaBackedStartsClearAfterReuse) {
+  Arena arena;
+  {
+    DenseBitset bits(128, &arena);
+    for (std::size_t i = 0; i < 128; ++i) bits.Set(i);
+  }
+  arena.Reset();
+  // The second bitset reuses the same arena bytes; it must still start
+  // all-clear.
+  DenseBitset again(128, &arena);
+  EXPECT_EQ(again.NextSet(0), 128u);
+}
+
+#ifdef MBTA_ARENA_ASAN
+TEST(ArenaAsanTest, ResetPoisonsReclaimedRanges) {
+  Arena arena;
+  const std::span<int> s = arena.AllocateSpan<int>(16);
+  s[0] = 1;  // addressable while live
+  arena.Reset();
+  EXPECT_NE(__asan_address_is_poisoned(s.data()), 0)
+      << "reclaimed arena memory should be poisoned";
+}
+
+TEST(ArenaAsanTest, VectorRegrowPoisonsTheAbandonedBlock) {
+  Arena arena;
+  ArenaVector<int> v(&arena);
+  v.push_back(1);
+  const int* old_data = v.data();
+  for (int i = 0; i < 64; ++i) v.push_back(i);  // forces regrowth
+  ASSERT_NE(v.data(), old_data);
+  EXPECT_NE(__asan_address_is_poisoned(old_data), 0)
+      << "the pre-growth block should be poisoned";
+}
+#endif  // MBTA_ARENA_ASAN
+
+}  // namespace
+}  // namespace mbta

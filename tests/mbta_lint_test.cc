@@ -1,5 +1,5 @@
 // Exercises the mbta_lint rule engine (tools/lint_engine.h) on embedded
-// snippets: every rule R1-R8 must fire on a violating snippet with the
+// snippets: every rule R1-R9 must fire on a violating snippet with the
 // right rule id and line, stay silent on a conforming one, and honor the
 // waiver syntax. A final test walks the real tree under MBTA_SOURCE_DIR
 // and asserts the repository itself is clean at head — the same gate
@@ -557,6 +557,98 @@ TEST(R8RawThreads, WaiverSilences) {
       "  // mbta-lint: thread-ok(detached watchdog, joins before return)\n"
       "  std::thread t([] {});\n"
       "  t.join();\n"
+      "}\n")));
+}
+
+// ---------------------------------------------------------------------------
+// R9 — heap allocation in solver inner loops (src/core + src/flow).
+// ---------------------------------------------------------------------------
+
+TEST(R9LoopAlloc, FiresOnContainerConstructionInForBody) {
+  const auto vs = LintAs("src/core/x.cc",
+                         "void f(int n) {\n"
+                         "  for (int i = 0; i < n; ++i) {\n"
+                         "    std::vector<int> scratch;\n"
+                         "    scratch.push_back(i);\n"
+                         "  }\n"
+                         "}\n");
+  EXPECT_TRUE(FiresOnce(vs, "R9", 3));
+}
+
+TEST(R9LoopAlloc, FiresOnNewAndMakeUniqueInWhileBody) {
+  const auto vs = LintAs("src/flow/x.cc",
+                         "void f(int n) {\n"
+                         "  while (n > 0) {\n"
+                         "    auto p = std::make_unique<int>(n);\n"
+                         "    int* raw = new int(n);\n"
+                         "    (void)p;\n"
+                         "    delete raw;\n"
+                         "    --n;\n"
+                         "  }\n"
+                         "}\n");
+  EXPECT_TRUE(FiresOnce(vs, "R9", 3));
+  EXPECT_TRUE(FiresOnce(vs, "R9", 4));
+}
+
+TEST(R9LoopAlloc, FiresInSingleStatementLoopBody) {
+  const auto vs = LintAs(
+      "src/flow/x.cc",
+      "void f(Node** slots, int n) {\n"
+      "  while (n-- > 0) slots[n] = new Node();\n"
+      "}\n");
+  EXPECT_TRUE(FiresOnce(vs, "R9", 2));
+}
+
+TEST(R9LoopAlloc, HoistedAndReusedContainersAreFine) {
+  // The sanctioned pattern: declare once, clear()/assign() per iteration.
+  EXPECT_TRUE(Clean(LintAs("src/core/x.cc",
+                           "void f(int n) {\n"
+                           "  std::vector<int> scratch;\n"
+                           "  for (int i = 0; i < n; ++i) {\n"
+                           "    scratch.clear();\n"
+                           "    scratch.push_back(i);\n"
+                           "  }\n"
+                           "}\n")));
+}
+
+TEST(R9LoopAlloc, ReferencesAndTypeMentionsAreFine) {
+  // Binding a reference or naming a pointer type is not a construction.
+  EXPECT_TRUE(Clean(LintAs(
+      "src/core/x.cc",
+      "void f(const std::vector<std::vector<int>>& rows) {\n"
+      "  for (std::size_t i = 0; i < rows.size(); ++i) {\n"
+      "    const std::vector<int>& row = rows[i];\n"
+      "    const std::string* label = nullptr;\n"
+      "    (void)row;\n"
+      "    (void)label;\n"
+      "  }\n"
+      "}\n")));
+}
+
+TEST(R9LoopAlloc, OnlyCoreAndFlowAreChecked) {
+  // The rule polices solver hot paths; market/io/gen build containers in
+  // loops as a matter of course (construction, parsing).
+  const std::string alloc_in_loop =
+      "void f(int n) {\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    std::vector<int> v;\n"
+      "    v.push_back(i);\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(Clean(LintAs("src/market/x.cc", alloc_in_loop)));
+  EXPECT_TRUE(Clean(LintAs("src/io/x.cc", alloc_in_loop)));
+  EXPECT_TRUE(Clean(LintAs("tests/x_test.cc", alloc_in_loop)));
+}
+
+TEST(R9LoopAlloc, WaiverSilences) {
+  EXPECT_TRUE(Clean(LintAs(
+      "src/core/x.cc",
+      "void f(int n) {\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    // mbta-lint: alloc-ok(cold diagnostics snapshot, once per run)\n"
+      "    std::vector<int> snapshot;\n"
+      "    (void)snapshot;\n"
+      "  }\n"
       "}\n")));
 }
 

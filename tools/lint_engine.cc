@@ -285,6 +285,9 @@ class Linter {
         RuleRawClock();
       }
       if (scope_.subsystem != "util") RuleRawThreads();
+      if (scope_.subsystem == "core" || scope_.subsystem == "flow") {
+        RuleLoopAlloc();
+      }
       if (scope_.header) RuleHeaderHygiene();
     }
     std::sort(violations_.begin(), violations_.end(),
@@ -610,6 +613,113 @@ class Linter {
                  "stays deterministic and the determinism gate in "
                  "tests/differential_test.cc keeps meaning something "
                  "(waive with // mbta-lint: thread-ok(reason))");
+    }
+  }
+
+  // R9 — heap allocation inside solver inner loops (src/core, src/flow).
+  void RuleLoopAlloc() {
+    // Token ranges of every for/while body (braced block or single
+    // statement). Nested loops produce nested ranges; membership in any
+    // range means "inside a loop body". Loop *headers* are exempt —
+    // `for (std::size_t i ...` and range-for over a container are fine.
+    std::vector<std::pair<std::size_t, std::size_t>> bodies;
+    for (std::size_t i = 0; i < Size(); ++i) {
+      if (!(IsIdent(i, "for") || IsIdent(i, "while"))) continue;
+      if (!IsPunct(i + 1, "(")) continue;
+      int depth = 0;
+      std::size_t j = i + 1;
+      for (; j < Size(); ++j) {
+        if (IsPunct(j, "(")) ++depth;
+        if (IsPunct(j, ")") && --depth == 0) break;
+      }
+      if (j + 1 >= Size()) continue;
+      const std::size_t body = j + 1;
+      if (IsPunct(body, "{")) {
+        int braces = 0;
+        std::size_t k = body;
+        for (; k < Size(); ++k) {
+          if (IsPunct(k, "{")) ++braces;
+          if (IsPunct(k, "}") && --braces == 0) break;
+        }
+        bodies.emplace_back(body + 1, k);
+      } else {
+        // Single-statement body up to its ';' (the do-while tail lands
+        // here with an empty range, which is harmless).
+        int braces = 0;
+        int parens = 0;
+        std::size_t k = body;
+        for (; k < Size(); ++k) {
+          if (IsPunct(k, "{")) ++braces;
+          if (IsPunct(k, "}")) --braces;
+          if (IsPunct(k, "(")) ++parens;
+          if (IsPunct(k, ")")) --parens;
+          if (IsPunct(k, ";") && braces == 0 && parens == 0) break;
+        }
+        bodies.emplace_back(body, k);
+      }
+    }
+    if (bodies.empty()) return;
+    const auto in_body = [&bodies](std::size_t i) {
+      for (const auto& [s, e] : bodies) {
+        if (i >= s && i < e) return true;
+      }
+      return false;
+    };
+    static const std::set<std::string> kContainers = {
+        "vector", "string", "deque", "list", "forward_list", "map",
+        "multimap", "set", "multiset", "queue", "priority_queue", "stack",
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset", "basic_string"};
+    constexpr std::string_view kRemedy =
+        ": solver inner loops must not touch the heap — use the solve's "
+        "Arena scratch (util/arena.h) or hoist the allocation out of the "
+        "loop; waive a genuinely cold path with "
+        "// mbta-lint: alloc-ok(reason)";
+    for (std::size_t i = 0; i < Size(); ++i) {
+      const Token& t = Tok(i);
+      if (t.kind != Token::Kind::kIdent || !in_body(i)) continue;
+      if (t.text == "new") {
+        // `.new`/`->new` cannot occur (keyword), so every mention is the
+        // allocating expression (or a placement form — also suspect).
+        Report(t.line, "R9", "alloc-ok",
+               "operator new in a solver inner loop" + std::string(kRemedy));
+        continue;
+      }
+      if ((t.text == "make_unique" || t.text == "make_shared") &&
+          (IsPunct(i + 1, "<") || IsPunct(i + 1, "("))) {
+        Report(t.line, "R9", "alloc-ok",
+               "std::" + t.text + " in a solver inner loop" +
+                   std::string(kRemedy));
+        continue;
+      }
+      // std::-qualified container construction / declaration:
+      // `std::vector<T> tmp`, `std::string(...)`, `std::string s`.
+      // References and type mentions followed by `&`/`*`/`>` stay silent.
+      if (kContainers.count(t.text) && i >= 2 && IsIdent(i - 2, "std") &&
+          IsPunct(i - 1, "::")) {
+        const bool constructs =
+            IsPunct(i + 1, "(") || IsPunct(i + 1, "{") ||
+            (i + 1 < Size() && Tok(i + 1).kind == Token::Kind::kIdent);
+        // A template-id is only a construction if what follows the
+        // closing '>' is a declarator or brace/paren initializer.
+        if (!constructs && IsPunct(i + 1, "<")) {
+          const std::size_t after = SkipTemplateArgs(i + 1);
+          if (after < Size() &&
+              (Tok(after).kind == Token::Kind::kIdent ||
+               IsPunct(after, "(") || IsPunct(after, "{"))) {
+            Report(t.line, "R9", "alloc-ok",
+                   "std::" + t.text +
+                       " constructed in a solver inner loop" +
+                       std::string(kRemedy));
+          }
+          continue;
+        }
+        if (constructs) {
+          Report(t.line, "R9", "alloc-ok",
+                 "std::" + t.text + " constructed in a solver inner loop" +
+                     std::string(kRemedy));
+        }
+      }
     }
   }
 

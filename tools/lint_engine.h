@@ -12,7 +12,7 @@ namespace mbta::lint {
 struct Violation {
   std::string file;
   int line = 0;
-  std::string rule;     // "R1" .. "R8"
+  std::string rule;     // "R1" .. "R9"
   std::string message;  // human-readable, names the waiver tag
 };
 
@@ -55,6 +55,14 @@ struct Violation {
 ///       fixed contiguous slicing is what makes the parallel solvers'
 ///       byte-identical-at-any-thread-count contract checkable.
 ///       Waiver: thread-ok.
+///   R9  no heap allocation in solver inner loops: `new`, std::make_unique
+///       / make_shared, and standard-container construction (vector,
+///       string, map, set, deque, queue, priority_queue, unordered_*, ...)
+///       inside for/while bodies in src/core and src/flow. Per-iteration
+///       allocation is what the arena-scratch overhaul removed from the
+///       hot paths (see CONTRIBUTING.md, "Memory & allocation"); scratch
+///       belongs in the solve's Arena or hoisted outside the loop. Cold
+///       paths waive with: alloc-ok.
 ///
 /// A waiver is a comment `// mbta-lint: <tag>(<reason>)` on the violating
 /// line or the line directly above it; the reason must be non-empty.
