@@ -138,6 +138,17 @@ bench_gate() {
   echo "check.sh: smoke counters match committed BENCH_ci.json"
 }
 
+# The full mbta_lint pass stack gated against the committed waiver
+# ledger: any violation or any waiver added/removed without regenerating
+# LINT_LEDGER.json fails the matrix (same gate CI's lint job runs;
+# clang-tidy is lint.sh's business, not repeated here).
+lint_gate() {
+  echo "=== lint gate: mbta_lint + LINT_LEDGER.json (build/) ==="
+  cmake --build build -j "${JOBS}" --target mbta_lint
+  build/tools/mbta_lint --ledger LINT_LEDGER.json src tools bench tests
+  echo "check.sh: lint clean, waiver ledger in sync"
+}
+
 # Traces are diffed as normalized event sequences (timestamps and
 # durations stripped), so two runs of the same build must produce
 # byte-identical sequences — and by the determinism contract the same
@@ -175,6 +186,7 @@ else
   run_suite build "" ""
 fi
 cli_smoke
+lint_gate
 bench_gate
 trace_gate
 # The sanitizer legs run the whole registered suite, which includes the

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# Static-analysis entry point: always runs mbta_lint (the repo's
-# determinism & safety linter, see CONTRIBUTING.md "Static analysis"),
-# and runs clang-tidy over the library .cc files when it is installed
-# (compile_commands.json is exported by the top-level CMakeLists).
+# Static-analysis entry point: runs the full mbta_lint pass stack — the
+# per-file rules R1–R9 plus the whole-program determinism-taint, lock-
+# discipline, and call-graph passes, gated against the committed waiver
+# ledger (see CONTRIBUTING.md "Static analysis") — and clang-tidy over
+# the library .cc files when it is installed (compile_commands.json is
+# exported by the top-level CMakeLists). When clang-tidy is present it
+# is mandatory: any diagnostic fails the script, same as in CI.
 #
 # Usage: scripts/lint.sh [build-dir] [jobs]
 #   build-dir  CMake build tree to (re)use (default: build)
 #   jobs       build parallelism (default: nproc)
 #
-# Exit nonzero on any mbta_lint violation or clang-tidy diagnostic.
+# Exit nonzero on any mbta_lint violation, waiver-ledger drift, or
+# clang-tidy diagnostic.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,7 +23,7 @@ cmake -B "${BUILD}" -S . >/dev/null
 cmake --build "${BUILD}" -j "${JOBS}" --target mbta_lint
 
 echo "=== mbta_lint ==="
-"${BUILD}/tools/mbta_lint" src tools bench tests
+"${BUILD}/tools/mbta_lint" --ledger LINT_LEDGER.json src tools bench tests
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "=== clang-tidy ==="

@@ -16,6 +16,7 @@ std::vector<TradeoffPoint> SweepAlpha(const LaborMarket& market,
   for (double alpha : alphas) {
     MBTA_CHECK(alpha >= 0.0 && alpha <= 1.0);
     const MbtaProblem problem{&market, {.alpha = alpha, .kind = kind}};
+    // mbta-lint: alloc-ok(one full solve per alpha sweep point; the sweep is not a solver inner loop)
     const Assignment a = solver.Solve(problem);
     const AssignmentMetrics metrics =
         Evaluate(problem.MakeObjective(), a);

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 
 #include "obs/trace.h"
 #include "util/bitset.h"
@@ -62,12 +61,20 @@ void MinCostFlow::InitPotentials(std::size_t source) {
   potential_.assign(head_.size(), kInf);
   potential_[source] = 0;
   DenseBitset in_queue(head_.size());
-  std::queue<std::size_t> q;
-  q.push(source);
+  bf_queue_.clear();
+  bf_queue_.push_back(source);
+  std::size_t bf_head = 0;
   in_queue.Set(source);
-  while (!q.empty()) {
-    const std::size_t v = q.front();
-    q.pop();
+  while (bf_head < bf_queue_.size()) {
+    // Compact the drained prefix so reinsertion-heavy instances stay at
+    // the high-water mark instead of growing without bound.
+    if (bf_head > 1024 && bf_head * 2 > bf_queue_.size()) {
+      bf_queue_.erase(bf_queue_.begin(),
+                      bf_queue_.begin() +
+                          static_cast<std::ptrdiff_t>(bf_head));
+      bf_head = 0;
+    }
+    const std::size_t v = bf_queue_[bf_head++];
     in_queue.Clear(v);
     for (std::uint32_t i = csr_off_[v]; i != csr_off_[v + 1]; ++i) {
       const Arc& a = arcs_[csr_arc_[i]];
@@ -75,7 +82,7 @@ void MinCostFlow::InitPotentials(std::size_t source) {
           potential_[v] + a.cost < potential_[a.to]) {
         potential_[a.to] = potential_[v] + a.cost;
         if (!in_queue.Test(a.to)) {
-          q.push(a.to);
+          bf_queue_.push_back(a.to);
           in_queue.Set(a.to);
         }
       }

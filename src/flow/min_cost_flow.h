@@ -118,6 +118,10 @@ class MinCostFlow {
   std::vector<std::size_t> prev_arc_;
   // Dijkstra frontier, reused across runs (drained empty by each run).
   BucketQueue queue_;
+  // Bellman–Ford (SPFA) FIFO for InitPotentials, reused across runs: a
+  // flat vector drained through a head cursor so warm runs never touch
+  // the heap once capacity has grown to the high-water mark.
+  std::vector<std::size_t> bf_queue_;
   bool has_negative_costs_ = false;
   bool solved_ = false;
   DeadlineGate* gate_ = nullptr;

@@ -105,6 +105,7 @@ class ScopedPhase {
   ScopedPhase& operator=(const ScopedPhase&) = delete;
 
  private:
+  // mbta-lint: taint-ok(phase timings are observability-only; durations never flow into solver state)
   using Clock = std::chrono::steady_clock;
   PhaseTimings* timings_;
   std::size_t parent_len_ = 0;  // stack_ length to restore on exit

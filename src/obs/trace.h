@@ -156,6 +156,7 @@ class Tracer {
     std::uint64_t dropped = 0;
   };
 
+  // mbta-lint: taint-ok(span timestamps are trace-output-only; solver state never reads them)
   using Clock = std::chrono::steady_clock;
 
   double NowUs() const {

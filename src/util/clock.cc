@@ -5,6 +5,7 @@
 namespace mbta {
 
 double SteadyClock::NowMs() const {
+  // mbta-lint: taint-ok(the injectable Clock seam itself; tests substitute FakeClock, so no solver output depends on it)
   const auto now = std::chrono::steady_clock::now().time_since_epoch();
   return std::chrono::duration<double, std::milli>(now).count();
 }

@@ -22,6 +22,7 @@ class WallTimer {
   double ElapsedSec() const { return ElapsedMs() / 1000.0; }
 
  private:
+  // mbta-lint: taint-ok(wall-clock timing feeds observability output only, never solver decisions)
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };

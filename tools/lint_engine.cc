@@ -5,272 +5,24 @@
 #include <filesystem>
 #include <map>
 #include <set>
+#include <tuple>
 #include <utility>
+
+#include "tools/lint_index.h"
 
 namespace mbta::lint {
 
 namespace {
 
 // ---------------------------------------------------------------------------
-// Lexing. A deliberately small token model: identifiers, numbers, string
-// and char literals (contents preserved for R5), and punctuation. Comments
-// are consumed but their text is kept per line so waivers can be found;
-// preprocessor directives are collected separately (guards + includes for
-// R6) and do not produce tokens.
-// ---------------------------------------------------------------------------
-
-struct Token {
-  enum class Kind { kIdent, kNumber, kString, kChar, kPunct };
-  Kind kind;
-  std::string text;
-  int line;
-};
-
-struct Waiver {
-  std::string tag;
-  bool has_reason = false;
-};
-
-struct PpDirective {
-  int line;
-  std::string text;  // full directive, continuations joined, no comments
-};
-
-struct LexResult {
-  std::vector<Token> tokens;
-  std::map<int, std::vector<Waiver>> waivers;  // by line
-  std::vector<PpDirective> directives;
-};
-
-bool IsIdentStart(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
-
-/// Parses every `mbta-lint: tag(reason)` occurrence inside a comment.
-void ParseWaivers(std::string_view comment, int line, LexResult* out) {
-  static constexpr std::string_view kMarker = "mbta-lint:";
-  std::size_t pos = 0;
-  while ((pos = comment.find(kMarker, pos)) != std::string_view::npos) {
-    pos += kMarker.size();
-    while (pos < comment.size() && comment[pos] == ' ') ++pos;
-    std::size_t tag_end = pos;
-    while (tag_end < comment.size() &&
-           (std::isalnum(static_cast<unsigned char>(comment[tag_end])) ||
-            comment[tag_end] == '-')) {
-      ++tag_end;
-    }
-    if (tag_end == pos) continue;
-    Waiver w;
-    w.tag = std::string(comment.substr(pos, tag_end - pos));
-    if (tag_end < comment.size() && comment[tag_end] == '(') {
-      const std::size_t close = comment.find(')', tag_end);
-      if (close != std::string_view::npos && close > tag_end + 1) {
-        w.has_reason = true;
-      }
-    }
-    out->waivers[line].push_back(std::move(w));
-    pos = tag_end;
-  }
-}
-
-LexResult Lex(std::string_view src) {
-  LexResult out;
-  std::size_t i = 0;
-  int line = 1;
-  const std::size_t n = src.size();
-
-  auto push = [&out](Token::Kind kind, std::string text, int at) {
-    out.tokens.push_back(Token{kind, std::move(text), at});
-  };
-
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
-      ++i;
-      continue;
-    }
-    // Line comment.
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      const std::size_t end = src.find('\n', i);
-      const std::size_t stop = end == std::string_view::npos ? n : end;
-      ParseWaivers(src.substr(i + 2, stop - i - 2), line, &out);
-      i = stop;
-      continue;
-    }
-    // Block comment (may span lines; waivers attach to the line each
-    // fragment sits on).
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      std::size_t j = i + 2;
-      std::size_t frag = j;
-      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
-        if (src[j] == '\n') {
-          ParseWaivers(src.substr(frag, j - frag), line, &out);
-          ++line;
-          frag = j + 1;
-        }
-        ++j;
-      }
-      ParseWaivers(src.substr(frag, std::min(j, n) - frag), line, &out);
-      i = j + 1 < n ? j + 2 : n;
-      continue;
-    }
-    // Preprocessor directive (only at start of line, but a simple
-    // "previous non-blank was a newline" test is enough for this repo).
-    if (c == '#') {
-      bool at_line_start = true;
-      for (std::size_t k = i; k-- > 0;) {
-        if (src[k] == '\n') break;
-        if (src[k] != ' ' && src[k] != '\t') {
-          at_line_start = false;
-          break;
-        }
-      }
-      if (at_line_start) {
-        const int start_line = line;
-        std::string text;
-        while (i < n) {
-          const std::size_t end = src.find('\n', i);
-          const std::size_t stop = end == std::string_view::npos ? n : end;
-          std::string_view piece = src.substr(i, stop - i);
-          // Strip a trailing line comment from the directive text.
-          if (const std::size_t cpos = piece.find("//");
-              cpos != std::string_view::npos) {
-            ParseWaivers(piece.substr(cpos + 2), line, &out);
-            piece = piece.substr(0, cpos);
-          }
-          const bool continued =
-              !piece.empty() && piece.back() == '\\';
-          if (continued) piece.remove_suffix(1);
-          text.append(piece);
-          i = stop;
-          if (stop < n) {
-            ++line;
-            ++i;
-          }
-          if (!continued) break;
-          text.push_back(' ');
-        }
-        out.directives.push_back(PpDirective{start_line, std::move(text)});
-        continue;
-      }
-    }
-    // Raw string literal.
-    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-      std::size_t j = i + 2;
-      std::string delim;
-      while (j < n && src[j] != '(') delim += src[j++];
-      const std::string close = ")" + delim + "\"";
-      const std::size_t end = src.find(close, j);
-      const std::size_t stop =
-          end == std::string_view::npos ? n : end + close.size();
-      const int at = line;
-      std::string body(src.substr(std::min(j + 1, n),
-                                  end == std::string_view::npos
-                                      ? 0
-                                      : end - j - 1));
-      line += static_cast<int>(
-          std::count(src.begin() + static_cast<std::ptrdiff_t>(i),
-                     src.begin() + static_cast<std::ptrdiff_t>(stop), '\n'));
-      push(Token::Kind::kString, std::move(body), at);
-      i = stop;
-      continue;
-    }
-    // String / char literal.
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      std::string body;
-      std::size_t j = i + 1;
-      while (j < n && src[j] != quote) {
-        if (src[j] == '\\' && j + 1 < n) {
-          body += src[j];
-          body += src[j + 1];
-          j += 2;
-          continue;
-        }
-        if (src[j] == '\n') break;  // unterminated; bail at EOL
-        body += src[j];
-        ++j;
-      }
-      push(quote == '"' ? Token::Kind::kString : Token::Kind::kChar,
-           std::move(body), line);
-      i = j < n ? j + 1 : n;
-      continue;
-    }
-    // Identifier.
-    if (IsIdentStart(c)) {
-      std::size_t j = i + 1;
-      while (j < n && IsIdentChar(src[j])) ++j;
-      push(Token::Kind::kIdent, std::string(src.substr(i, j - i)), line);
-      i = j;
-      continue;
-    }
-    // Number (including 1.5e-3, suffixes; '.' leading handled below).
-    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(src[i + 1]))) {
-      std::size_t j = i;
-      bool seen_exp = false;
-      while (j < n) {
-        const char d = src[j];
-        if (IsIdentChar(d) || d == '.') {
-          if ((d == 'e' || d == 'E') && j + 1 < n &&
-              (src[j + 1] == '+' || src[j + 1] == '-')) {
-            seen_exp = true;
-            j += 2;
-            continue;
-          }
-          ++j;
-          continue;
-        }
-        break;
-      }
-      (void)seen_exp;
-      push(Token::Kind::kNumber, std::string(src.substr(i, j - i)), line);
-      i = j;
-      continue;
-    }
-    // Multi-char operators the rules care about; everything else is a
-    // single punctuation char (so >> closing templates stays two '>').
-    if (i + 1 < n) {
-      const std::string_view two = src.substr(i, 2);
-      if (two == "==" || two == "!=" || two == "::" || two == "->") {
-        push(Token::Kind::kPunct, std::string(two), line);
-        i += 2;
-        continue;
-      }
-    }
-    push(Token::Kind::kPunct, std::string(1, c), line);
-    ++i;
-  }
-  return out;
-}
-
-bool IsFloatLiteral(const Token& t) {
-  if (t.kind != Token::Kind::kNumber) return false;
-  if (t.text.size() > 1 && (t.text[1] == 'x' || t.text[1] == 'X')) {
-    return t.text.find('p') != std::string::npos ||
-           t.text.find('P') != std::string::npos;
-  }
-  return t.text.find('.') != std::string::npos ||
-         t.text.find('e') != std::string::npos ||
-         t.text.find('E') != std::string::npos;
-}
-
-// ---------------------------------------------------------------------------
-// The rule engine proper.
+// The per-file rule engine. Lexing lives in tools/lint_index.{h,cc} — the
+// same token stream feeds both these rules and the whole-program passes.
 // ---------------------------------------------------------------------------
 
 class Linter {
  public:
-  Linter(std::string_view path, std::string_view content)
-      : path_(path), scope_(ClassifyPath(path)), lex_(Lex(content)) {}
+  Linter(std::string_view path, const LexResult& lex, WaiverUseSet* used)
+      : path_(path), scope_(ClassifyPath(path)), lex_(lex), used_(used) {}
 
   std::vector<Violation> Run() {
     if (scope_.library) {
@@ -299,12 +51,15 @@ class Linter {
   }
 
  private:
-  bool Waived(int line, std::string_view tag) const {
+  bool Waived(int line, std::string_view tag) {
     for (const int l : {line, line - 1}) {
       const auto it = lex_.waivers.find(l);
       if (it == lex_.waivers.end()) continue;
       for (const Waiver& w : it->second) {
-        if (w.tag == tag && w.has_reason) return true;
+        if (w.tag == tag && w.has_reason) {
+          if (used_ != nullptr) used_->emplace(l, w.tag);
+          return true;
+        }
       }
     }
     return false;
@@ -449,8 +204,8 @@ class Linter {
     for (std::size_t i = 0; i < Size(); ++i) {
       if (Tok(i).kind != Token::Kind::kPunct) continue;
       if (Tok(i).text != "==" && Tok(i).text != "!=") continue;
-      const bool lhs = i > 0 && IsFloatLiteral(Tok(i - 1));
-      const bool rhs = i + 1 < Size() && IsFloatLiteral(Tok(i + 1));
+      const bool lhs = i > 0 && IsFloatLiteralToken(Tok(i - 1));
+      const bool rhs = i + 1 < Size() && IsFloatLiteralToken(Tok(i + 1));
       if (lhs || rhs) {
         Report(Tok(i).line, "R3", "float-eq-ok",
                "floating-point " + Tok(i).text +
@@ -755,51 +510,6 @@ class Linter {
     }
 
     // Curated IWYU: std name -> acceptable providing headers.
-    static const std::map<std::string, std::vector<std::string>> kProviders =
-        {
-            {"vector", {"vector"}},
-            {"string", {"string"}},
-            {"to_string", {"string"}},
-            {"string_view", {"string_view"}},
-            {"map", {"map"}},
-            {"multimap", {"map"}},
-            {"set", {"set"}},
-            {"multiset", {"set"}},
-            {"unordered_map", {"unordered_map"}},
-            {"unordered_set", {"unordered_set"}},
-            {"optional", {"optional"}},
-            {"nullopt", {"optional"}},
-            {"span", {"span"}},
-            {"unique_ptr", {"memory"}},
-            {"shared_ptr", {"memory"}},
-            {"weak_ptr", {"memory"}},
-            {"make_unique", {"memory"}},
-            {"make_shared", {"memory"}},
-            {"function", {"functional"}},
-            {"pair", {"utility"}},
-            {"make_pair", {"utility"}},
-            {"tuple", {"tuple"}},
-            {"array", {"array"}},
-            {"mt19937", {"random"}},
-            {"mt19937_64", {"random"}},
-            {"thread", {"thread"}},
-            {"mutex", {"mutex"}},
-            {"lock_guard", {"mutex"}},
-            {"scoped_lock", {"mutex"}},
-            {"unique_lock", {"mutex"}},
-            {"atomic", {"atomic"}},
-            {"numeric_limits", {"limits"}},
-            {"size_t", {"cstddef", "cstdio", "cstdlib", "cstring"}},
-            {"ptrdiff_t", {"cstddef"}},
-            {"int8_t", {"cstdint"}},
-            {"int16_t", {"cstdint"}},
-            {"int32_t", {"cstdint"}},
-            {"int64_t", {"cstdint"}},
-            {"uint8_t", {"cstdint"}},
-            {"uint16_t", {"cstdint"}},
-            {"uint32_t", {"cstdint"}},
-            {"uint64_t", {"cstdint"}},
-        };
     std::set<std::string> included;
     for (const PpDirective& d : lex_.directives) {
       const std::size_t inc = d.text.find("include");
@@ -814,8 +524,9 @@ class Linter {
       if (!IsIdent(i, "std") || !IsPunct(i + 1, "::")) continue;
       const Token& name = Tok(i + 2);
       if (name.kind != Token::Kind::kIdent) continue;
-      const auto it = kProviders.find(name.text);
-      if (it == kProviders.end()) continue;
+      const auto& providers = StdIncludeProviders();
+      const auto it = providers.find(name.text);
+      if (it == providers.end()) continue;
       bool satisfied = false;
       for (const std::string& h : it->second) {
         if (included.count(h)) {
@@ -833,46 +544,71 @@ class Linter {
 
   std::string_view path_;
   FileScope scope_;
-  LexResult lex_;
+  const LexResult& lex_;
+  WaiverUseSet* used_;
   std::vector<Violation> violations_;
 };
 
 }  // namespace
 
-FileScope ClassifyPath(std::string_view path) {
-  FileScope scope;
-  scope.header = path.size() >= 2 && path.substr(path.size() - 2) == ".h";
-  std::vector<std::string> parts;
-  std::string cur;
-  for (const char c : path) {
-    if (c == '/' || c == '\\') {
-      if (!cur.empty()) parts.push_back(std::move(cur));
-      cur.clear();
-    } else {
-      cur += c;
-    }
-  }
-  if (!cur.empty()) parts.push_back(std::move(cur));
-  for (std::size_t i = 0; i < parts.size(); ++i) {
-    if (parts[i] == "src") {
-      scope.library = true;
-      if (i + 1 < parts.size() &&
-          parts[i + 1].find('.') == std::string::npos) {
-        scope.subsystem = parts[i + 1];
-      }
-      break;
-    }
-    if (parts[i] == "tools" || parts[i] == "bench" || parts[i] == "tests" ||
-        parts[i] == "examples") {
-      break;
-    }
-  }
-  return scope;
+const std::map<std::string, std::vector<std::string>>&
+StdIncludeProviders() {
+  static const std::map<std::string, std::vector<std::string>> kProviders = {
+      {"vector", {"vector"}},
+      {"string", {"string"}},
+      {"to_string", {"string"}},
+      {"string_view", {"string_view"}},
+      {"map", {"map"}},
+      {"multimap", {"map"}},
+      {"set", {"set"}},
+      {"multiset", {"set"}},
+      {"unordered_map", {"unordered_map"}},
+      {"unordered_set", {"unordered_set"}},
+      {"optional", {"optional"}},
+      {"nullopt", {"optional"}},
+      {"span", {"span"}},
+      {"unique_ptr", {"memory"}},
+      {"shared_ptr", {"memory"}},
+      {"weak_ptr", {"memory"}},
+      {"make_unique", {"memory"}},
+      {"make_shared", {"memory"}},
+      {"function", {"functional"}},
+      {"pair", {"utility"}},
+      {"make_pair", {"utility"}},
+      {"tuple", {"tuple"}},
+      {"array", {"array"}},
+      {"mt19937", {"random"}},
+      {"mt19937_64", {"random"}},
+      {"thread", {"thread"}},
+      {"mutex", {"mutex"}},
+      {"lock_guard", {"mutex"}},
+      {"scoped_lock", {"mutex"}},
+      {"unique_lock", {"mutex"}},
+      {"atomic", {"atomic"}},
+      {"numeric_limits", {"limits"}},
+      {"size_t", {"cstddef", "cstdio", "cstdlib", "cstring"}},
+      {"ptrdiff_t", {"cstddef"}},
+      {"int8_t", {"cstdint"}},
+      {"int16_t", {"cstdint"}},
+      {"int32_t", {"cstdint"}},
+      {"int64_t", {"cstdint"}},
+      {"uint8_t", {"cstdint"}},
+      {"uint16_t", {"cstdint"}},
+      {"uint32_t", {"cstdint"}},
+      {"uint64_t", {"cstdint"}},
+  };
+  return kProviders;
 }
 
 std::vector<Violation> LintFile(std::string_view path,
                                 std::string_view content) {
-  return Linter(path, content).Run();
+  const LexResult lex = Lex(content);
+  return LintLexed(path, lex, nullptr);
+}
+
+std::vector<Violation> LintLexed(std::string_view path, const LexResult& lex,
+                                 WaiverUseSet* used) {
+  return Linter(path, lex, used).Run();
 }
 
 bool IsValidCounterKey(std::string_view key) {

@@ -1,9 +1,14 @@
 #ifndef MBTA_TOOLS_LINT_ENGINE_H_
 #define MBTA_TOOLS_LINT_ENGINE_H_
 
+#include <map>
+#include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "tools/lint_index.h"
 
 namespace mbta::lint {
 
@@ -12,7 +17,7 @@ namespace mbta::lint {
 struct Violation {
   std::string file;
   int line = 0;
-  std::string rule;     // "R1" .. "R9"
+  std::string rule;     // "R1" .. "R12"
   std::string message;  // human-readable, names the waiver tag
 };
 
@@ -58,30 +63,59 @@ struct Violation {
 ///   R9  no heap allocation in solver inner loops: `new`, std::make_unique
 ///       / make_shared, and standard-container construction (vector,
 ///       string, map, set, deque, queue, priority_queue, unordered_*, ...)
-///       inside for/while bodies in src/core and src/flow. Per-iteration
-///       allocation is what the arena-scratch overhaul removed from the
-///       hot paths (see CONTRIBUTING.md, "Memory & allocation"); scratch
-///       belongs in the solve's Arena or hoisted outside the loop. Cold
-///       paths waive with: alloc-ok.
+///       inside for/while bodies in src/core and src/flow. The
+///       whole-program pass extends this through the call graph: a call
+///       site inside such a loop whose callee (transitively) allocates is
+///       flagged too, with the chain printed. Per-iteration allocation is
+///       what the arena-scratch overhaul removed from the hot paths (see
+///       CONTRIBUTING.md, "Memory & allocation"); scratch belongs in the
+///       solve's Arena or hoisted outside the loop. Cold paths waive
+///       with: alloc-ok.
+///
+/// Whole-program rules (tools/lint_passes.h, over the repo index):
+///
+///   R10 determinism taint: no call path from a solver entry point (any
+///       function defined in src/core or src/flow) to a nondeterminism
+///       sink — everything R2/R7 ban, plus iteration over a waived
+///       unordered container. The finding prints the complete chain.
+///       Waiver: taint-ok on the sink line (neutralizes the sink) or on
+///       an intermediate frame's definition line (barrier: paths through
+///       that function are trusted).
+///   R11 lock discipline, cross-TU: a field declared MBTA_GUARDED_BY(mu)
+///       must only be written in functions that hold `mu` (MutexLock /
+///       MBTA_OBS_LOCK / std::*_lock / .Lock() earlier in the body),
+///       declare MBTA_REQUIRES(mu), or are ctors/dtors/NO_TSA; REQUIRES
+///       contracts must hold at precisely-resolved call sites; and two
+///       mutexes of the same class must be acquired in one global order
+///       across all TUs. Waiver: lock-ok.
+///   R12 waiver hygiene: every `// mbta-lint:` comment in library code
+///       must carry a known tag, a non-empty reason, and actually
+///       suppress a finding — an unused waiver is itself an error, so
+///       suppressions can only shrink without review. No waiver (fix the
+///       comment or delete it).
 ///
 /// A waiver is a comment `// mbta-lint: <tag>(<reason>)` on the violating
 /// line or the line directly above it; the reason must be non-empty.
 
-/// How a path is scoped for rule selection. Derived from the first
-/// recognized component: src/<subsystem>/... is library code; tools/,
-/// bench/, tests/, examples/ are exempt from the library-only rules.
-struct FileScope {
-  bool library = false;      // under src/
-  bool header = false;       // ends in .h
-  std::string subsystem;     // "core", "flow", ... ("" outside src/)
-};
-
-FileScope ClassifyPath(std::string_view path);
+/// (line, tag) pairs of waivers that actually suppressed a finding.
+/// Filled by the engine and the whole-program passes; the unused-waiver
+/// rule (R12) reports every parsed waiver not in this set.
+using WaiverUseSet = std::set<std::pair<int, std::string>>;
 
 /// Lints one file's contents. `path` is used for scoping and reporting
 /// only; no filesystem access happens here, so tests can feed snippets.
 std::vector<Violation> LintFile(std::string_view path,
                                 std::string_view content);
+
+/// As above, but runs over an already-lexed file and records which
+/// waivers fired into `used` (may be nullptr). This is the entry point
+/// AnalyzeRepo uses so each file is lexed exactly once.
+std::vector<Violation> LintLexed(std::string_view path, const LexResult& lex,
+                                 WaiverUseSet* used);
+
+/// The curated IWYU table R6 checks against: std name -> acceptable
+/// providing headers (the first entry is canonical; --fix inserts it).
+const std::map<std::string, std::vector<std::string>>& StdIncludeProviders();
 
 /// True iff `key` matches the observability slash-path grammar
 /// `[a-z0-9_]+(/[a-z0-9_]+)*` (CONTRIBUTING.md, "Observability").
