@@ -17,6 +17,7 @@
 /// the two traces are sequence-identical with `mbta_trace --diff`.
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -35,7 +36,11 @@
 #include "core/threshold_solver.h"
 #include "obs/histogram.h"
 #include "obs/trace.h"
+#include "service/market_service.h"
+#include "service/state.h"
+#include "util/clock.h"
 #include "util/mem.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -74,6 +79,74 @@ std::vector<std::unique_ptr<Solver>> SmokeSolvers(const LaborMarket& market) {
   solvers.push_back(std::make_unique<BudgetedGreedySolver>(
       ProportionalBudgets(market, 0.5)));
   return solvers;
+}
+
+/// One operation of the resident-service churn stream: an epoch barrier
+/// or a delta for the admission queue.
+struct ServiceOp {
+  bool run_epoch = false;
+  Delta delta;
+};
+
+/// Seeded churn stream for the resident-service row: arrivals on both
+/// sides, occasional departures, attribute patches, and an epoch barrier
+/// roughly every eight deltas. Sized so the market settles around a
+/// couple hundred live entities — enough that per-epoch rebuild+repair
+/// dominates the row, small enough for best-of-3 in CI.
+std::vector<ServiceOp> ServiceChurnStream(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ServiceOp> ops;
+  std::vector<std::uint64_t> workers;
+  std::vector<std::uint64_t> tasks;
+  std::uint64_t next_worker = 1;
+  std::uint64_t next_task = 1u << 20;
+  constexpr int kOps = 600;
+  for (int i = 0; i < kOps; ++i) {
+    ServiceOp op;
+    if (rng.NextDouble() < 0.125 && i > 0) {
+      op.run_epoch = true;
+      ops.push_back(op);
+      continue;
+    }
+    Delta& d = op.delta;
+    const double kind = rng.NextDouble();
+    if (kind < 0.38 || (workers.empty() && tasks.empty())) {
+      d.kind = DeltaKind::kAddWorker;
+      d.id = next_worker++;
+      d.worker.capacity = 1 + static_cast<int>(rng.NextBounded(3));
+      d.worker.unit_cost = rng.NextDouble(0.0, 0.5);
+      d.worker.reliability = rng.NextDouble(0.5, 1.0);
+      workers.push_back(d.id);
+    } else if (kind < 0.76 || tasks.empty()) {
+      d.kind = DeltaKind::kAddTask;
+      d.id = next_task++;
+      d.task.capacity = 1 + static_cast<int>(rng.NextBounded(2));
+      d.task.payment = rng.NextDouble(0.3, 2.0);
+      d.task.value = rng.NextDouble(0.5, 3.0);
+      d.task.difficulty = rng.NextDouble(0.0, 0.6);
+      tasks.push_back(d.id);
+    } else if (kind < 0.82 && !workers.empty()) {
+      const std::size_t at = rng.NextBounded(workers.size());
+      d.kind = DeltaKind::kRemoveWorker;
+      d.id = workers[at];
+      workers.erase(workers.begin() + static_cast<std::ptrdiff_t>(at));
+    } else if (kind < 0.88 && !tasks.empty()) {
+      const std::size_t at = rng.NextBounded(tasks.size());
+      d.kind = DeltaKind::kRemoveTask;
+      d.id = tasks[at];
+      tasks.erase(tasks.begin() + static_cast<std::ptrdiff_t>(at));
+    } else if (kind < 0.95 || workers.empty()) {
+      d.kind = DeltaKind::kTaskPayment;
+      d.id = tasks[rng.NextBounded(tasks.size())];
+      d.amount = rng.NextDouble(0.2, 2.5);
+    } else {
+      d.kind = DeltaKind::kWorkerCapacity;
+      d.id = workers[rng.NextBounded(workers.size())];
+      d.capacity = 1 + static_cast<int>(rng.NextBounded(4));
+    }
+    ops.push_back(op);
+  }
+  return ops;
 }
 
 /// Runs `solver` once without instrumentation and `repeats` times with
@@ -136,7 +209,8 @@ int main(int argc, char** argv) {
       "per (workload, solver): determinism check + best-of-3 wall time, "
       "counters and phase timings; diff two runs with bench_compare",
       "mturk 300 / uniform 250x250 / upwork 300 submodular + mturk 300 "
-      "modular + uniform 350x350 parallel sweep, alpha=0.5, seed 42");
+      "modular + uniform 350x350 parallel sweep + resident-service churn "
+      "stream, alpha=0.5, seed 42");
   bench::JsonLog json(argc, argv, "smoke",
                       "pinned small workloads, alpha=0.5, seed 42");
 
@@ -231,6 +305,80 @@ int main(int argc, char** argv) {
         report(par, run, threads);
       }
     }
+  }
+
+  // Resident-service row: a seeded churn stream driven through an
+  // in-memory MarketService (no WAL — disk latency is jitter the perf
+  // gate must not see), putting epoch throughput and the service/*
+  // counter family into the committed baseline. The repeats double as an
+  // end-to-end determinism gate mirroring the recovery contract: every
+  // repeat must serialize to the byte-identical final ServiceState.
+  {
+    const std::vector<ServiceOp> ops = ServiceChurnStream(42);
+    bench::SolverRun run;
+    run.solver = "market-service";
+    Histogram epoch_ms(LatencyBoundariesMs());
+    const SteadyClock& clock = SteadyClock::Instance();
+    std::string reference_state;
+    for (int i = 0; i < kRepeats && ok; ++i) {
+      ServiceConfig config;
+      config.epoch_batch = 32;
+      config.queue_capacity = 4096;
+      MarketService service(std::move(config));
+      if (i == 0) service.stats().phases.set_tracer(tracer);
+      std::string error;
+      bool repeat_ok = service.Start(&error);
+      const double stream_start = clock.NowMs();
+      for (const ServiceOp& op : ops) {
+        if (!repeat_ok) break;
+        if (op.run_epoch) {
+          const double epoch_start = clock.NowMs();
+          repeat_ok = service.RunEpoch(&error);
+          epoch_ms.Record(clock.NowMs() - epoch_start);
+        } else {
+          // The queue is sized past the stream, so anything but
+          // admission means the stream generator and the service
+          // disagree — a finding, not noise.
+          repeat_ok =
+              service.Submit(op.delta, &error) == SubmitResult::kAdmitted;
+        }
+      }
+      while (repeat_ok && !service.state().pending.empty()) {
+        const double epoch_start = clock.NowMs();
+        repeat_ok = service.RunEpoch(&error);
+        epoch_ms.Record(clock.NowMs() - epoch_start);
+      }
+      const double total_ms = clock.NowMs() - stream_start;
+      if (!repeat_ok) {
+        std::fprintf(stderr, "FAIL: market-service repeat %d: %s\n", i,
+                     error.c_str());
+        ok = false;
+        break;
+      }
+      const std::string state = SerializeServiceState(service.state());
+      if (i == 0) {
+        reference_state = state;
+        run.info = service.stats();
+        run.info.phases.set_tracer(nullptr);
+        run.info.wall_ms = total_ms;
+        run.metrics.mutual_benefit = service.objective_value();
+        run.metrics.num_assignments = service.state().pairs.size();
+      } else {
+        run.info.wall_ms = std::min(run.info.wall_ms, total_ms);
+        if (state != reference_state) {
+          std::fprintf(stderr,
+                       "FAIL: market-service repeat %d serialized to a "
+                       "different final state than repeat 0\n",
+                       i);
+          ok = false;
+        }
+      }
+    }
+    run.info.histograms.Add("latency/epoch_ms", epoch_ms);
+    run.info.counters.SetGauge("mem/peak_rss_kb",
+                               static_cast<double>(PeakRssKb()));
+    const Workload churn{"service-churn-600", LaborMarket{}, {}};
+    report(churn, run);
   }
 
   std::printf("%s\n", table.ToString().c_str());

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full correctness matrix: the tier-1 suite under the plain build, then
 # under ASan and UBSan instrumentation (-DMBTA_SANITIZE presets), then
-# the obs tests AND the robustness suite (deadline / fault-injection /
-# fallback / cancellation, `ctest -L robustness`) under TSan with the
+# the obs tests AND the robustness + service suites (deadline /
+# fault-injection / fallback / cancellation plus WAL / snapshot / crash
+# recovery, `ctest -L 'robustness|service'`) under TSan with the
 # thread-safe registries (-DMBTA_SANITIZE=thread -DMBTA_OBS_THREADSAFE=ON).
 # The TSan leg is what exercises cancellation from a second thread with
 # both threads writing shared counters, plus the parallel solve path:
@@ -15,8 +16,9 @@
 # across thread counts (mbta_trace --diff).
 #
 # Usage: scripts/check.sh [--fast] [--skip-unsupported] [jobs]
-#   --fast               plain build runs only `ctest -L 'unit|robustness'`
-#                        (skips the differential harness); sanitizer
+#   --fast               plain build runs only `ctest -L
+#                        'unit|robustness|service'` (skips the
+#                        differential harness); sanitizer
 #                        builds always run everything.
 #   --skip-unsupported   downgrade "this compiler cannot build sanitizer
 #                        X" from an error to a warning and skip that leg.
@@ -115,7 +117,33 @@ cli_smoke() {
   # The degraded run must still have produced a loadable assignment.
   expect_exit 0 "${cli}" evaluate --market "${tmp}/m.market" \
       --assignment "${tmp}/d.assignment"
-  echo "check.sh: mbta_cli exit codes 0/1/2/3 verified"
+
+  # The serve/replay pair follows the same taxonomy. A scripted serve
+  # writes a WAL; replaying that WAL must recover (0) and do so
+  # deterministically (two --dump-state replays are byte-identical); a
+  # WAL with a foreign magic is bad input (2); a zero work budget runs
+  # the epochs best-effort and reports degraded (3).
+  {
+    printf 'add-worker 1 2 0.1 1.0 0.9\n'
+    printf 'add-worker 2 1 0.2 1.0 0.8\n'
+    printf 'add-task 100 1 1.5 2.0 0.2 0\n'
+    printf 'add-task 101 2 1.0 1.0 0.1 0\n'
+    printf 'epoch\n'
+    printf 'task-payment 100 2.5\n'
+    printf 'rm-worker 2\n'
+    printf 'epoch\n'
+  } > "${tmp}/serve.script"
+  expect_exit 0 "${cli}" serve --script "${tmp}/serve.script" \
+      --wal "${tmp}/serve.wal" --snapshot-every 1
+  expect_exit 0 "${cli}" replay --wal "${tmp}/serve.wal"
+  "${cli}" replay --wal "${tmp}/serve.wal" --dump-state > "${tmp}/r1.txt"
+  "${cli}" replay --wal "${tmp}/serve.wal" --dump-state > "${tmp}/r2.txt"
+  diff "${tmp}/r1.txt" "${tmp}/r2.txt"
+  printf 'NOTAWAL!' > "${tmp}/foreign.wal"
+  expect_exit 2 "${cli}" replay --wal "${tmp}/foreign.wal"
+  expect_exit 3 "${cli}" serve --script "${tmp}/serve.script" \
+      --work-budget 0
+  echo "check.sh: mbta_cli exit codes 0/1/2/3 verified (solve + serve)"
 }
 
 # Diffs a fresh smoke-suite run against the committed BENCH_ci.json
@@ -181,7 +209,7 @@ trace_gate() {
 }
 
 if [ "${FAST}" = "1" ]; then
-  run_suite build "" "-L unit|robustness"
+  run_suite build "" "-L unit|robustness|service"
 else
   run_suite build "" ""
 fi
@@ -190,8 +218,9 @@ lint_gate
 bench_gate
 trace_gate
 # The sanitizer legs run the whole registered suite, which includes the
-# `robustness` label — so the deadline/fault-injection/fallback tests get
-# an ASan and UBSan pass here, not just the plain build above.
+# `robustness` and `service` labels — so the deadline/fault-injection/
+# fallback tests and the WAL/snapshot/crash-recovery suite get an ASan
+# and UBSan pass here, not just the plain build above.
 if require_sanitizer address; then
   run_suite build-asan address ""
 fi
@@ -216,7 +245,10 @@ if require_sanitizer thread; then
                  histogram_test trace_test \
                  deadline_test fault_injection_test fallback_solver_test \
                  cancellation_test thread_pool_test hopcroft_karp_test \
-                 differential_test
+                 differential_test \
+                 wal_test snapshot_test market_service_test \
+                 service_recovery_test wal_fuzz_test \
+                 service_differential_test
   build-tsan/tests/obs_threads_test
   build-tsan/tests/obs_test
   build-tsan/tests/json_writer_test
@@ -234,7 +266,12 @@ if require_sanitizer thread; then
   build-tsan/tests/hopcroft_karp_test
   build-tsan/tests/differential_test \
       --gtest_filter='*ParallelDeterminismTest*/1?'
-  (cd build-tsan && ctest --output-on-failure -j "${JOBS}" -L robustness)
+  # The service suite rides along: single-threaded today, but the WAL /
+  # snapshot / crash-recovery paths share the obs registries with the
+  # instrumented solvers, so running them against the lockable registries
+  # keeps the durability path honest as parallel epochs arrive.
+  (cd build-tsan && ctest --output-on-failure -j "${JOBS}" \
+      -L 'robustness|service')
 fi
 
 echo "check.sh: all requested suites green"

@@ -1,0 +1,455 @@
+#include "service/delta.h"
+
+#include <cmath>
+#include <cstring>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <sstream>
+#include <string_view>
+
+namespace mbta {
+
+namespace {
+
+/// Same ceiling market_io enforces: a hostile record may not make us
+/// reserve an absurd skill vector before validation.
+constexpr std::size_t kMaxSkillDims = 4096;
+
+bool AllFinite(std::initializer_list<double> values) {
+  for (double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+bool FinitePositiveSkills(const SkillVector& skills, std::string* error) {
+  if (skills.size() > kMaxSkillDims) {
+    if (error != nullptr) *error = "skill vector too long";
+    return false;
+  }
+  for (double s : skills) {
+    if (!std::isfinite(s) || s < 0.0) {
+      if (error != nullptr) *error = "skill weights must be finite and >= 0";
+      return false;
+    }
+  }
+  return true;
+}
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+// --- little-endian scalar codec -------------------------------------------
+
+void PutU32(std::uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutU64(std::uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutDouble(double v, std::string* out) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits, out);
+}
+
+/// Bounds-checked read cursor over an untrusted byte string.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view bytes) : bytes_(bytes) {}
+
+  bool TakeU8(std::uint8_t* v) {
+    if (pos_ + 1 > bytes_.size()) return false;
+    *v = static_cast<std::uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+
+  bool TakeU32(std::uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    std::uint32_t r = 0;
+    for (int i = 0; i < 4; ++i) {
+      r |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    *v = r;
+    return true;
+  }
+
+  bool TakeU64(std::uint64_t* v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    std::uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) {
+      r |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    *v = r;
+    return true;
+  }
+
+  bool TakeDouble(double* v) {
+    std::uint64_t bits = 0;
+    if (!TakeU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+bool TakeSkills(Cursor& cur, SkillVector* skills) {
+  std::uint32_t n = 0;
+  if (!cur.TakeU32(&n)) return false;
+  if (n > kMaxSkillDims) return false;  // ceiling before reserve
+  skills->clear();
+  skills->reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    if (!cur.TakeDouble(&s)) return false;
+    skills->push_back(s);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* ToString(DeltaKind kind) {
+  switch (kind) {
+    case DeltaKind::kAddWorker:
+      return "add-worker";
+    case DeltaKind::kAddTask:
+      return "add-task";
+    case DeltaKind::kRemoveWorker:
+      return "rm-worker";
+    case DeltaKind::kRemoveTask:
+      return "rm-task";
+    case DeltaKind::kWorkerCapacity:
+      return "worker-capacity";
+    case DeltaKind::kTaskCapacity:
+      return "task-capacity";
+    case DeltaKind::kTaskPayment:
+      return "task-payment";
+    case DeltaKind::kTaskValue:
+      return "task-value";
+  }
+  return "unknown";
+}
+
+bool Delta::operator==(const Delta& other) const {
+  if (kind != other.kind || id != other.id) return false;
+  switch (kind) {
+    case DeltaKind::kAddWorker:
+      return worker.capacity == other.worker.capacity &&
+             worker.unit_cost == other.worker.unit_cost &&
+             worker.fatigue == other.worker.fatigue &&
+             worker.reliability == other.worker.reliability &&
+             worker.skills == other.worker.skills;
+    case DeltaKind::kAddTask:
+      return task.capacity == other.task.capacity &&
+             task.payment == other.task.payment &&
+             task.value == other.task.value &&
+             task.difficulty == other.task.difficulty &&
+             task.requester == other.task.requester &&
+             task.required_skills == other.task.required_skills;
+    case DeltaKind::kRemoveWorker:
+    case DeltaKind::kRemoveTask:
+      return true;
+    case DeltaKind::kWorkerCapacity:
+    case DeltaKind::kTaskCapacity:
+      return capacity == other.capacity;
+    case DeltaKind::kTaskPayment:
+    case DeltaKind::kTaskValue:
+      return amount == other.amount;
+  }
+  return false;
+}
+
+bool ValidateDelta(const Delta& delta, std::string* error) {
+  switch (delta.kind) {
+    case DeltaKind::kAddWorker: {
+      const Worker& w = delta.worker;
+      if (!AllFinite({w.unit_cost, w.fatigue, w.reliability}) ||
+          w.capacity < 0 || w.unit_cost < 0.0 || w.fatigue <= 0.0 ||
+          w.fatigue > 1.0 || w.reliability < 0.0 || w.reliability > 1.0) {
+        SetError(error, "bad worker fields");
+        return false;
+      }
+      return FinitePositiveSkills(w.skills, error);
+    }
+    case DeltaKind::kAddTask: {
+      const Task& t = delta.task;
+      if (!AllFinite({t.payment, t.value, t.difficulty}) || t.capacity < 0 ||
+          t.payment < 0.0 || t.value < 0.0 || t.difficulty < 0.0 ||
+          t.difficulty > 1.0) {
+        SetError(error, "bad task fields");
+        return false;
+      }
+      return FinitePositiveSkills(t.required_skills, error);
+    }
+    case DeltaKind::kRemoveWorker:
+    case DeltaKind::kRemoveTask:
+      return true;
+    case DeltaKind::kWorkerCapacity:
+    case DeltaKind::kTaskCapacity:
+      if (delta.capacity < 0) {
+        SetError(error, "capacity must be >= 0");
+        return false;
+      }
+      return true;
+    case DeltaKind::kTaskPayment:
+    case DeltaKind::kTaskValue:
+      if (!std::isfinite(delta.amount) || delta.amount < 0.0) {
+        SetError(error, "amount must be finite and >= 0");
+        return false;
+      }
+      return true;
+  }
+  SetError(error, "unknown delta kind");
+  return false;
+}
+
+std::string FormatDelta(const Delta& delta) {
+  std::ostringstream out;
+  out << std::setprecision(17);
+  out << ToString(delta.kind) << ' ' << delta.id;
+  switch (delta.kind) {
+    case DeltaKind::kAddWorker:
+      out << ' ' << delta.worker.capacity << ' ' << delta.worker.unit_cost
+          << ' ' << delta.worker.fatigue << ' ' << delta.worker.reliability;
+      for (double s : delta.worker.skills) out << ' ' << s;
+      break;
+    case DeltaKind::kAddTask:
+      out << ' ' << delta.task.capacity << ' ' << delta.task.payment << ' '
+          << delta.task.value << ' ' << delta.task.difficulty << ' '
+          << delta.task.requester;
+      for (double s : delta.task.required_skills) out << ' ' << s;
+      break;
+    case DeltaKind::kRemoveWorker:
+    case DeltaKind::kRemoveTask:
+      break;
+    case DeltaKind::kWorkerCapacity:
+    case DeltaKind::kTaskCapacity:
+      out << ' ' << delta.capacity;
+      break;
+    case DeltaKind::kTaskPayment:
+    case DeltaKind::kTaskValue:
+      out << ' ' << delta.amount;
+      break;
+  }
+  return out.str();
+}
+
+std::optional<Delta> ParseDelta(const std::string& line, std::string* error) {
+  std::istringstream in(line);
+  std::string verb;
+  if (!(in >> verb)) {
+    SetError(error, "empty delta line");
+    return std::nullopt;
+  }
+  Delta d;
+  if (verb == "add-worker") {
+    d.kind = DeltaKind::kAddWorker;
+  } else if (verb == "add-task") {
+    d.kind = DeltaKind::kAddTask;
+  } else if (verb == "rm-worker") {
+    d.kind = DeltaKind::kRemoveWorker;
+  } else if (verb == "rm-task") {
+    d.kind = DeltaKind::kRemoveTask;
+  } else if (verb == "worker-capacity") {
+    d.kind = DeltaKind::kWorkerCapacity;
+  } else if (verb == "task-capacity") {
+    d.kind = DeltaKind::kTaskCapacity;
+  } else if (verb == "task-payment") {
+    d.kind = DeltaKind::kTaskPayment;
+  } else if (verb == "task-value") {
+    d.kind = DeltaKind::kTaskValue;
+  } else {
+    SetError(error, "unknown delta verb: " + verb);
+    return std::nullopt;
+  }
+  bool ok = static_cast<bool>(in >> d.id);
+  switch (d.kind) {
+    case DeltaKind::kAddWorker:
+      ok = ok && (in >> d.worker.capacity >> d.worker.unit_cost >>
+                  d.worker.fatigue >> d.worker.reliability);
+      if (ok) {
+        double s = 0.0;
+        while (in >> s) d.worker.skills.push_back(s);
+        ok = in.eof();
+      }
+      break;
+    case DeltaKind::kAddTask:
+      ok = ok && (in >> d.task.capacity >> d.task.payment >> d.task.value >>
+                  d.task.difficulty >> d.task.requester);
+      if (ok) {
+        double s = 0.0;
+        while (in >> s) d.task.required_skills.push_back(s);
+        ok = in.eof();
+      }
+      break;
+    case DeltaKind::kRemoveWorker:
+    case DeltaKind::kRemoveTask:
+      break;
+    case DeltaKind::kWorkerCapacity:
+    case DeltaKind::kTaskCapacity:
+      ok = ok && (in >> d.capacity);
+      break;
+    case DeltaKind::kTaskPayment:
+    case DeltaKind::kTaskValue:
+      ok = ok && (in >> d.amount);
+      break;
+  }
+  if (ok && !in.eof()) {
+    std::string junk;
+    if (in >> junk) ok = false;  // trailing non-numeric tokens
+  }
+  if (!ok) {
+    SetError(error, "bad delta line: " + line);
+    return std::nullopt;
+  }
+  if (!ValidateDelta(d, error)) return std::nullopt;
+  return d;
+}
+
+std::optional<std::vector<ScriptEntry>> ParseDeltaScript(std::istream& in,
+                                                         std::string* error) {
+  std::vector<ScriptEntry> entries;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    const std::size_t last = line.find_last_not_of(" \t\r");
+    const std::string body = line.substr(first, last - first + 1);
+    ScriptEntry entry;
+    if (body == "epoch") {
+      entry.epoch = true;
+    } else {
+      std::string why;
+      std::optional<Delta> d = ParseDelta(body, &why);
+      if (!d.has_value()) {
+        SetError(error, "line " + std::to_string(lineno) + ": " + why);
+        return std::nullopt;
+      }
+      entry.delta = *d;
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+void EncodeDelta(const Delta& delta, std::string* out) {
+  out->push_back(static_cast<char>(delta.kind));
+  PutU64(delta.id, out);
+  switch (delta.kind) {
+    case DeltaKind::kAddWorker:
+      PutU32(static_cast<std::uint32_t>(delta.worker.capacity), out);
+      PutDouble(delta.worker.unit_cost, out);
+      PutDouble(delta.worker.fatigue, out);
+      PutDouble(delta.worker.reliability, out);
+      PutU32(static_cast<std::uint32_t>(delta.worker.skills.size()), out);
+      for (double s : delta.worker.skills) PutDouble(s, out);
+      break;
+    case DeltaKind::kAddTask:
+      PutU32(static_cast<std::uint32_t>(delta.task.capacity), out);
+      PutDouble(delta.task.payment, out);
+      PutDouble(delta.task.value, out);
+      PutDouble(delta.task.difficulty, out);
+      PutU32(delta.task.requester, out);
+      PutU32(static_cast<std::uint32_t>(delta.task.required_skills.size()),
+             out);
+      for (double s : delta.task.required_skills) PutDouble(s, out);
+      break;
+    case DeltaKind::kRemoveWorker:
+    case DeltaKind::kRemoveTask:
+      break;
+    case DeltaKind::kWorkerCapacity:
+    case DeltaKind::kTaskCapacity:
+      PutU32(static_cast<std::uint32_t>(delta.capacity), out);
+      break;
+    case DeltaKind::kTaskPayment:
+    case DeltaKind::kTaskValue:
+      PutDouble(delta.amount, out);
+      break;
+  }
+}
+
+bool DecodeDelta(std::string_view bytes, Delta* delta, std::string* error) {
+  Cursor cur(bytes);
+  std::uint8_t kind = 0;
+  Delta d;
+  bool ok = cur.TakeU8(&kind) && cur.TakeU64(&d.id);
+  if (ok && (kind < static_cast<std::uint8_t>(DeltaKind::kAddWorker) ||
+             kind > static_cast<std::uint8_t>(DeltaKind::kTaskValue))) {
+    SetError(error, "unknown delta kind byte");
+    return false;
+  }
+  if (ok) d.kind = static_cast<DeltaKind>(kind);
+  std::uint32_t cap = 0;
+  switch (d.kind) {
+    case DeltaKind::kAddWorker:
+      ok = ok && cur.TakeU32(&cap) && cur.TakeDouble(&d.worker.unit_cost) &&
+           cur.TakeDouble(&d.worker.fatigue) &&
+           cur.TakeDouble(&d.worker.reliability) &&
+           TakeSkills(cur, &d.worker.skills);
+      if (ok && cap > static_cast<std::uint32_t>(
+                          std::numeric_limits<int>::max())) {
+        ok = false;
+      }
+      if (ok) d.worker.capacity = static_cast<int>(cap);
+      break;
+    case DeltaKind::kAddTask:
+      ok = ok && cur.TakeU32(&cap) && cur.TakeDouble(&d.task.payment) &&
+           cur.TakeDouble(&d.task.value) && cur.TakeDouble(&d.task.difficulty) &&
+           cur.TakeU32(&d.task.requester) &&
+           TakeSkills(cur, &d.task.required_skills);
+      if (ok && cap > static_cast<std::uint32_t>(
+                          std::numeric_limits<int>::max())) {
+        ok = false;
+      }
+      if (ok) d.task.capacity = static_cast<int>(cap);
+      break;
+    case DeltaKind::kRemoveWorker:
+    case DeltaKind::kRemoveTask:
+      break;
+    case DeltaKind::kWorkerCapacity:
+    case DeltaKind::kTaskCapacity:
+      ok = ok && cur.TakeU32(&cap);
+      if (ok && cap > static_cast<std::uint32_t>(
+                          std::numeric_limits<int>::max())) {
+        ok = false;
+      }
+      if (ok) d.capacity = static_cast<int>(cap);
+      break;
+    case DeltaKind::kTaskPayment:
+    case DeltaKind::kTaskValue:
+      ok = ok && cur.TakeDouble(&d.amount);
+      break;
+  }
+  if (!ok || !cur.AtEnd()) {
+    SetError(error, "malformed delta record");
+    return false;
+  }
+  if (!ValidateDelta(d, error)) return false;
+  *delta = std::move(d);
+  return true;
+}
+
+}  // namespace mbta

@@ -1,0 +1,441 @@
+#include "service/market_service.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <vector>
+
+#include "core/greedy_solver.h"
+#include "core/repair.h"
+#include "core/validate.h"
+#include "util/check.h"
+
+namespace mbta {
+
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+/// Dense edge id of pair (w, t), or kInvalidEdge when the pair is not an
+/// eligible edge of this rebuild.
+EdgeId FindEdge(const LaborMarket& market, WorkerId w, TaskId t) {
+  for (const Incidence& inc : market.WorkerEdges(w)) {
+    if (market.EdgeTask(inc.edge) == t) return inc.edge;
+  }
+  return kInvalidEdge;
+}
+
+}  // namespace
+
+MarketService::MarketService(ServiceConfig config)
+    : config_(std::move(config)) {
+  durable_ = !config_.wal_path.empty();
+  if (durable_ && config_.snapshot_path.empty()) {
+    config_.snapshot_path = config_.wal_path + ".snap";
+  }
+  if (config_.clock == nullptr) config_.clock = &SteadyClock::Instance();
+}
+
+MarketService::~MarketService() = default;
+
+bool MarketService::Start(std::string* error) {
+  if (started_) {
+    SetError(error, "service already started");
+    return false;
+  }
+  if (durable_ && !RecoverFromDisk(error)) return false;
+  started_ = true;
+  return true;
+}
+
+bool MarketService::RecoverFromDisk(std::string* error) {
+  // 1. Read the WAL (tolerating a torn tail) before touching anything.
+  std::string why;
+  std::optional<WalReadResult> wal = ReadWal(config_.wal_path, &why);
+  bool wal_exists = true;
+  if (!wal.has_value()) {
+    if (why.find("cannot open") != std::string::npos) {
+      // Fresh service: no WAL yet.
+      wal_exists = false;
+    } else {
+      SetError(error, "WAL unreadable: " + why);
+      return false;
+    }
+  }
+  if (wal_exists && wal->tail_dropped) {
+    // Amputate the torn tail so the append path never extends garbage.
+    stats_.counters.Add("service/wal/tail_dropped");
+    if (!TruncateWal(config_.wal_path, wal->valid_bytes, &why)) {
+      SetError(error, why);
+      return false;
+    }
+  }
+
+  // 2. Seed state from the snapshot when one exists.
+  state_ = ServiceState{};
+  std::optional<ServiceState> snap = ReadSnapshot(config_.snapshot_path, &why);
+  if (snap.has_value()) {
+    state_ = std::move(*snap);
+  } else if (why.find("cannot open") == std::string::npos) {
+    // The snapshot exists but is corrupt: recovery must not silently
+    // fall back to a full replay that may disagree with what the WAL's
+    // record count assumes.
+    SetError(error, "snapshot unreadable: " + why);
+    return false;
+  }
+
+  // 3. Replay the WAL suffix the snapshot has not seen.
+  if (wal_exists) {
+    if (state_.wal_records > wal->records.size()) {
+      SetError(error,
+               "snapshot is ahead of the WAL (" +
+                   std::to_string(state_.wal_records) + " > " +
+                   std::to_string(wal->records.size()) +
+                   " records): mismatched files");
+      return false;
+    }
+    for (std::size_t i = state_.wal_records; i < wal->records.size(); ++i) {
+      const WalRecord& record = wal->records[i];
+      if (record.type == WalRecordType::kDelta) {
+        state_.pending.push_back(record.delta);
+        ++state_.wal_records;
+        stats_.counters.Add("service/recovery/replayed_deltas");
+        continue;
+      }
+      const EpochCommit& commit = record.epoch;
+      if (commit.num_deltas > state_.pending.size()) {
+        SetError(error, "WAL epoch record consumes more deltas than queued");
+        return false;
+      }
+      ExecuteEpoch(commit.mode, commit.num_deltas);
+      ++state_.wal_records;
+      if (state_.epoch != commit.epoch ||
+          std::bit_cast<std::uint64_t>(last_value_) != commit.value_bits ||
+          StateChecksum(state_) != commit.state_crc) {
+        SetError(error,
+                 "WAL replay diverged at epoch " +
+                     std::to_string(commit.epoch) +
+                     ": recovered state does not match the committed "
+                     "checksum/value");
+        return false;
+      }
+      stats_.counters.Add("service/recovery/replayed_epochs");
+    }
+  }
+
+  // 4. Reopen the log for append.
+  if (!wal_.Open(config_.wal_path, &why, config_.faults, config_.syncer)) {
+    SetError(error, why);
+    return false;
+  }
+  return true;
+}
+
+SubmitResult MarketService::Submit(const Delta& delta, std::string* error) {
+  MBTA_CHECK(started_);
+  if (failed_) {
+    SetError(error, "service failed (durability error) — restart to recover");
+    return SubmitResult::kRejected;
+  }
+  if (!ValidateDelta(delta, error)) {
+    stats_.counters.Add("service/delta/rejected");
+    return SubmitResult::kRejected;
+  }
+  // Departures are always admitted: shedding one would keep ghost
+  // entities alive forever. Everything else sheds when the queue is
+  // full — deterministically reject-newest, so live runs and replays
+  // agree on what was never logged.
+  const bool departure = delta.kind == DeltaKind::kRemoveWorker ||
+                         delta.kind == DeltaKind::kRemoveTask;
+  if (!departure && state_.pending.size() >= config_.queue_capacity) {
+    stats_.counters.Add("service/delta/shed");
+    SetError(error, "admission queue full");
+    return SubmitResult::kShed;
+  }
+  if (durable_) {
+    // Log before enqueue: a delta the queue has seen is always
+    // recoverable. The append may throw FaultInjectedError (crash
+    // tests); the writer poisons itself first, so we fail the service on
+    // the way out.
+    try {
+      std::string why;
+      if (!wal_.AppendDelta(delta, &why)) {
+        failed_ = true;
+        SetError(error, why);
+        return SubmitResult::kRejected;
+      }
+    } catch (...) {
+      failed_ = true;
+      throw;
+    }
+    ++state_.wal_records;
+  }
+  state_.pending.push_back(delta);
+  stats_.counters.Add("service/delta/admitted");
+  return SubmitResult::kAdmitted;
+}
+
+void MarketService::ExecuteEpoch(EpochMode mode, std::uint32_t num_deltas) {
+  MBTA_CHECK(num_deltas <= state_.pending.size());
+  ScopedPhase service_phase(&stats_.phases, "service");
+  ScopedPhase epoch_phase(&stats_.phases, "epoch");
+
+  // --- 1. Apply the batch to the entity lists -----------------------------
+  // Touched stable ids seed the repair candidate set: arrivals, patched
+  // entities, and the peers freed by a departure.
+  std::vector<std::uint64_t> touched_worker_ids;
+  std::vector<std::uint64_t> touched_task_ids;
+  {
+    ScopedPhase phase(&stats_.phases, "apply");
+    for (std::uint32_t i = 0; i < num_deltas; ++i) {
+      const Delta delta = state_.pending.front();
+      state_.pending.pop_front();
+      switch (delta.kind) {
+        case DeltaKind::kAddWorker:
+        case DeltaKind::kWorkerCapacity:
+          touched_worker_ids.push_back(delta.id);
+          break;
+        case DeltaKind::kAddTask:
+        case DeltaKind::kTaskCapacity:
+        case DeltaKind::kTaskPayment:
+        case DeltaKind::kTaskValue:
+          touched_task_ids.push_back(delta.id);
+          break;
+        case DeltaKind::kRemoveWorker:
+          for (const StablePair& p : state_.pairs) {
+            if (p.worker == delta.id) touched_task_ids.push_back(p.task);
+          }
+          break;
+        case DeltaKind::kRemoveTask:
+          for (const StablePair& p : state_.pairs) {
+            if (p.task == delta.id) touched_worker_ids.push_back(p.worker);
+          }
+          break;
+      }
+      std::string why;
+      if (!ApplyDelta(state_, delta, &why)) {
+        // Stale delta (e.g. a capacity change racing a departure that
+        // was admitted earlier in this very batch). Skipping is
+        // deterministic — replay applies the identical rule.
+        stats_.counters.Add("service/delta/stale");
+        if (delta.kind == DeltaKind::kAddWorker ||
+            delta.kind == DeltaKind::kWorkerCapacity) {
+          touched_worker_ids.pop_back();
+        } else if (delta.kind != DeltaKind::kRemoveWorker &&
+                   delta.kind != DeltaKind::kRemoveTask) {
+          touched_task_ids.pop_back();
+        }
+      }
+    }
+  }
+
+  // --- 2. Rebuild the dense market ----------------------------------------
+  LaborMarket market;
+  {
+    ScopedPhase phase(&stats_.phases, "rebuild");
+    market = BuildMarket(state_, config_.edge_model);
+  }
+  const MutualBenefitObjective objective(&market, config_.objective);
+  std::map<std::uint64_t, WorkerId> worker_index;
+  std::map<std::uint64_t, TaskId> task_index;
+  for (std::size_t i = 0; i < state_.workers.size(); ++i) {
+    worker_index.emplace(state_.workers[i].id, static_cast<WorkerId>(i));
+  }
+  for (std::size_t i = 0; i < state_.tasks.size(); ++i) {
+    task_index.emplace(state_.tasks[i].id, static_cast<TaskId>(i));
+  }
+
+  // --- 3. Re-anchor the carried assignment and repair ---------------------
+  ObjectiveState solution(&objective);
+  RepairStats repair_stats;
+  {
+    ScopedPhase phase(&stats_.phases, "repair");
+    // Carried pairs re-anchor in stable-id order (state_.pairs is
+    // sorted), dropping pairs whose edge vanished (entity gone, pair no
+    // longer eligible) or no longer fits a tightened capacity. Dropped
+    // endpoints join the candidate seed so their slack is refilled.
+    for (const StablePair& p : state_.pairs) {
+      const auto wit = worker_index.find(p.worker);
+      const auto tit = task_index.find(p.task);
+      MBTA_CHECK(wit != worker_index.end() && tit != task_index.end());
+      const EdgeId e = FindEdge(market, wit->second, tit->second);
+      if (e != kInvalidEdge && solution.CanAdd(e)) {
+        solution.Add(e);
+      } else {
+        ++repair_stats.edges_dropped;
+        touched_worker_ids.push_back(p.worker);
+        touched_task_ids.push_back(p.task);
+      }
+    }
+    // Candidate edges: everything incident to a touched entity,
+    // deduplicated and sorted for a deterministic refill scan.
+    std::vector<EdgeId> candidates;
+    std::sort(touched_worker_ids.begin(), touched_worker_ids.end());
+    touched_worker_ids.erase(
+        std::unique(touched_worker_ids.begin(), touched_worker_ids.end()),
+        touched_worker_ids.end());
+    std::sort(touched_task_ids.begin(), touched_task_ids.end());
+    touched_task_ids.erase(
+        std::unique(touched_task_ids.begin(), touched_task_ids.end()),
+        touched_task_ids.end());
+    for (std::uint64_t id : touched_worker_ids) {
+      const auto it = worker_index.find(id);
+      if (it == worker_index.end()) continue;  // departed this batch
+      for (const Incidence& inc : market.WorkerEdges(it->second)) {
+        candidates.push_back(inc.edge);
+      }
+    }
+    for (std::uint64_t id : touched_task_ids) {
+      const auto it = task_index.find(id);
+      if (it == task_index.end()) continue;
+      for (const Incidence& inc : market.TaskEdges(it->second)) {
+        candidates.push_back(inc.edge);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    DeadlineBudget budget;
+    budget.max_work = config_.epoch_max_work;
+    DeadlineGate gate(budget, config_.faults);
+    GreedyRefill(solution, candidates, &repair_stats, &gate);
+    if (gate.expired()) {
+      stats_.deadline_hit = true;
+      stats_.stop_reason = gate.reason();
+      stats_.counters.Add("service/epoch/budget_hit");
+    }
+  }
+  Assignment repaired = solution.ToAssignment();
+  double value = objective.Value(repaired);
+
+  // --- 4. Escape hatch -----------------------------------------------------
+  // When repair quality degrades past the configured fraction of the
+  // best value this service has committed, pay for a full greedy
+  // re-solve and keep the better assignment. Degraded epochs skip the
+  // hatch — that is exactly what "degraded" means.
+  const double reference = std::bit_cast<double>(state_.reference_bits);
+  bool full_ran = false;
+  if (mode == EpochMode::kNormal && config_.resolve_ratio > 0.0 &&
+      state_.reference_bits != 0 && value < config_.resolve_ratio * reference) {
+    ScopedPhase phase(&stats_.phases, "full_resolve");
+    stats_.counters.Add("service/epoch/full_resolve");
+    full_ran = true;
+    const GreedySolver solver;
+    MbtaProblem problem{&market, config_.objective};
+    SolveOptions options;
+    options.budget.max_work = config_.epoch_max_work;
+    options.faults = config_.faults;
+    SolveStats full_stats;
+    Assignment full = solver.Solve(problem, options, &full_stats);
+    stats_.gain_evaluations += full_stats.gain_evaluations;
+    const double full_value = objective.Value(full);
+    if (full_value > value) {
+      repaired = std::move(full);
+      value = full_value;
+    }
+  }
+  stats_.gain_evaluations += repair_stats.gain_evaluations;
+  stats_.counters.Add("service/repair/gain_evaluations",
+                      repair_stats.gain_evaluations);
+  stats_.counters.Add("service/repair/dropped_pairs",
+                      repair_stats.edges_dropped);
+
+  // --- 5. Validate and commit into stable-id space ------------------------
+  {
+    ScopedPhase phase(&stats_.phases, "validate");
+    MbtaProblem problem{&market, config_.objective};
+    const ValidationResult check = ValidateAssignment(problem, repaired);
+    MBTA_CHECK_MSG(check.ok(), "epoch assignment invalid: %s",
+                   check.Message().c_str());
+  }
+  state_.pairs.clear();
+  state_.pairs.reserve(repaired.edges.size());
+  for (EdgeId e : repaired.edges) {
+    state_.pairs.push_back(
+        StablePair{state_.workers[market.EdgeWorker(e)].id,
+                   state_.tasks[market.EdgeTask(e)].id});
+  }
+  std::sort(state_.pairs.begin(), state_.pairs.end());
+
+  if (full_ran) {
+    state_.reference_bits = std::bit_cast<std::uint64_t>(value);
+  } else {
+    state_.reference_bits =
+        std::bit_cast<std::uint64_t>(std::max(reference, value));
+  }
+  state_.epoch += 1;
+  last_value_ = value;
+  last_mode_ = mode;
+  stats_.counters.Add("service/epoch/total");
+  if (mode == EpochMode::kDegraded) {
+    stats_.counters.Add("service/epoch/degraded");
+  }
+}
+
+bool MarketService::RunEpoch(std::string* error) {
+  MBTA_CHECK(started_);
+  if (failed_) {
+    SetError(error, "service failed (durability error) — restart to recover");
+    return false;
+  }
+  const std::uint32_t num_deltas = static_cast<std::uint32_t>(
+      std::min<std::size_t>(state_.pending.size(), config_.epoch_batch));
+  // The one wall-clock input: a slow previous epoch degrades this one to
+  // repair-only. Recorded in the epoch's WAL record below, so replay
+  // reproduces the decision without ever reading a clock.
+  const EpochMode mode = config_.degrade_after_ms > 0.0 &&
+                                 last_epoch_ms_ > config_.degrade_after_ms
+                             ? EpochMode::kDegraded
+                             : EpochMode::kNormal;
+  const double t0 = config_.clock->NowMs();
+  ExecuteEpoch(mode, num_deltas);
+  last_epoch_ms_ = config_.clock->NowMs() - t0;
+
+  if (!durable_) return true;
+
+  EpochCommit commit;
+  commit.epoch = state_.epoch;
+  commit.mode = mode;
+  commit.num_deltas = num_deltas;
+  commit.value_bits = std::bit_cast<std::uint64_t>(last_value_);
+  // The commit record itself counts: replay increments wal_records after
+  // executing the epoch, so the checksum must be taken with the record
+  // already counted.
+  ++state_.wal_records;
+  commit.state_crc = StateChecksum(state_);
+  try {
+    ScopedPhase phase(&stats_.phases, "wal");
+    std::string why;
+    if (!wal_.AppendEpoch(commit, &why) || !wal_.Sync(&why)) {
+      failed_ = true;
+      SetError(error, why);
+      return false;
+    }
+  } catch (...) {
+    failed_ = true;
+    throw;
+  }
+
+  if (config_.snapshot_every > 0 &&
+      state_.epoch % config_.snapshot_every == 0) {
+    ScopedPhase phase(&stats_.phases, "snapshot");
+    stats_.counters.Add("service/snapshot/written");
+    try {
+      std::string why;
+      if (!WriteSnapshot(state_, config_.snapshot_path, &why, config_.faults,
+                         config_.syncer)) {
+        failed_ = true;
+        SetError(error, why);
+        return false;
+      }
+    } catch (...) {
+      failed_ = true;
+      throw;
+    }
+  }
+  return true;
+}
+
+}  // namespace mbta

@@ -1,0 +1,41 @@
+#ifndef MBTA_SERVICE_SNAPSHOT_H_
+#define MBTA_SERVICE_SNAPSHOT_H_
+
+#include <optional>
+#include <string>
+
+#include "service/state.h"
+
+namespace mbta {
+
+class FaultInjector;
+class FileSyncer;
+
+/// Snapshot files: the canonical ServiceState serialization (see
+/// state.h; market_io line conventions) sealed with a trailer line
+///
+///   checksum <crc32-of-preceding-bytes>
+///
+/// Writes are atomic: the snapshot is written to `path + ".tmp"`, flushed
+/// and fsynced, then renamed over `path` — a crash at any instant leaves
+/// either the old snapshot or the new one, never a torn hybrid. The
+/// "service/snapshot/write" fault point fires (via the injected
+/// FaultInjector) before the temp file is written, simulating a crash
+/// while snapshotting; recovery then proceeds from the previous snapshot
+/// plus a longer WAL suffix.
+bool WriteSnapshot(const ServiceState& state, const std::string& path,
+                   std::string* error = nullptr,
+                   FaultInjector* faults = nullptr,
+                   FileSyncer* syncer = nullptr);
+
+/// Reads and verifies a snapshot: checksum trailer first (bit rot and
+/// truncation are detected before any parsing), then the hardened
+/// ParseServiceState. Returns std::nullopt and fills `error` on any
+/// problem — the caller decides whether a missing/bad snapshot is fatal
+/// (it is for recovery when the WAL references one).
+std::optional<ServiceState> ReadSnapshot(const std::string& path,
+                                         std::string* error = nullptr);
+
+}  // namespace mbta
+
+#endif  // MBTA_SERVICE_SNAPSHOT_H_

@@ -1,0 +1,53 @@
+#ifndef MBTA_UTIL_CRC32_H_
+#define MBTA_UTIL_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mbta {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected) — the same
+/// checksum zlib computes. Used to frame WAL records and to seal
+/// snapshot files (src/service): torn writes and bit rot must be
+/// *detected*, not silently replayed into market state. Deterministic by
+/// construction; the table is built constexpr so there is no init-order
+/// hazard.
+namespace crc32_internal {
+
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kTable = MakeTable();
+
+}  // namespace crc32_internal
+
+/// Extends a running CRC with `size` bytes. Seed new streams with
+/// `Crc32()`'s default (0) — the pre/post inversion is handled inside.
+inline std::uint32_t Crc32(const void* data, std::size_t size,
+                           std::uint32_t crc = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = crc32_internal::kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+inline std::uint32_t Crc32(std::string_view bytes, std::uint32_t crc = 0) {
+  return Crc32(bytes.data(), bytes.size(), crc);
+}
+
+}  // namespace mbta
+
+#endif  // MBTA_UTIL_CRC32_H_

@@ -1,0 +1,248 @@
+#include "service/market_service.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/validate.h"
+#include "util/clock.h"
+
+namespace mbta {
+namespace {
+
+Delta AddWorker(std::uint64_t id, int capacity = 1, double unit_cost = 0.0) {
+  Delta d;
+  d.kind = DeltaKind::kAddWorker;
+  d.id = id;
+  d.worker.capacity = capacity;
+  d.worker.unit_cost = unit_cost;
+  return d;
+}
+
+Delta AddTask(std::uint64_t id, double payment = 1.0, double value = 1.0,
+              int capacity = 1) {
+  Delta d;
+  d.kind = DeltaKind::kAddTask;
+  d.id = id;
+  d.task.capacity = capacity;
+  d.task.payment = payment;
+  d.task.value = value;
+  return d;
+}
+
+Delta Remove(DeltaKind kind, std::uint64_t id) {
+  Delta d;
+  d.kind = kind;
+  d.id = id;
+  return d;
+}
+
+TEST(MarketServiceTest, InMemoryEpochAssignsArrivals) {
+  MarketService service(ServiceConfig{});
+  ASSERT_TRUE(service.Start());
+  EXPECT_EQ(service.Submit(AddWorker(1)), SubmitResult::kAdmitted);
+  EXPECT_EQ(service.Submit(AddWorker(2)), SubmitResult::kAdmitted);
+  EXPECT_EQ(service.Submit(AddTask(100)), SubmitResult::kAdmitted);
+  EXPECT_EQ(service.Submit(AddTask(200)), SubmitResult::kAdmitted);
+  std::string error;
+  ASSERT_TRUE(service.RunEpoch(&error)) << error;
+  EXPECT_EQ(service.state().epoch, 1u);
+  EXPECT_TRUE(service.state().pending.empty());
+  // Two unit-capacity workers, two unit-capacity tasks, all pairs
+  // eligible (no skills, zero cost): both tasks get staffed.
+  EXPECT_EQ(service.state().pairs.size(), 2u);
+  EXPECT_GT(service.objective_value(), 0.0);
+  EXPECT_EQ(service.stats().counters.Value("service/epoch/total"), 1u);
+}
+
+TEST(MarketServiceTest, DepartureDropsItsPairsAndRepairs) {
+  MarketService service(ServiceConfig{});
+  ASSERT_TRUE(service.Start());
+  service.Submit(AddWorker(1));
+  service.Submit(AddWorker(2));
+  service.Submit(AddTask(100, 1.0, 5.0));
+  ASSERT_TRUE(service.RunEpoch());
+  ASSERT_EQ(service.state().pairs.size(), 1u);
+  const std::uint64_t assigned = service.state().pairs[0].worker;
+  service.Submit(Remove(DeltaKind::kRemoveWorker, assigned));
+  ASSERT_TRUE(service.RunEpoch());
+  // The other worker takes over the task.
+  ASSERT_EQ(service.state().pairs.size(), 1u);
+  EXPECT_NE(service.state().pairs[0].worker, assigned);
+  EXPECT_EQ(service.state().workers.size(), 1u);
+}
+
+TEST(MarketServiceTest, CapacityCutShedsExcessPairs) {
+  MarketService service(ServiceConfig{});
+  ASSERT_TRUE(service.Start());
+  service.Submit(AddWorker(1, /*capacity=*/3));
+  service.Submit(AddTask(100));
+  service.Submit(AddTask(200));
+  service.Submit(AddTask(300));
+  ASSERT_TRUE(service.RunEpoch());
+  EXPECT_EQ(service.state().pairs.size(), 3u);
+  Delta cut;
+  cut.kind = DeltaKind::kWorkerCapacity;
+  cut.id = 1;
+  cut.capacity = 1;
+  service.Submit(cut);
+  ASSERT_TRUE(service.RunEpoch());
+  EXPECT_EQ(service.state().pairs.size(), 1u);
+}
+
+TEST(MarketServiceTest, PaymentChangeTakesEffect) {
+  MarketService service(ServiceConfig{});
+  ASSERT_TRUE(service.Start());
+  // Worker costs 0.5 per task; the task pays 0.25 — not eligible.
+  service.Submit(AddWorker(1, 1, /*unit_cost=*/0.5));
+  service.Submit(AddTask(100, /*payment=*/0.25));
+  ASSERT_TRUE(service.RunEpoch());
+  EXPECT_TRUE(service.state().pairs.empty());
+  Delta raise;
+  raise.kind = DeltaKind::kTaskPayment;
+  raise.id = 100;
+  raise.amount = 2.0;
+  service.Submit(raise);
+  ASSERT_TRUE(service.RunEpoch());
+  EXPECT_EQ(service.state().pairs.size(), 1u);
+}
+
+TEST(MarketServiceTest, QueueShedsNewestButAdmitsDepartures) {
+  ServiceConfig config;
+  config.queue_capacity = 2;
+  MarketService service(config);
+  ASSERT_TRUE(service.Start());
+  EXPECT_EQ(service.Submit(AddWorker(1)), SubmitResult::kAdmitted);
+  EXPECT_EQ(service.Submit(AddWorker(2)), SubmitResult::kAdmitted);
+  EXPECT_EQ(service.Submit(AddWorker(3)), SubmitResult::kShed);
+  EXPECT_EQ(service.Submit(Remove(DeltaKind::kRemoveWorker, 1)),
+            SubmitResult::kAdmitted);
+  EXPECT_EQ(service.stats().counters.Value("service/delta/shed"), 1u);
+  EXPECT_EQ(service.stats().counters.Value("service/delta/admitted"), 3u);
+}
+
+TEST(MarketServiceTest, InvalidDeltaIsRejected) {
+  MarketService service(ServiceConfig{});
+  ASSERT_TRUE(service.Start());
+  Delta bad = AddWorker(1);
+  bad.worker.fatigue = 0.0;  // out of (0, 1]
+  std::string error;
+  EXPECT_EQ(service.Submit(bad, &error), SubmitResult::kRejected);
+  EXPECT_FALSE(error.empty());
+  Delta nan = AddTask(2);
+  nan.task.payment = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(service.Submit(nan), SubmitResult::kRejected);
+  EXPECT_EQ(service.stats().counters.Value("service/delta/rejected"), 2u);
+}
+
+TEST(MarketServiceTest, StaleDeltaIsSkippedDeterministically) {
+  MarketService service(ServiceConfig{});
+  ASSERT_TRUE(service.Start());
+  service.Submit(AddWorker(1));
+  service.Submit(AddTask(100));
+  // Remove and patch race inside one batch: the removal is admitted
+  // first, so the capacity change goes stale and is skipped.
+  service.Submit(Remove(DeltaKind::kRemoveWorker, 1));
+  Delta patch;
+  patch.kind = DeltaKind::kWorkerCapacity;
+  patch.id = 1;
+  patch.capacity = 4;
+  service.Submit(patch);
+  ASSERT_TRUE(service.RunEpoch());
+  EXPECT_TRUE(service.state().workers.empty());
+  EXPECT_EQ(service.stats().counters.Value("service/delta/stale"), 1u);
+}
+
+TEST(MarketServiceTest, EpochBatchBoundsConsumption) {
+  ServiceConfig config;
+  config.epoch_batch = 2;
+  MarketService service(config);
+  ASSERT_TRUE(service.Start());
+  service.Submit(AddWorker(1));
+  service.Submit(AddTask(100));
+  service.Submit(AddTask(200));
+  ASSERT_TRUE(service.RunEpoch());
+  EXPECT_EQ(service.state().pending.size(), 1u);
+  ASSERT_TRUE(service.RunEpoch());
+  EXPECT_TRUE(service.state().pending.empty());
+  EXPECT_EQ(service.state().epoch, 2u);
+}
+
+TEST(MarketServiceTest, SlowEpochDegradesTheNext) {
+  ServiceConfig config;
+  config.degrade_after_ms = 10.0;
+  // Every NowMs() read advances 100ms: each epoch measures 100ms and the
+  // threshold is 10ms, so epoch 2 onward runs degraded.
+  FakeClock clock(0.0, 100.0);
+  config.clock = &clock;
+  MarketService service(config);
+  ASSERT_TRUE(service.Start());
+  service.Submit(AddWorker(1));
+  service.Submit(AddTask(100));
+  ASSERT_TRUE(service.RunEpoch());
+  EXPECT_EQ(service.last_mode(), EpochMode::kNormal);
+  ASSERT_TRUE(service.RunEpoch());
+  EXPECT_EQ(service.last_mode(), EpochMode::kDegraded);
+  EXPECT_EQ(service.stats().counters.Value("service/epoch/degraded"), 1u);
+  EXPECT_EQ(service.stats().stop_reason, StopReason::kNone);
+}
+
+TEST(MarketServiceTest, EveryEpochIsValidatorClean) {
+  // ExecuteEpoch internally MBTA_CHECKs validation; this test re-checks
+  // from the outside against a rebuilt market, including under churn.
+  MarketService service(ServiceConfig{});
+  ASSERT_TRUE(service.Start());
+  std::uint64_t next_task = 100;
+  for (int round = 0; round < 10; ++round) {
+    service.Submit(AddWorker(static_cast<std::uint64_t>(round) + 1,
+                             1 + round % 3, 0.1 * round));
+    service.Submit(AddTask(next_task++, 1.0 + round, 1.0 + 0.5 * round));
+    if (round % 3 == 2) {
+      service.Submit(
+          Remove(DeltaKind::kRemoveWorker,
+                 static_cast<std::uint64_t>(round)));
+    }
+    ASSERT_TRUE(service.RunEpoch());
+    const LaborMarket market =
+        BuildMarket(service.state(), ServiceConfig{}.edge_model);
+    Assignment assignment;
+    for (const StablePair& pair : service.state().pairs) {
+      const std::size_t w = service.state().WorkerIndex(pair.worker);
+      const std::size_t t = service.state().TaskIndex(pair.task);
+      ASSERT_NE(w, ServiceState::npos);
+      ASSERT_NE(t, ServiceState::npos);
+      EdgeId found = kInvalidEdge;
+      for (const Incidence& inc :
+           market.WorkerEdges(static_cast<WorkerId>(w))) {
+        if (market.EdgeTask(inc.edge) == static_cast<TaskId>(t)) {
+          found = inc.edge;
+        }
+      }
+      ASSERT_NE(found, kInvalidEdge);
+      assignment.edges.push_back(found);
+    }
+    const MbtaProblem problem{&market, ServiceConfig{}.objective};
+    const ValidationResult check = ValidateAssignment(problem, assignment);
+    EXPECT_TRUE(check.ok()) << "epoch " << round << ": " << check.Message();
+  }
+}
+
+TEST(MarketServiceTest, WorkBudgetDegradesGracefully) {
+  ServiceConfig config;
+  config.epoch_max_work = 3;  // almost nothing
+  MarketService service(config);
+  ASSERT_TRUE(service.Start());
+  for (int i = 0; i < 5; ++i) {
+    service.Submit(AddWorker(static_cast<std::uint64_t>(i) + 1));
+    service.Submit(AddTask(static_cast<std::uint64_t>(i) + 100));
+  }
+  ASSERT_TRUE(service.RunEpoch());
+  // The budget tripped, the epoch still committed a feasible (possibly
+  // sparse) assignment and reported the stop.
+  EXPECT_TRUE(service.stats().deadline_hit);
+  EXPECT_EQ(service.stats().stop_reason, StopReason::kWorkBudget);
+  EXPECT_GE(service.stats().counters.Value("service/epoch/budget_hit"), 1u);
+}
+
+}  // namespace
+}  // namespace mbta

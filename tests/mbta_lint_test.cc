@@ -331,6 +331,41 @@ TEST(R5Names, ConformingFaultPointsAreFine) {
       "}\n")));
 }
 
+TEST(R5Names, FiresOnUnregisteredFaultNamespace) {
+  // Grammatically valid but outside the registered namespace set: a
+  // typo'd namespace would otherwise create a point no test ever arms.
+  const auto vs = LintAs(
+      "src/service/x.cc",
+      "void f(FaultInjector* fi) { MaybeFail(fi, \"serivce/wal/append\"); "
+      "}\n");
+  EXPECT_TRUE(FiresOnce(vs, "R5", 1));
+  const auto vs2 = LintAs(
+      "src/core/x.cc",
+      "void f(FaultInjector* fi) { fi->Arm(\"gremlin/step\", 1); }\n");
+  EXPECT_TRUE(FiresOnce(vs2, "R5", 1));
+}
+
+TEST(R5Names, ServiceFaultNamespaceIsRegistered) {
+  EXPECT_TRUE(Clean(LintAs(
+      "src/service/x.cc",
+      "void f(FaultInjector* fi, FaultInjector& fr) {\n"
+      "  MaybeFail(fi, \"service/snapshot/write\");\n"
+      "  fr.Arm(\"service/wal/torn\", 2, 1);\n"
+      "  if (fi->ShouldFail(\"service/wal/append\")) return;\n"
+      "}\n")));
+}
+
+TEST(R5Names, FaultNamespaceHelper) {
+  EXPECT_TRUE(IsRegisteredFaultNamespace("flow/build_arc"));
+  EXPECT_TRUE(IsRegisteredFaultNamespace("io/read"));
+  EXPECT_TRUE(IsRegisteredFaultNamespace("solver/step"));
+  EXPECT_TRUE(IsRegisteredFaultNamespace("service/wal/fsync"));
+  EXPECT_TRUE(IsRegisteredFaultNamespace("service"));
+  EXPECT_FALSE(IsRegisteredFaultNamespace("serivce/wal/fsync"));
+  EXPECT_FALSE(IsRegisteredFaultNamespace("wal/append"));
+  EXPECT_FALSE(IsRegisteredFaultNamespace(""));
+}
+
 TEST(R5Names, FiresOnBadSpanName) {
   // Span names are full slash paths (unlike ScopedPhase labels, which
   // are single segments — the tracer does not nest names, only depths).

@@ -190,6 +190,167 @@ TEST(RepairTest, RepairedAssignmentsStayValidatorClean) {
   }
 }
 
+TEST(RepairTest, ArrivingWorkerTakesItsBestEdges) {
+  // Worker 0 already holds task 0. Worker 1 "arrives" (present in the
+  // market, absent from the assignment) with capacity 1 and two eligible
+  // tasks: it must take the better one and leave worker 0 alone.
+  const LaborMarket m = MakeTestMarket(
+      {1, 1}, {1, 1, 1},
+      {{0, 0, 0.9, 1.0}, {1, 1, 0.4, 0.5}, {1, 2, 0.9, 1.0}});
+  const MbtaProblem p{&m, {}};
+  const MutualBenefitObjective obj = p.MakeObjective();
+  const Assignment before{{0}};
+  const Assignment after = AddWorkerAndRepair(obj, before, 1);
+  EXPECT_TRUE(IsFeasible(m, after));
+  ASSERT_EQ(after.size(), 2u);
+  const std::set<EdgeId> kept(after.edges.begin(), after.edges.end());
+  EXPECT_TRUE(kept.count(0)) << "existing pair disturbed";
+  EXPECT_TRUE(kept.count(2)) << "arrival skipped its best task";
+}
+
+TEST(RepairTest, ArrivingWorkerFindsNoRoomInASaturatedMarket) {
+  // The only task is already fully staffed: the arrival changes nothing.
+  const LaborMarket m = MakeTestMarket(
+      {1, 1}, {1}, {{0, 0, 0.9, 1.0}, {1, 0, 0.8, 1.0}});
+  const MbtaProblem p{&m, {}};
+  const MutualBenefitObjective obj = p.MakeObjective();
+  const Assignment before{{0}};
+  const Assignment after = AddWorkerAndRepair(obj, before, 1);
+  EXPECT_TRUE(IsFeasible(m, after));
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after.edges[0], 0u);
+}
+
+TEST(RepairTest, PostedTaskIsStaffedFromSpareCapacity) {
+  // Worker 0 (capacity 2) holds task 0; task 1 is posted: the spare unit
+  // of capacity staffs it without moving the existing pair.
+  const LaborMarket m = MakeTestMarket(
+      {2}, {1, 1}, {{0, 0, 0.9, 1.0}, {0, 1, 0.8, 1.0}});
+  const MbtaProblem p{&m, {}};
+  const MutualBenefitObjective obj = p.MakeObjective();
+  const Assignment after = AddTaskAndRepair(obj, Assignment{{0}}, 1);
+  EXPECT_TRUE(IsFeasible(m, after));
+  EXPECT_EQ(after.size(), 2u);
+}
+
+TEST(RepairTest, PostedTaskStealsNoSaturatedWorker) {
+  const LaborMarket m = MakeTestMarket(
+      {1}, {1, 1}, {{0, 0, 0.9, 1.0}, {0, 1, 0.99, 1.0}});
+  const MbtaProblem p{&m, {}};
+  const MutualBenefitObjective obj = p.MakeObjective();
+  // Worker 0 is saturated on task 0; the juicier task 1 arrives. The
+  // localized arrival repair must NOT reshuffle held pairs — that is the
+  // escape hatch's job, not the repair's.
+  const Assignment after = AddTaskAndRepair(obj, Assignment{{0}}, 1);
+  EXPECT_TRUE(IsFeasible(m, after));
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after.edges[0], 0u);
+}
+
+TEST(RepairTest, CapacityCutShedsTheLeastValuableEdge) {
+  // Same market twice, differing only in worker 0's capacity (2 -> 1).
+  // Edge ids are assigned in AddEdge order, so an assignment carries over.
+  const std::vector<TestEdge> edges = {{0, 0, 0.9, 1.0}, {0, 1, 0.3, 0.2}};
+  const LaborMarket wide = MakeTestMarket({2}, {1, 1}, edges);
+  const LaborMarket narrow = MakeTestMarket({1}, {1, 1}, edges);
+  const MbtaProblem p{&narrow, {}};
+  const MutualBenefitObjective obj = p.MakeObjective();
+  const Assignment before{{0, 1}};  // feasible in `wide`, not in `narrow`
+  const Assignment after = PatchWorkerAndRepair(obj, before, 0);
+  EXPECT_TRUE(IsFeasible(narrow, after));
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after.edges[0], 0u) << "shed the wrong edge";
+}
+
+TEST(RepairTest, CapacityRaiseRefillsTheNewSlack) {
+  const std::vector<TestEdge> edges = {{0, 0, 0.9, 1.0}, {0, 1, 0.8, 1.0}};
+  const LaborMarket narrow = MakeTestMarket({1}, {1, 1}, edges);
+  const LaborMarket wide = MakeTestMarket({2}, {1, 1}, edges);
+  const MbtaProblem p{&wide, {}};
+  const MutualBenefitObjective obj = p.MakeObjective();
+  const Assignment after = PatchWorkerAndRepair(obj, Assignment{{0}}, 0);
+  EXPECT_TRUE(IsFeasible(wide, after));
+  EXPECT_EQ(after.size(), 2u) << "new capacity left idle";
+}
+
+TEST(RepairTest, TaskPatchReseatsUnderNewAttributes) {
+  // Task 0's value collapses (2.0 -> 0.01 via a rebuilt market): the
+  // patch re-chooses its pairs under the new attributes, freeing worker 0
+  // to serve task 1 instead.
+  const std::vector<TestEdge> edges = {{0, 0, 0.9, 1.0}, {0, 1, 0.8, 1.0}};
+  const LaborMarket devalued =
+      MakeTestMarket({1}, {1, 1}, edges, /*task_values=*/{0.01, 1.0});
+  const MbtaProblem p{&devalued, {}};
+  const MutualBenefitObjective obj = p.MakeObjective();
+  const Assignment after = PatchTaskAndRepair(obj, Assignment{{0}}, 0);
+  EXPECT_TRUE(IsFeasible(devalued, after));
+  const ValidationResult r = ValidateAssignment(p, after);
+  EXPECT_TRUE(r.ok()) << r.Message();
+  EXPECT_GE(obj.Value(after) + 1e-9, obj.Value(Assignment{{0}}));
+}
+
+TEST(RepairTest, ArrivalRepairsStayValidatorClean) {
+  // Differential oracle sweep over the arrival paths, mirroring the
+  // departure sweep above: strip one entity's edges from a solved
+  // assignment (emulating the pre-arrival state), repair it back in, and
+  // demand a validator-clean result at least as good as the stripped one.
+  for (int trial = 0; trial < 8; ++trial) {
+    Rng rng(0xA11D + static_cast<std::uint64_t>(trial));
+    const LaborMarket m = RandomTestMarket(rng, 10, 10, 0.5);
+    const MbtaProblem p{&m,
+                        {.alpha = 0.5, .kind = ObjectiveKind::kSubmodular}};
+    const MutualBenefitObjective obj = p.MakeObjective();
+    const Assignment solved = GreedySolver().Solve(p);
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    for (WorkerId w = 0; w < m.NumWorkers(); ++w) {
+      Assignment stripped;
+      for (EdgeId e : solved.edges) {
+        if (m.EdgeWorker(e) != w) stripped.edges.push_back(e);
+      }
+      const Assignment after = AddWorkerAndRepair(obj, stripped, w);
+      const ValidationResult r = ValidateAssignment(p, after);
+      EXPECT_TRUE(r.ok()) << "worker " << w << ": " << r.Message();
+      EXPECT_GE(obj.Value(after) + 1e-9, obj.Value(stripped));
+    }
+    for (TaskId t = 0; t < m.NumTasks(); ++t) {
+      Assignment stripped;
+      for (EdgeId e : solved.edges) {
+        if (m.EdgeTask(e) != t) stripped.edges.push_back(e);
+      }
+      const Assignment after = AddTaskAndRepair(obj, stripped, t);
+      const ValidationResult r = ValidateAssignment(p, after);
+      EXPECT_TRUE(r.ok()) << "task " << t << ": " << r.Message();
+      EXPECT_GE(obj.Value(after) + 1e-9, obj.Value(stripped));
+    }
+  }
+}
+
+TEST(RepairTest, PatchRepairsStayValidatorClean) {
+  // A no-op patch (same attributes) must behave like a stability check:
+  // validator-clean, and at least as good as what it was handed.
+  for (int trial = 0; trial < 8; ++trial) {
+    Rng rng(0x9A7C4 + static_cast<std::uint64_t>(trial));
+    const LaborMarket m = RandomTestMarket(rng, 10, 10, 0.5);
+    const MbtaProblem p{&m,
+                        {.alpha = 0.5, .kind = ObjectiveKind::kSubmodular}};
+    const MutualBenefitObjective obj = p.MakeObjective();
+    const Assignment solved = GreedySolver().Solve(p);
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    for (WorkerId w = 0; w < m.NumWorkers(); ++w) {
+      const Assignment after = PatchWorkerAndRepair(obj, solved, w);
+      const ValidationResult r = ValidateAssignment(p, after);
+      EXPECT_TRUE(r.ok()) << "worker " << w << ": " << r.Message();
+      EXPECT_GE(obj.Value(after) + 1e-9, obj.Value(solved));
+    }
+    for (TaskId t = 0; t < m.NumTasks(); ++t) {
+      const Assignment after = PatchTaskAndRepair(obj, solved, t);
+      const ValidationResult r = ValidateAssignment(p, after);
+      EXPECT_TRUE(r.ok()) << "task " << t << ": " << r.Message();
+      EXPECT_GE(obj.Value(after) + 1e-9, obj.Value(solved));
+    }
+  }
+}
+
 TEST(RepairDeathTest, OutOfRangeIdsAbort) {
   const LaborMarket m = MakeTestMarket({1}, {1}, {{0, 0, 0.8, 1.0}});
   const MutualBenefitObjective obj(&m, {});

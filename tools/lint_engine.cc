@@ -269,6 +269,13 @@ class Linter {
                      "fault-point name \"" + Tok(j).text +
                          "\" does not match the slash-path grammar "
                          "[a-z0-9_]+(/[a-z0-9_]+)* from CONTRIBUTING.md");
+            } else if (!IsRegisteredFaultNamespace(Tok(j).text)) {
+              Report(Tok(j).line, "R5", "name-ok",
+                     "fault-point \"" + Tok(j).text +
+                         "\" is outside the registered namespaces "
+                         "(flow/, io/, service/, solver/ — "
+                         "CONTRIBUTING.md \"Robustness\"); register a new "
+                         "namespace there before introducing one");
             }
             break;
           }
@@ -632,6 +639,12 @@ bool IsValidCounterKey(std::string_view key) {
 bool IsValidPhaseLabel(std::string_view label) {
   return IsValidCounterKey(label) &&
          label.find('/') == std::string_view::npos;
+}
+
+bool IsRegisteredFaultNamespace(std::string_view point) {
+  static const std::set<std::string, std::less<>> kNamespaces = {
+      "flow", "io", "service", "solver"};
+  return kNamespaces.count(point.substr(0, point.find('/'))) > 0;
 }
 
 std::vector<std::string> CollectFiles(const std::vector<std::string>& paths,

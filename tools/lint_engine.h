@@ -124,6 +124,13 @@ bool IsValidCounterKey(std::string_view key);
 /// True iff `label` is a single lower_snake_case path segment.
 bool IsValidPhaseLabel(std::string_view label);
 
+/// True iff `point`'s first path segment is a registered fault-point
+/// namespace (CONTRIBUTING.md, "Robustness"): flow, io, solver, or
+/// service. R5 enforces this in library code on top of the slash-path
+/// grammar, so a typo'd namespace ("serivce/wal/append") cannot silently
+/// create a fault point no test will ever arm.
+bool IsRegisteredFaultNamespace(std::string_view point);
+
 /// Recursively collects .h/.cc files under each of `paths` (a path may
 /// also name a single file). Returns a deterministically sorted list;
 /// unknown paths are reported in `errors`.

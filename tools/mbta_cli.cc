@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -39,6 +40,7 @@
 #include "io/market_io.h"
 #include "market/metrics.h"
 #include "obs/trace.h"
+#include "service/market_service.h"
 #include "util/deadline.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -121,8 +123,8 @@ void PrintSolveStats(const SolveInfo& info) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: mbta_cli <generate|stats|solve|evaluate|compare> [--flag "
-      "value ...]\n"
+      "usage: mbta_cli <generate|stats|solve|evaluate|compare|serve|replay>"
+      " [--flag value ...]\n"
       "  generate --dataset uniform|zipf|mturk|upwork --workers N\n"
       "           [--tasks N] [--seed S] --out FILE\n"
       "  stats    --market FILE\n"
@@ -133,6 +135,11 @@ int Usage() {
       "  evaluate --market FILE --assignment FILE [--alpha 0.5]\n"
       "           [--objective submodular|modular]\n"
       "  compare  --market FILE [--alpha 0.5] [--stats]\n"
+      "  serve    --script FILE [--wal FILE] [--epoch-batch N] [--queue N]\n"
+      "           [--snapshot-every N] [--resolve-ratio R] [--work-budget N]\n"
+      "           [--degrade-after-ms MS] [--alpha 0.5] [--out FILE]\n"
+      "           [--trace FILE] [--stats]\n"
+      "  replay   --wal FILE [--dump-state] [--stats]\n"
       "--stats prints the solver's work counters and phase timings\n"
       "--work-budget/--deadline-ms bound the solve; --fallback runs the\n"
       "standard degradation chain (exact flow -> greedy -> worker-centric)\n"
@@ -140,6 +147,9 @@ int Usage() {
       "less wall time)\n"
       "--trace FILE records the solve as a Chrome trace-event JSON file\n"
       "(open in Perfetto or chrome://tracing, analyze with mbta_trace)\n"
+      "serve drives a resident MarketService from a delta script (one\n"
+      "delta per line, literal `epoch` lines run an epoch); with --wal\n"
+      "the service is durable and `replay` recovers it from disk\n"
       "exit codes: 0 ok, 1 usage, 2 bad input, 3 degraded solve, "
       "4 internal\n");
   return kExitUsage;
@@ -404,6 +414,152 @@ int Compare(const Args& args) {
   return kExitOk;
 }
 
+ServiceConfig MakeServiceConfig(const Args& args) {
+  ServiceConfig config;
+  config.wal_path = args.Get("wal", "");
+  config.objective = MakeObjectiveParams(args);
+  config.epoch_batch =
+      static_cast<std::size_t>(args.GetUint("epoch-batch", 64));
+  config.queue_capacity =
+      static_cast<std::size_t>(args.GetUint("queue", 1024));
+  config.snapshot_every = args.GetUint("snapshot-every", 16);
+  config.resolve_ratio = args.GetDouble("resolve-ratio", 0.9);
+  config.epoch_max_work =
+      args.GetUint("work-budget", DeadlineBudget::kUnlimitedWork);
+  config.degrade_after_ms = args.GetDouble("degrade-after-ms", 0.0);
+  return config;
+}
+
+void PrintServiceSummary(const MarketService& service) {
+  const ServiceState& state = service.state();
+  std::printf("epochs %llu: %zu workers, %zu tasks, %zu pairs, %zu pending, "
+              "objective %.6f\n",
+              static_cast<unsigned long long>(state.epoch),
+              state.workers.size(), state.tasks.size(), state.pairs.size(),
+              state.pending.size(), service.objective_value());
+}
+
+int Serve(const Args& args) {
+  std::string script_path;
+  if (!args.Require("script", &script_path)) return kExitUsage;
+  std::ifstream script_in(script_path);
+  if (!script_in) {
+    std::fprintf(stderr, "error: cannot open script %s\n",
+                 script_path.c_str());
+    return kExitBadInput;
+  }
+  std::string error;
+  const auto script = ParseDeltaScript(script_in, &error);
+  if (!script) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return kExitBadInput;
+  }
+
+  MarketService service(MakeServiceConfig(args));
+  const std::string trace_path = args.Get("trace", "");
+  std::unique_ptr<Tracer> tracer;
+  if (!trace_path.empty()) {
+    tracer = std::make_unique<Tracer>();
+    service.stats().phases.set_tracer(tracer.get());
+  }
+  if (!service.Start(&error)) {
+    std::fprintf(stderr, "error: recovery failed: %s\n", error.c_str());
+    return kExitBadInput;
+  }
+  std::size_t admitted = 0, shed = 0, rejected = 0;
+  for (const ScriptEntry& entry : *script) {
+    if (entry.epoch) {
+      if (!service.RunEpoch(&error)) {
+        std::fprintf(stderr, "error: epoch failed: %s\n", error.c_str());
+        return kExitInternal;
+      }
+      continue;
+    }
+    std::string why;
+    switch (service.Submit(entry.delta, &why)) {
+      case SubmitResult::kAdmitted:
+        ++admitted;
+        break;
+      case SubmitResult::kShed:
+        ++shed;
+        break;
+      case SubmitResult::kRejected:
+        ++rejected;
+        std::fprintf(stderr, "warning: rejected delta: %s\n", why.c_str());
+        break;
+    }
+  }
+  // Drain anything the script left queued so the final state reflects
+  // every admitted delta.
+  while (!service.state().pending.empty()) {
+    if (!service.RunEpoch(&error)) {
+      std::fprintf(stderr, "error: epoch failed: %s\n", error.c_str());
+      return kExitInternal;
+    }
+  }
+  std::printf("deltas: %zu admitted, %zu shed, %zu rejected\n", admitted,
+              shed, rejected);
+  PrintServiceSummary(service);
+
+  const std::string out = args.Get("out", "");
+  if (!out.empty()) {
+    // Dump the final market through the standard market_io format so the
+    // offline tools (stats/solve/compare) can pick up where serving
+    // stopped.
+    const LaborMarket market =
+        BuildMarket(service.state(), MakeServiceConfig(args).edge_model);
+    if (!WriteMarketToFile(market, out, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return kExitInternal;
+    }
+    std::printf("wrote %s\n", out.c_str());
+  }
+  if (tracer != nullptr) {
+    std::string trace_error;
+    if (!tracer->WriteFile(trace_path, &trace_error)) {
+      std::fprintf(stderr, "error: %s\n", trace_error.c_str());
+      return kExitInternal;
+    }
+    std::printf("wrote trace %s\n", trace_path.c_str());
+  }
+  if (args.GetBool("stats")) PrintSolveStats(service.stats());
+  const bool degraded = service.stats().counters.Value(
+                            "service/epoch/degraded") > 0 ||
+                        service.stats().counters.Value(
+                            "service/epoch/budget_hit") > 0;
+  if (degraded) {
+    std::fprintf(stderr,
+                 "warning: some epochs ran degraded or hit the work "
+                 "budget; assignment is best-effort\n");
+    return kExitDegraded;
+  }
+  return kExitOk;
+}
+
+int Replay(const Args& args) {
+  std::string wal_path;
+  if (!args.Require("wal", &wal_path)) return kExitUsage;
+  MarketService service(MakeServiceConfig(args));
+  std::string error;
+  if (!service.Start(&error)) {
+    std::fprintf(stderr, "error: recovery failed: %s\n", error.c_str());
+    return kExitBadInput;
+  }
+  std::printf("recovered: replayed %llu deltas, %llu epochs "
+              "(%llu WAL records total)\n",
+              static_cast<unsigned long long>(service.stats().counters.Value(
+                  "service/recovery/replayed_deltas")),
+              static_cast<unsigned long long>(service.stats().counters.Value(
+                  "service/recovery/replayed_epochs")),
+              static_cast<unsigned long long>(service.state().wal_records));
+  PrintServiceSummary(service);
+  if (args.GetBool("dump-state")) {
+    std::printf("%s", SerializeServiceState(service.state()).c_str());
+  }
+  if (args.GetBool("stats")) PrintSolveStats(service.stats());
+  return kExitOk;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -425,6 +581,8 @@ int Main(int argc, char** argv) {
   if (command == "solve") return Solve(args);
   if (command == "evaluate") return EvaluateCmd(args);
   if (command == "compare") return Compare(args);
+  if (command == "serve") return Serve(args);
+  if (command == "replay") return Replay(args);
   return Usage();
 }
 
